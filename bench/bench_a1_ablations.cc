@@ -1,0 +1,90 @@
+/**
+ * R-A1 — Design-choice ablations called out in DESIGN.md §6, plus the
+ * oracle upper bound:
+ *
+ *  (a) prefetch buffer vs filling prefetches straight into the L1-I
+ *      (cache pollution from wrong-path prefetches),
+ *  (b) idle-bus-only prefetch transfers vs letting prefetches queue
+ *      in front of demand traffic (demand priority),
+ *  (c) conservative vs aggressive enqueue-CPF port policy,
+ *  (d) the perfect-address oracle prefetcher as the ceiling.
+ */
+
+#include "bench_util.hh"
+
+using namespace fdip;
+using namespace fdip::bench;
+
+int
+main()
+{
+    print(experimentBanner(
+        "R-A1", "design ablations (FDP remove-CPF unless noted)",
+        "buffer fills save bandwidth vs direct L1 fills; letting "
+        "prefetches queue on the bus trades bandwidth for timeliness "
+        "(it can help when, as here, no data traffic shares the bus — "
+        "the paper's demand-priority argument assumes a shared bus); "
+        "oracle bounds all"));
+
+    Runner runner(kSweepWarmup, kSweepMeasure);
+
+    // (a) + (b) + (d): per-workload gmean table.
+    AsciiTable t({"variant", "gmean speedup", "mean L2-bus util"});
+
+    struct Variant
+    {
+        const char *label;
+        PrefetchScheme scheme;
+        Runner::Tweak tweak;
+        const char *key;
+    };
+
+    std::vector<Variant> variants = {
+        {"FDP -> prefetch buffer (default)", PrefetchScheme::FdpRemove,
+         nullptr, ""},
+        {"FDP -> straight into L1-I", PrefetchScheme::FdpRemove,
+         [](SimConfig &c) { c.fdp.fillIntoL1 = true; }, "l1fill"},
+        {"FDP, prefetch may queue on bus", PrefetchScheme::FdpRemove,
+         [](SimConfig &c) { c.mem.prefetchMayQueueOnBus = true; },
+         "busq"},
+        {"FDP no-filter, may queue on bus", PrefetchScheme::FdpNone,
+         [](SimConfig &c) { c.mem.prefetchMayQueueOnBus = true; },
+         "busq"},
+        {"oracle (perfect addresses)", PrefetchScheme::Oracle,
+         nullptr, ""},
+    };
+
+    for (const auto &v : variants) {
+        std::vector<double> speedups, utils;
+        for (const auto &name : largeFootprintNames()) {
+            speedups.push_back(
+                runner.speedup(name, v.scheme, v.key, v.tweak));
+            const SimResults &r = runner.run(name, v.scheme, v.key,
+                                             v.tweak);
+            utils.push_back(r.l2BusUtil);
+        }
+        t.addRow({v.label, AsciiTable::pct(gmeanSpeedup(speedups)),
+                  AsciiTable::pct(mean(utils))});
+    }
+    print(t.render());
+
+    // (c): enqueue policies under port scarcity (1 port = demand only).
+    print("\nenqueue-CPF port policy (1 tag port: no idle probes):\n");
+    AsciiTable p({"variant", "gmean speedup"});
+    for (auto [label, scheme] :
+         {std::pair<const char *, PrefetchScheme>{
+              "enqueue (conservative)", PrefetchScheme::FdpEnqueue},
+          std::pair<const char *, PrefetchScheme>{
+              "enqueue (aggressive)",
+              PrefetchScheme::FdpEnqueueAggressive}}) {
+        std::vector<double> speedups;
+        for (const auto &name : largeFootprintNames()) {
+            speedups.push_back(runner.speedup(
+                name, scheme, "1port",
+                [](SimConfig &c) { c.mem.l1TagPorts = 1; }));
+        }
+        p.addRow({label, AsciiTable::pct(gmeanSpeedup(speedups))});
+    }
+    print(p.render());
+    return 0;
+}

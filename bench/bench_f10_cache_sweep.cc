@@ -1,0 +1,50 @@
+/**
+ * R-F10 — L1-I size sweep: baseline IPC and FDP speedup as the cache
+ * grows. Prefetching is a substitute for capacity; its gain must
+ * shrink as the cache absorbs the footprint.
+ */
+
+#include "bench_util.hh"
+
+using namespace fdip;
+using namespace fdip::bench;
+
+int
+main()
+{
+    print(experimentBanner(
+        "R-F10", "L1-I capacity sweep (8..64KB) x {none, FDP remove}",
+        "baseline MPKI and FDP's speedup both collapse as the cache "
+        "approaches the working-set size"));
+
+    Runner runner(kSweepWarmup, kSweepMeasure);
+    AsciiTable t({"L1-I KB", "gmean base IPC", "mean base MPKI",
+                  "gmean FDP speedup"});
+
+    for (unsigned kb : {8u, 16u, 32u, 64u}) {
+        auto tweak = [kb](SimConfig &cfg) {
+            cfg.mem.l1i.sizeBytes = std::uint64_t(kb) * 1024;
+        };
+        std::string key = "l1i" + std::to_string(kb);
+        std::vector<double> ipcs, mpkis, speedups;
+        for (const auto &name : allWorkloadNames()) {
+            const SimResults &base = runner.run(
+                name, PrefetchScheme::None, key, tweak);
+            ipcs.push_back(base.ipc);
+            mpkis.push_back(base.mpki);
+            speedups.push_back(runner.speedup(
+                name, PrefetchScheme::FdpRemove, key, tweak));
+        }
+        double log_ipc = 0;
+        for (double v : ipcs)
+            log_ipc += std::log(v);
+        double gmean_ipc = std::exp(log_ipc / ipcs.size());
+        t.addRow({AsciiTable::integer(kb),
+                  AsciiTable::num(gmean_ipc, 3),
+                  AsciiTable::num(mean(mpkis), 2),
+                  AsciiTable::pct(gmeanSpeedup(speedups))});
+    }
+
+    print(t.render());
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * R-F11 — Memory latency sensitivity: FDP speedup as L2 and DRAM
+ * latencies scale. Prefetching hides latency, so its value must grow
+ * with the latency it hides.
+ */
+
+#include "bench_util.hh"
+
+using namespace fdip;
+using namespace fdip::bench;
+
+int
+main()
+{
+    print(experimentBanner(
+        "R-F11", "memory latency sweep (FDP remove-CPF, large set)",
+        "FDP's gmean speedup grows monotonically with miss latency"));
+
+    Runner runner(kSweepWarmup, kSweepMeasure);
+    AsciiTable t({"L2 lat", "DRAM lat", "gmean base IPC",
+                  "gmean FDP speedup"});
+
+    struct Point { Cycle l2; Cycle dram; };
+    for (Point p : {Point{6, 35}, Point{12, 70}, Point{24, 140},
+                    Point{48, 280}}) {
+        auto tweak = [p](SimConfig &cfg) {
+            cfg.mem.l2HitLatency = p.l2;
+            cfg.mem.dramLatency = p.dram;
+        };
+        std::string key = "lat" + std::to_string(p.l2);
+        std::vector<double> ipcs, speedups;
+        for (const auto &name : largeFootprintNames()) {
+            const SimResults &base = runner.run(
+                name, PrefetchScheme::None, key, tweak);
+            ipcs.push_back(base.ipc);
+            speedups.push_back(runner.speedup(
+                name, PrefetchScheme::FdpRemove, key, tweak));
+        }
+        double log_ipc = 0;
+        for (double v : ipcs)
+            log_ipc += std::log(v);
+        t.addRow({AsciiTable::integer(p.l2),
+                  AsciiTable::integer(p.dram),
+                  AsciiTable::num(std::exp(log_ipc / ipcs.size()), 3),
+                  AsciiTable::pct(gmeanSpeedup(speedups))});
+    }
+
+    print(t.render());
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * R-F12 — Cache-probe-filter port sensitivity: how many L1-I tag
+ * ports do the realistic CPF variants need to approach ideal CPF?
+ */
+
+#include "bench_util.hh"
+
+using namespace fdip;
+using namespace fdip::bench;
+
+int
+main()
+{
+    print(experimentBanner(
+        "R-F12", "CPF tag-port sweep (enqueue and remove vs ideal)",
+        "with a single port (fully consumed by demand fetch) the "
+        "realistic variants degrade; two ports recover nearly all of "
+        "ideal CPF's benefit"));
+
+    Runner runner(kSweepWarmup, kSweepMeasure);
+    AsciiTable t({"tag ports", "FDP enqueue", "FDP remove",
+                  "FDP ideal"});
+
+    for (unsigned ports : {1u, 2u, 3u, 4u}) {
+        auto tweak = [ports](SimConfig &cfg) {
+            cfg.mem.l1TagPorts = ports;
+        };
+        std::string key = "ports" + std::to_string(ports);
+        std::vector<double> enq, rem, ideal;
+        for (const auto &name : largeFootprintNames()) {
+            enq.push_back(runner.speedup(
+                name, PrefetchScheme::FdpEnqueue, key, tweak));
+            rem.push_back(runner.speedup(
+                name, PrefetchScheme::FdpRemove, key, tweak));
+            ideal.push_back(runner.speedup(
+                name, PrefetchScheme::FdpIdeal, key, tweak));
+        }
+        t.addRow({AsciiTable::integer(ports),
+                  AsciiTable::pct(gmeanSpeedup(enq)),
+                  AsciiTable::pct(gmeanSpeedup(rem)),
+                  AsciiTable::pct(gmeanSpeedup(ideal))});
+    }
+
+    print(t.render());
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * R-F4 — Speedup of the non-FDP prefetchers over the no-prefetch
+ * baseline: tagged next-line prefetching and streaming buffers with
+ * 1/2/4/8 buffers.
+ */
+
+#include "bench_util.hh"
+
+using namespace fdip;
+using namespace fdip::bench;
+
+int
+main()
+{
+    print(experimentBanner(
+        "R-F4", "NLP and stream-buffer speedup over no-prefetch",
+        "both help on large-footprint workloads; more stream buffers "
+        "help up to a point; neither approaches FDP (see R-F5)"));
+
+    Runner runner(kWarmup, kMeasure);
+    AsciiTable t({"workload", "NLP", "SB x1", "SB x2", "SB x4",
+                  "SB x8"});
+
+    std::vector<double> nlp_s, sb1_s, sb2_s, sb4_s, sb8_s;
+
+    auto sb_tweak = [](unsigned n) {
+        return [n](SimConfig &cfg) {
+            cfg.sb.numBuffers = n;
+            cfg.sb.allocationFilter = false;
+        };
+    };
+
+    for (const auto &name : allWorkloadNames()) {
+        double nlp = runner.speedup(name, PrefetchScheme::Nlp);
+        double sb1 = runner.speedup(name, PrefetchScheme::StreamBuffer,
+                                    "sb1", sb_tweak(1));
+        double sb2 = runner.speedup(name, PrefetchScheme::StreamBuffer,
+                                    "sb2", sb_tweak(2));
+        double sb4 = runner.speedup(name, PrefetchScheme::StreamBuffer,
+                                    "sb4", sb_tweak(4));
+        double sb8 = runner.speedup(name, PrefetchScheme::StreamBuffer,
+                                    "sb8", sb_tweak(8));
+        nlp_s.push_back(nlp);
+        sb1_s.push_back(sb1);
+        sb2_s.push_back(sb2);
+        sb4_s.push_back(sb4);
+        sb8_s.push_back(sb8);
+        t.addRow({name, AsciiTable::pct(nlp), AsciiTable::pct(sb1),
+                  AsciiTable::pct(sb2), AsciiTable::pct(sb4),
+                  AsciiTable::pct(sb8)});
+    }
+
+    t.addRow({"gmean", AsciiTable::pct(gmeanSpeedup(nlp_s)),
+              AsciiTable::pct(gmeanSpeedup(sb1_s)),
+              AsciiTable::pct(gmeanSpeedup(sb2_s)),
+              AsciiTable::pct(gmeanSpeedup(sb4_s)),
+              AsciiTable::pct(gmeanSpeedup(sb8_s))});
+    print(t.render());
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * R-F5 — The headline result: fetch-directed prefetching speedup over
+ * the no-prefetch baseline, for each cache-probe-filtering variant,
+ * with NLP as the non-FDP reference point.
+ */
+
+#include "bench_util.hh"
+
+using namespace fdip;
+using namespace fdip::bench;
+
+int
+main()
+{
+    print(experimentBanner(
+        "R-F5", "FDP speedup by CPF variant vs NLP",
+        "every FDP variant beats NLP; CPF variants match or beat "
+        "no-filter FDP while using far less bus bandwidth (see R-F6); "
+        "remove-CPF is the best realistic variant"));
+
+    Runner runner(kWarmup, kMeasure);
+    AsciiTable t({"workload", "NLP", "FDP nofilter", "FDP enqueue",
+                  "FDP remove", "FDP ideal"});
+
+    std::vector<std::vector<double>> cols(5);
+    for (const auto &name : allWorkloadNames()) {
+        std::vector<double> s;
+        s.push_back(runner.speedup(name, PrefetchScheme::Nlp));
+        s.push_back(runner.speedup(name, PrefetchScheme::FdpNone));
+        s.push_back(runner.speedup(name, PrefetchScheme::FdpEnqueue));
+        s.push_back(runner.speedup(name, PrefetchScheme::FdpRemove));
+        s.push_back(runner.speedup(name, PrefetchScheme::FdpIdeal));
+        for (int i = 0; i < 5; ++i)
+            cols[i].push_back(s[i]);
+        t.addRow({name, AsciiTable::pct(s[0]), AsciiTable::pct(s[1]),
+                  AsciiTable::pct(s[2]), AsciiTable::pct(s[3]),
+                  AsciiTable::pct(s[4])});
+    }
+
+    std::vector<std::string> row{"gmean"};
+    for (int i = 0; i < 5; ++i)
+        row.push_back(AsciiTable::pct(gmeanSpeedup(cols[i])));
+    t.addRow(row);
+    print(t.render());
+    return 0;
+}

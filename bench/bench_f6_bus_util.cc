@@ -1,0 +1,48 @@
+/**
+ * R-F6 — L1<->L2 bus utilization per prefetching scheme: the cost side
+ * of R-F5. Cache probe filtering exists to buy FDP's coverage without
+ * no-filter FDP's bandwidth bill.
+ */
+
+#include "bench_util.hh"
+
+using namespace fdip;
+using namespace fdip::bench;
+
+int
+main()
+{
+    print(experimentBanner(
+        "R-F6", "L2-bus utilization per scheme",
+        "no-filter FDP burns by far the most bandwidth; CPF variants "
+        "cut it to near the filtered-prefetcher level; the no-prefetch "
+        "baseline is the floor"));
+
+    Runner runner(kWarmup, kMeasure);
+    AsciiTable t({"workload", "none", "NLP", "SB", "FDP nofil",
+                  "FDP enq", "FDP rem", "FDP ideal"});
+
+    std::vector<PrefetchScheme> schemes = {
+        PrefetchScheme::None, PrefetchScheme::Nlp,
+        PrefetchScheme::StreamBuffer, PrefetchScheme::FdpNone,
+        PrefetchScheme::FdpEnqueue, PrefetchScheme::FdpRemove,
+        PrefetchScheme::FdpIdeal};
+
+    std::vector<std::vector<double>> cols(schemes.size());
+    for (const auto &name : allWorkloadNames()) {
+        std::vector<std::string> row{name};
+        for (std::size_t i = 0; i < schemes.size(); ++i) {
+            const SimResults &r = runner.run(name, schemes[i]);
+            cols[i].push_back(r.l2BusUtil);
+            row.push_back(AsciiTable::pct(r.l2BusUtil));
+        }
+        t.addRow(row);
+    }
+
+    std::vector<std::string> avg{"mean"};
+    for (auto &c : cols)
+        avg.push_back(AsciiTable::pct(mean(c)));
+    t.addRow(avg);
+    print(t.render());
+    return 0;
+}

@@ -1,0 +1,47 @@
+/**
+ * R-F8 — Prefetch-buffer size sensitivity: FDP (remove-CPF) gmean
+ * speedup over no-prefetch with 8..64 buffer entries, on the
+ * large-footprint workload subset.
+ */
+
+#include "bench_util.hh"
+
+using namespace fdip;
+using namespace fdip::bench;
+
+int
+main()
+{
+    print(experimentBanner(
+        "R-F8", "prefetch buffer size sweep (FDP remove-CPF)",
+        "speedup grows with buffer size and saturates around 32 "
+        "entries — the paper's chosen design point"));
+
+    Runner runner(kSweepWarmup, kSweepMeasure);
+    AsciiTable t({"entries", "gmean speedup", "gmean accuracy",
+                  "unused evictions/KI"});
+
+    for (unsigned entries : {8u, 16u, 32u, 64u}) {
+        auto tweak = [entries](SimConfig &cfg) {
+            cfg.mem.prefetchBufferEntries = entries;
+        };
+        std::string key = "pfbuf" + std::to_string(entries);
+        std::vector<double> speedups, accs, evics;
+        for (const auto &name : largeFootprintNames()) {
+            speedups.push_back(runner.speedup(
+                name, PrefetchScheme::FdpRemove, key, tweak));
+            const SimResults &r = runner.run(
+                name, PrefetchScheme::FdpRemove, key, tweak);
+            accs.push_back(r.prefetchAccuracy);
+            evics.push_back(r.stats.value("pfbuf.unused_evictions") /
+                            (double(r.instructions) / 1000.0));
+        }
+        t.addRow({AsciiTable::integer(entries),
+                  AsciiTable::pct(gmeanSpeedup(speedups)),
+                  AsciiTable::pct(mean(accs)),
+                  AsciiTable::num(mean(evics), 2)});
+    }
+
+    print(t.render());
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * R-F9 — FTQ depth sweep: how much decoupling does FDP need?
+ * Deeper FTQs give the prefetch engine more lookahead; past a point
+ * the extra entries are wrong-path noise.
+ */
+
+#include "bench_util.hh"
+
+using namespace fdip;
+using namespace fdip::bench;
+
+int
+main()
+{
+    print(experimentBanner(
+        "R-F9", "FTQ depth sweep (FDP remove-CPF vs baseline FTQ=32)",
+        "tiny FTQs cripple FDP (no lookahead); gains saturate by a "
+        "few tens of entries"));
+
+    Runner runner(kSweepWarmup, kSweepMeasure);
+    AsciiTable t({"ftq entries", "gmean FDP speedup",
+                  "gmean prefetch coverage", "mean occupancy"});
+
+    for (unsigned entries : {2u, 4u, 8u, 16u, 32u, 64u}) {
+        auto tweak = [entries](SimConfig &cfg) {
+            cfg.ftqEntries = entries;
+        };
+        std::string key = "ftq" + std::to_string(entries);
+        std::vector<double> speedups, covs, occs;
+        for (const auto &name : largeFootprintNames()) {
+            speedups.push_back(runner.speedup(
+                name, PrefetchScheme::FdpRemove, key, tweak));
+            const SimResults &r = runner.run(
+                name, PrefetchScheme::FdpRemove, key, tweak);
+            covs.push_back(r.prefetchCoverage);
+            occs.push_back(r.ftqOccupancy.mean());
+        }
+        t.addRow({AsciiTable::integer(entries),
+                  AsciiTable::pct(gmeanSpeedup(speedups)),
+                  AsciiTable::pct(mean(covs)),
+                  AsciiTable::num(mean(occs), 1)});
+    }
+
+    print(t.render());
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * Component micro-benchmarks (google-benchmark): raw throughput of the
+ * structures on the simulator's hot path. Not a paper experiment —
+ * this guards simulation speed regressions.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bpu/btb.hh"
+#include "bpu/hybrid.hh"
+#include "mem/cache.hh"
+#include "trace/executor.hh"
+#include "trace/profile.hh"
+#include "trace/synth_builder.hh"
+
+using namespace fdip;
+
+static void
+BM_CacheAccess(benchmark::State &state)
+{
+    Cache::Config cfg;
+    cfg.sizeBytes = 16 * 1024;
+    cfg.assoc = 2;
+    cfg.blockBytes = 32;
+    Cache cache(cfg);
+    Addr addr = 0x1000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(addr));
+        addr = (addr + 32) & 0xffff;
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+static void
+BM_BtbLookup(benchmark::State &state)
+{
+    Btb::Config cfg;
+    cfg.sets = 1024;
+    cfg.ways = 4;
+    Btb btb(cfg);
+    for (Addr pc = 0x1000; pc < 0x1000 + 4096 * 4; pc += 16)
+        btb.insert(pc, InstClass::Jump, pc + 64);
+    Addr pc = 0x1000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(btb.lookup(pc));
+        pc = 0x1000 + ((pc + 16) & 0x3fff);
+    }
+}
+BENCHMARK(BM_BtbLookup);
+
+static void
+BM_HybridPredict(benchmark::State &state)
+{
+    HybridPredictor pred;
+    Addr pc = 0x1000;
+    std::uint64_t hist = 0xdead;
+    for (auto _ : state) {
+        bool p = pred.predict(pc, hist);
+        benchmark::DoNotOptimize(p);
+        pred.update(pc, hist, !p);
+        hist = shiftHistory(hist, p);
+        pc += 4;
+    }
+}
+BENCHMARK(BM_HybridPredict);
+
+static void
+BM_ExecutorThroughput(benchmark::State &state)
+{
+    const WorkloadProfile &p = findProfile("gcc");
+    auto prog = buildProgram(p);
+    SyntheticExecutor exec(*prog, p);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(exec.next());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExecutorThroughput);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+/**
+ * @file bench_util.hh
+ * Shared plumbing for the experiment-reproduction binaries: run
+ * lengths, the workload lists, and the scheme sets each figure uses.
+ */
+
+#ifndef FDIP_BENCH_BENCH_UTIL_HH
+#define FDIP_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "sim/report.hh"
+#include "sim/runner.hh"
+#include "trace/profile.hh"
+
+namespace fdip::bench
+{
+
+/** Standard run lengths: long enough for stable means, short enough
+ *  that the whole harness regenerates every figure in minutes. */
+constexpr std::uint64_t kWarmup = 200 * 1000;
+constexpr std::uint64_t kMeasure = 800 * 1000;
+
+/** Shorter runs for wide parameter sweeps. */
+constexpr std::uint64_t kSweepWarmup = 150 * 1000;
+constexpr std::uint64_t kSweepMeasure = 500 * 1000;
+
+inline std::vector<PrefetchScheme>
+allSchemes()
+{
+    return {PrefetchScheme::Nlp, PrefetchScheme::StreamBuffer,
+            PrefetchScheme::FdpNone, PrefetchScheme::FdpEnqueue,
+            PrefetchScheme::FdpRemove, PrefetchScheme::FdpIdeal};
+}
+
+inline std::vector<PrefetchScheme>
+fdpSchemes()
+{
+    return {PrefetchScheme::FdpNone, PrefetchScheme::FdpEnqueue,
+            PrefetchScheme::FdpRemove, PrefetchScheme::FdpIdeal};
+}
+
+inline void
+print(const std::string &s)
+{
+    std::fputs(s.c_str(), stdout);
+    std::fflush(stdout);
+}
+
+} // namespace fdip::bench
+
+#endif // FDIP_BENCH_BENCH_UTIL_HH

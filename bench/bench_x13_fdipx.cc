@@ -1,0 +1,54 @@
+/**
+ * X-F13 — EXTENSION (2020 revisit, Figs. 5/6): FDIP performance gain
+ * vs BTB storage budget, comparing the unified block-based FTB
+ * front-end against the partitioned conventional-BTB front-end at
+ * matched storage rungs. Speedups are over the no-prefetch baseline
+ * with the same front-end configuration.
+ */
+
+#include "bench_util.hh"
+
+using namespace fdip;
+using namespace fdip::bench;
+
+int
+main()
+{
+    print(experimentBanner(
+        "X-F13", "FDIP gain vs BTB budget: unified FTB vs partitioned",
+        "the partitioned 16-bit-tag design wins clearly at small "
+        "budgets (more branches tracked per KB) and the two converge "
+        "once the branch working set fits either way"));
+
+    Runner runner(kSweepWarmup, kSweepMeasure);
+    AsciiTable t({"budget", "unified FTB gmean", "partitioned gmean"});
+
+    // The largest rungs change nothing for our branch working sets;
+    // sweep the interesting lower half of the ladder.
+    auto ladder = btbBudgetLadder();
+    ladder.resize(4); // 11.5K .. 89K
+
+    for (const auto &pt : ladder) {
+        auto uni_tweak = [&pt](SimConfig &cfg) {
+            applyFtbBudget(cfg, pt.ftbEntries);
+        };
+        auto part_tweak = [&pt](SimConfig &cfg) {
+            applyPartitionedBudget(cfg, pt.ftbEntries);
+        };
+        std::string ukey = "uni" + std::to_string(pt.ftbEntries);
+        std::string pkey = "part" + std::to_string(pt.ftbEntries);
+
+        std::vector<double> uni, part;
+        for (const auto &name : allWorkloadNames()) {
+            uni.push_back(runner.speedup(
+                name, PrefetchScheme::FdpRemove, ukey, uni_tweak));
+            part.push_back(runner.speedup(
+                name, PrefetchScheme::FdpRemove, pkey, part_tweak));
+        }
+        t.addRow({AsciiTable::num(pt.ftbBudgetKB, 1) + "KB",
+                  AsciiTable::pct(gmeanSpeedup(uni)),
+                  AsciiTable::pct(gmeanSpeedup(part))});
+    }
+    print(t.render());
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * X-F14 — EXTENSION (2020 revisit, Fig. 7): performance impact of
+ * 16-bit folded-XOR tag compression vs full tags in the partitioned
+ * BTB, at the smallest budget (where aliasing pressure is highest).
+ */
+
+#include "bench_util.hh"
+
+using namespace fdip;
+using namespace fdip::bench;
+
+int
+main()
+{
+    print(experimentBanner(
+        "X-F14", "16-bit folded-XOR tags vs full tags (smallest BTB)",
+        "the compressed tag costs almost nothing: the folded XOR "
+        "preserves the high-order entropy"));
+
+    Runner runner(kSweepWarmup, kSweepMeasure);
+    AsciiTable t({"workload", "16-bit tag", "full tag", "delta"});
+
+    auto tag16 = [](SimConfig &cfg) {
+        applyPartitionedBudget(cfg, 1024);
+        cfg.pbtb.tagBits = 16;
+    };
+    auto tagfull = [](SimConfig &cfg) {
+        applyPartitionedBudget(cfg, 1024);
+        cfg.pbtb.tagBits = 0; // full tags
+    };
+
+    std::vector<double> s16, sfull;
+    for (const auto &name : allWorkloadNames()) {
+        double a = runner.speedup(name, PrefetchScheme::FdpRemove,
+                                  "tag16", tag16);
+        double b = runner.speedup(name, PrefetchScheme::FdpRemove,
+                                  "tagfull", tagfull);
+        s16.push_back(a);
+        sfull.push_back(b);
+        t.addRow({name, AsciiTable::pct(a), AsciiTable::pct(b),
+                  AsciiTable::pct(b - a, 2)});
+    }
+    t.addRow({"gmean", AsciiTable::pct(gmeanSpeedup(s16)),
+              AsciiTable::pct(gmeanSpeedup(sfull)),
+              AsciiTable::pct(gmeanSpeedup(sfull) - gmeanSpeedup(s16), 2)});
+    print(t.render());
+    return 0;
+}

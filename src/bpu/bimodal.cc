@@ -1,0 +1,42 @@
+#include "bpu/bimodal.hh"
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace fdip
+{
+
+BimodalPredictor::BimodalPredictor(std::size_t entries,
+                                   unsigned counter_bits)
+    : table(entries, SatCounter(counter_bits,
+          static_cast<std::uint8_t>((1u << counter_bits) / 2))),
+      ctrBits(counter_bits)
+{
+    fatal_if(!isPowerOf2(entries), "bimodal table size must be 2^n");
+}
+
+std::size_t
+BimodalPredictor::index(Addr pc) const
+{
+    return (pc / instBytes) & (table.size() - 1);
+}
+
+bool
+BimodalPredictor::predict(Addr pc, std::uint64_t) const
+{
+    return table[index(pc)].taken();
+}
+
+void
+BimodalPredictor::update(Addr pc, std::uint64_t, bool taken)
+{
+    table[index(pc)].update(taken);
+}
+
+std::uint64_t
+BimodalPredictor::storageBits() const
+{
+    return table.size() * ctrBits;
+}
+
+} // namespace fdip

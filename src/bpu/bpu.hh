@@ -1,0 +1,162 @@
+/**
+ * @file bpu.hh
+ * The branch prediction unit: the decoupled front-end's address
+ * generation engine. Every cycle it can emit one fetch block (the unit
+ * stored in the FTQ) by consulting its structures only — FTB or BTB,
+ * direction predictor, and return address stack — exactly like the
+ * hardware it models.
+ *
+ * Because the simulator is trace-driven, each block produced while the
+ * BPU believes it is on the correct path is verified against the trace
+ * on the spot. At the first diverging instruction the block is marked
+ * with the culprit, and the BPU keeps generating blocks down its own
+ * *predicted* (wrong) path; those blocks flow into the FTQ, get fetched
+ * and even prefetched — modelling real wrong-path pollution — until the
+ * simulator delivers the redirect and calls redirect().
+ */
+
+#ifndef FDIP_BPU_BPU_HH
+#define FDIP_BPU_BPU_HH
+
+#include <memory>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "bpu/btb.hh"
+#include "bpu/direction_predictor.hh"
+#include "bpu/ftb.hh"
+#include "bpu/ras.hh"
+#include "trace/executor.hh"
+
+namespace fdip
+{
+
+/** One predicted fetch block: the FTQ's payload. */
+struct FetchBlock
+{
+    Addr startPc = invalidAddr;
+    unsigned numInsts = 0;
+
+    bool endsInCF = false;       ///< block terminates in a predicted CF
+    InstClass termCls = InstClass::NonCF;
+    bool predTaken = false;
+    Addr predTarget = invalidAddr;
+    Addr nextFetchPc = invalidAddr;
+
+    /** True when the whole block was produced past a divergence. */
+    bool wrongPath = false;
+    /** Leading instructions that are on the correct path. */
+    unsigned validLen = 0;
+    /** Divergence happens after instruction culpritIdx of this block. */
+    bool diverges = false;
+    unsigned culpritIdx = 0;
+    InstClass culpritCls = InstClass::NonCF;
+    /** Culprit is a direct unconditional: fixable at decode. */
+    bool decodeFixable = false;
+    /** Sequence number of the first instruction (correct path only). */
+    InstSeqNum firstSeq = 0;
+
+    Addr
+    pcOf(unsigned idx) const
+    {
+        return startPc + Addr(idx) * instBytes;
+    }
+
+    Addr
+    endPc() const
+    {
+        return startPc + Addr(numInsts) * instBytes;
+    }
+};
+
+/** Which direction predictor the BPU instantiates. */
+enum class PredictorKind : std::uint8_t
+{
+    Bimodal,
+    Gshare,
+    Local2Level,
+    Hybrid,
+};
+
+const char *predictorKindName(PredictorKind kind);
+
+struct BpuConfig
+{
+    /** Block-based FTB front-end (the paper) vs conventional BTB. */
+    bool blockBased = true;
+    PredictorKind predictor = PredictorKind::Hybrid;
+    unsigned maxBlockInsts = 8;
+    unsigned rasDepth = 32;
+
+    Ftb::Config ftb;
+    Btb::Config btb;
+
+    std::size_t gshareEntries = 16384;
+    unsigned historyBits = 12;
+    std::size_t bimodalEntries = 4096;
+    std::size_t chooserEntries = 4096;
+};
+
+class Bpu
+{
+  public:
+    /**
+     * @param trace oracle correct-path stream
+     * @param cfg structure geometry
+     * @param custom_btb optional replacement target buffer (e.g. the
+     *        partitioned BTB extension); only used when !blockBased
+     */
+    Bpu(TraceWindow &trace, const BpuConfig &cfg,
+        std::unique_ptr<BtbIface> custom_btb = nullptr);
+
+    /** Produce the next fetch block and advance the predicted path. */
+    FetchBlock predictBlock();
+
+    /**
+     * Deliver the resolution of the pending divergence: resynchronize
+     * to the correct path with architectural history and RAS.
+     */
+    void redirect();
+
+    bool onCorrectPath() const { return correctPath; }
+
+    /** Sequence number of the culprit of the pending divergence. */
+    InstSeqNum divergenceSeq() const { return divergeSeq; }
+
+    /** Next correct-path sequence number the BPU will verify. */
+    InstSeqNum nextVerifySeq() const { return nextSeq; }
+
+    DirectionPredictor &predictor() { return *dirPred; }
+    Ftb *ftb() { return ftb_.get(); }
+    BtbIface *btb() { return btb_.get(); }
+
+    /** Storage in the target structure (FTB or BTB), in bits. */
+    std::uint64_t targetStructBits() const;
+
+    StatSet stats;
+
+  private:
+    FetchBlock formBlockFtb();
+    FetchBlock formBlockBtb();
+    void verify(FetchBlock &blk);
+
+    TraceWindow &trace;
+    BpuConfig cfg;
+    std::unique_ptr<DirectionPredictor> dirPred;
+    std::unique_ptr<Ftb> ftb_;
+    std::unique_ptr<BtbIface> btb_;
+    ReturnAddressStack specRas;
+    ReturnAddressStack archRas;
+    std::uint64_t specHist = 0;
+    std::uint64_t archHist = 0;
+
+    Addr specPc = invalidAddr;
+    bool correctPath = true;
+    InstSeqNum nextSeq = 0;
+    InstSeqNum divergeSeq = 0;
+    Addr resumePc = invalidAddr;
+};
+
+} // namespace fdip
+
+#endif // FDIP_BPU_BPU_HH

@@ -1,0 +1,176 @@
+#include "bpu/btb.hh"
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace fdip
+{
+
+Btb::Btb(const Config &config)
+    : cfg(config), entries(std::size_t(cfg.sets) * cfg.ways)
+{
+    fatal_if(!isPowerOf2(cfg.sets), "BTB sets must be a power of two");
+    fatal_if(cfg.ways == 0, "BTB needs at least one way");
+    fatal_if(cfg.tagBits > fullTagBits(),
+             "BTB tag wider than the full tag");
+}
+
+std::size_t
+Btb::setIndex(Addr pc) const
+{
+    return (pc / instBytes) & (cfg.sets - 1);
+}
+
+unsigned
+Btb::fullTagBits() const
+{
+    // VA bits minus word-alignment bits minus set-index bits.
+    unsigned idx_bits = floorLog2(cfg.sets);
+    return cfg.vaBits - 2 - idx_bits;
+}
+
+std::uint64_t
+Btb::tagOf(Addr pc) const
+{
+    std::uint64_t full = (pc / instBytes) >> floorLog2(cfg.sets);
+    if (cfg.tagBits == 0)
+        return full;
+    // Keep the low 8 bits verbatim; fold the rest by XOR into the
+    // remaining high bits of the compressed tag.
+    unsigned low_bits = cfg.tagBits < 8 ? cfg.tagBits : 8;
+    std::uint64_t low_mask = (std::uint64_t(1) << low_bits) - 1;
+    std::uint64_t low = full & low_mask;
+    if (cfg.tagBits <= 8)
+        return low;
+    std::uint64_t high = foldXor(full >> low_bits, cfg.tagBits - low_bits);
+    return (high << low_bits) | low;
+}
+
+std::optional<BtbHit>
+Btb::lookup(Addr pc)
+{
+    stats.inc("btb.lookups");
+    std::size_t base = setIndex(pc) * cfg.ways;
+    std::uint64_t tag = tagOf(pc);
+    for (unsigned w = 0; w < cfg.ways; ++w) {
+        Entry &e = entries[base + w];
+        if (e.valid && e.tag == tag) {
+            e.lruStamp = ++lruClock;
+            stats.inc("btb.hits");
+            return BtbHit{e.cls, e.target};
+        }
+    }
+    stats.inc("btb.misses");
+    return std::nullopt;
+}
+
+bool
+Btb::canHold(Addr pc, InstClass cls, Addr target) const
+{
+    if (cfg.offsetBits == 0)
+        return true;
+    // Returns need no target field at all (the RAS supplies the
+    // target); the BTB entry only identifies the instruction.
+    if (cls == InstClass::Return)
+        return true;
+    // Indirect branches have no static offset; they need a full-width
+    // target field.
+    if (!isDirect(cls))
+        return false;
+    std::int64_t delta =
+        (static_cast<std::int64_t>(target) -
+         static_cast<std::int64_t>(pc)) / static_cast<std::int64_t>(
+             instBytes);
+    return bitsForOffset(delta) <= cfg.offsetBits;
+}
+
+void
+Btb::insert(Addr pc, InstClass cls, Addr target)
+{
+    if (!canHold(pc, cls, target)) {
+        stats.inc("btb.insert_rejected");
+        return;
+    }
+    std::size_t base = setIndex(pc) * cfg.ways;
+    std::uint64_t tag = tagOf(pc);
+
+    // Update in place on tag match.
+    for (unsigned w = 0; w < cfg.ways; ++w) {
+        Entry &e = entries[base + w];
+        if (e.valid && e.tag == tag) {
+            e.cls = cls;
+            e.target = target;
+            e.lruStamp = ++lruClock;
+            stats.inc("btb.updates");
+            return;
+        }
+    }
+    // Otherwise fill an invalid way, or evict the LRU way.
+    Entry *victim = &entries[base];
+    for (unsigned w = 0; w < cfg.ways; ++w) {
+        Entry &e = entries[base + w];
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.lruStamp < victim->lruStamp)
+            victim = &e;
+    }
+    if (victim->valid)
+        stats.inc("btb.evictions");
+    victim->valid = true;
+    victim->tag = tag;
+    victim->cls = cls;
+    victim->target = target;
+    victim->lruStamp = ++lruClock;
+    stats.inc("btb.inserts");
+}
+
+void
+Btb::invalidate(Addr pc)
+{
+    std::size_t base = setIndex(pc) * cfg.ways;
+    std::uint64_t tag = tagOf(pc);
+    for (unsigned w = 0; w < cfg.ways; ++w) {
+        Entry &e = entries[base + w];
+        if (e.valid && e.tag == tag) {
+            e.valid = false;
+            stats.inc("btb.invalidations");
+        }
+    }
+}
+
+unsigned
+Btb::entryBits() const
+{
+    unsigned tag = cfg.tagBits == 0 ? fullTagBits() : cfg.tagBits;
+    unsigned target = cfg.offsetBits == 0 ? cfg.vaBits - 2
+                                          : cfg.offsetBits;
+    return tag + 2 + target; // tag + type + target/offset
+}
+
+std::uint64_t
+Btb::storageBits() const
+{
+    return std::uint64_t(numEntries()) * entryBits();
+}
+
+std::string
+Btb::name() const
+{
+    return strprintf("btb[%ux%u,tag=%u,off=%u]", cfg.sets, cfg.ways,
+                     cfg.tagBits, cfg.offsetBits);
+}
+
+unsigned
+Btb::validEntries() const
+{
+    unsigned n = 0;
+    for (const auto &e : entries) {
+        if (e.valid)
+            ++n;
+    }
+    return n;
+}
+
+} // namespace fdip

@@ -1,0 +1,120 @@
+/**
+ * @file btb.hh
+ * Conventional (instruction-indexed) branch target buffer, plus the
+ * abstract interface shared with the partitioned-BTB extension.
+ *
+ * A hit means "the instruction at this PC is a control-flow instruction
+ * of this type with this (last-seen) target". Entries are allocated for
+ * taken branches only, LRU-replaced within a set.
+ */
+
+#ifndef FDIP_BPU_BTB_HH
+#define FDIP_BPU_BTB_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "trace/instr.hh"
+
+namespace fdip
+{
+
+struct BtbHit
+{
+    InstClass cls;
+    Addr target;
+};
+
+/** Interface common to the unified and partitioned BTBs. */
+class BtbIface
+{
+  public:
+    virtual ~BtbIface() = default;
+
+    /** Probe for a branch at @p pc; touches LRU on hit. */
+    virtual std::optional<BtbHit> lookup(Addr pc) = 0;
+
+    /** Allocate/update the entry for a taken branch. */
+    virtual void insert(Addr pc, InstClass cls, Addr target) = 0;
+
+    /** Drop any entry for @p pc. */
+    virtual void invalidate(Addr pc) = 0;
+
+    virtual std::uint64_t storageBits() const = 0;
+    virtual std::string name() const = 0;
+
+    StatSet stats;
+};
+
+class Btb : public BtbIface
+{
+  public:
+    struct Config
+    {
+        unsigned sets = 1024;
+        unsigned ways = 4;
+        /**
+         * Tag width; 0 means a full tag. Non-zero widths keep the low
+         * 8 bits of the full tag and fold the rest with XOR into the
+         * remaining high bits (the compression scheme evaluated in the
+         * tag-compression experiment).
+         */
+        unsigned tagBits = 0;
+        /**
+         * Width of the target-offset field in bits (offsets counted in
+         * instructions, sign tracked separately); 0 stores full
+         * targets. Branches whose offset does not fit are rejected by
+         * insert() unless the target field is full width.
+         */
+        unsigned offsetBits = 0;
+        /** Virtual address bits, for storage accounting. */
+        unsigned vaBits = 48;
+    };
+
+    explicit Btb(const Config &config);
+
+    std::optional<BtbHit> lookup(Addr pc) override;
+    void insert(Addr pc, InstClass cls, Addr target) override;
+    void invalidate(Addr pc) override;
+    std::uint64_t storageBits() const override;
+    std::string name() const override;
+
+    /** True if the branch's offset fits this BTB's target field. */
+    bool canHold(Addr pc, InstClass cls, Addr target) const;
+
+    /** Bits in one entry (tag + type + target field). */
+    unsigned entryBits() const;
+
+    /** Full (uncompressed) tag width for this geometry. */
+    unsigned fullTagBits() const;
+
+    const Config &config() const { return cfg; }
+    unsigned numEntries() const { return cfg.sets * cfg.ways; }
+
+    /** Count of currently valid entries (for tests/occupancy stats). */
+    unsigned validEntries() const;
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        std::uint64_t tag = 0;
+        InstClass cls = InstClass::NonCF;
+        Addr target = invalidAddr;
+        std::uint64_t lruStamp = 0;
+    };
+
+    std::size_t setIndex(Addr pc) const;
+    std::uint64_t tagOf(Addr pc) const;
+
+    Config cfg;
+    std::vector<Entry> entries;
+    std::uint64_t lruClock = 0;
+};
+
+} // namespace fdip
+
+#endif // FDIP_BPU_BTB_HH

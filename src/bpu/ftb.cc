@@ -1,0 +1,142 @@
+#include "bpu/ftb.hh"
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace fdip
+{
+
+Ftb::Ftb(const Config &config)
+    : cfg(config), entries(std::size_t(cfg.sets) * cfg.ways)
+{
+    fatal_if(!isPowerOf2(cfg.sets), "FTB sets must be a power of two");
+    fatal_if(cfg.ways == 0, "FTB needs at least one way");
+    fatal_if(cfg.maxBlockInsts == 0 || cfg.maxBlockInsts > 255,
+             "FTB block size out of range");
+}
+
+std::size_t
+Ftb::setIndex(Addr pc) const
+{
+    return (pc / instBytes) & (cfg.sets - 1);
+}
+
+std::uint64_t
+Ftb::tagOf(Addr pc) const
+{
+    return (pc / instBytes) >> floorLog2(cfg.sets);
+}
+
+unsigned
+Ftb::fullTagBits() const
+{
+    return cfg.vaBits - 2 - floorLog2(cfg.sets);
+}
+
+std::optional<FtbBlock>
+Ftb::lookup(Addr start_pc)
+{
+    stats.inc("ftb.lookups");
+    std::size_t base = setIndex(start_pc) * cfg.ways;
+    std::uint64_t tag = tagOf(start_pc);
+    for (unsigned w = 0; w < cfg.ways; ++w) {
+        Entry &e = entries[base + w];
+        if (e.valid && e.tag == tag) {
+            e.lruStamp = ++lruClock;
+            stats.inc("ftb.hits");
+            return FtbBlock{e.numInsts, e.cls, e.target};
+        }
+    }
+    stats.inc("ftb.misses");
+    return std::nullopt;
+}
+
+void
+Ftb::insert(Addr start_pc, unsigned num_insts, InstClass cls, Addr target)
+{
+    panic_if(num_insts == 0, "FTB block with no instructions");
+    if (num_insts > cfg.maxBlockInsts) {
+        // Blocks longer than the size field are truncated by hardware;
+        // the tail is rediscovered as a separate (sequential) region.
+        stats.inc("ftb.insert_truncated");
+        return;
+    }
+    std::size_t base = setIndex(start_pc) * cfg.ways;
+    std::uint64_t tag = tagOf(start_pc);
+
+    for (unsigned w = 0; w < cfg.ways; ++w) {
+        Entry &e = entries[base + w];
+        if (e.valid && e.tag == tag) {
+            e.numInsts = static_cast<std::uint8_t>(num_insts);
+            e.cls = cls;
+            e.target = target;
+            e.lruStamp = ++lruClock;
+            stats.inc("ftb.updates");
+            return;
+        }
+    }
+    Entry *victim = &entries[base];
+    for (unsigned w = 0; w < cfg.ways; ++w) {
+        Entry &e = entries[base + w];
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.lruStamp < victim->lruStamp)
+            victim = &e;
+    }
+    if (victim->valid)
+        stats.inc("ftb.evictions");
+    victim->valid = true;
+    victim->tag = tag;
+    victim->numInsts = static_cast<std::uint8_t>(num_insts);
+    victim->cls = cls;
+    victim->target = target;
+    victim->lruStamp = ++lruClock;
+    stats.inc("ftb.inserts");
+}
+
+void
+Ftb::invalidate(Addr start_pc)
+{
+    std::size_t base = setIndex(start_pc) * cfg.ways;
+    std::uint64_t tag = tagOf(start_pc);
+    for (unsigned w = 0; w < cfg.ways; ++w) {
+        Entry &e = entries[base + w];
+        if (e.valid && e.tag == tag) {
+            e.valid = false;
+            stats.inc("ftb.invalidations");
+        }
+    }
+}
+
+unsigned
+Ftb::entryBits() const
+{
+    return fullTagBits() + 2 + 5 + (cfg.vaBits - 2);
+}
+
+std::uint64_t
+Ftb::storageBits() const
+{
+    return std::uint64_t(numEntries()) * entryBits();
+}
+
+unsigned
+Ftb::validEntries() const
+{
+    unsigned n = 0;
+    for (const auto &e : entries) {
+        if (e.valid)
+            ++n;
+    }
+    return n;
+}
+
+std::string
+Ftb::name() const
+{
+    return strprintf("ftb[%ux%u]", cfg.sets, cfg.ways);
+}
+
+} // namespace fdip

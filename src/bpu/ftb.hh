@@ -1,0 +1,87 @@
+/**
+ * @file ftb.hh
+ * Fetch target buffer: the basic-block-oriented BTB of the MICRO-32
+ * front-end. Indexed by fetch-block start address; an entry describes
+ * the run of straight-line instructions starting there, the type of the
+ * terminating control-flow instruction, and its (last-seen) target.
+ */
+
+#ifndef FDIP_BPU_FTB_HH
+#define FDIP_BPU_FTB_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "trace/instr.hh"
+
+namespace fdip
+{
+
+struct FtbBlock
+{
+    unsigned numInsts;   ///< instructions incl. the terminator
+    InstClass termCls;
+    Addr target;
+};
+
+class Ftb
+{
+  public:
+    struct Config
+    {
+        unsigned sets = 1024;
+        unsigned ways = 4;
+        unsigned vaBits = 48;
+        /** Max encodable block length (bbSize field width 5 bits). */
+        unsigned maxBlockInsts = 31;
+    };
+
+    explicit Ftb(const Config &config);
+
+    /** Probe for a fetch block starting at @p start_pc. */
+    std::optional<FtbBlock> lookup(Addr start_pc);
+
+    /** Record the block [start_pc .. start_pc + num_insts) ending in a
+     *  taken branch of class @p cls to @p target. */
+    void insert(Addr start_pc, unsigned num_insts, InstClass cls,
+                Addr target);
+
+    void invalidate(Addr start_pc);
+
+    /** Entry bits: tag + type(2) + bbSize(5) + target(vaBits-2). */
+    unsigned entryBits() const;
+    std::uint64_t storageBits() const;
+    unsigned fullTagBits() const;
+    unsigned numEntries() const { return cfg.sets * cfg.ways; }
+    unsigned validEntries() const;
+    std::string name() const;
+
+    const Config &config() const { return cfg; }
+
+    StatSet stats;
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        std::uint64_t tag = 0;
+        std::uint8_t numInsts = 0;
+        InstClass cls = InstClass::NonCF;
+        Addr target = invalidAddr;
+        std::uint64_t lruStamp = 0;
+    };
+
+    std::size_t setIndex(Addr pc) const;
+    std::uint64_t tagOf(Addr pc) const;
+
+    Config cfg;
+    std::vector<Entry> entries;
+    std::uint64_t lruClock = 0;
+};
+
+} // namespace fdip
+
+#endif // FDIP_BPU_FTB_HH

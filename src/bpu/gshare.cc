@@ -1,0 +1,45 @@
+#include "bpu/gshare.hh"
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace fdip
+{
+
+GsharePredictor::GsharePredictor(std::size_t entries,
+                                 unsigned history_bits,
+                                 unsigned counter_bits)
+    : table(entries, SatCounter(counter_bits,
+          static_cast<std::uint8_t>((1u << counter_bits) / 2))),
+      histBits(history_bits), ctrBits(counter_bits)
+{
+    fatal_if(!isPowerOf2(entries), "gshare table size must be 2^n");
+    fatal_if(history_bits > 32, "gshare history too long");
+}
+
+std::size_t
+GsharePredictor::index(Addr pc, std::uint64_t ghist) const
+{
+    std::uint64_t hist = ghist & ((std::uint64_t(1) << histBits) - 1);
+    return ((pc / instBytes) ^ hist) & (table.size() - 1);
+}
+
+bool
+GsharePredictor::predict(Addr pc, std::uint64_t ghist) const
+{
+    return table[index(pc, ghist)].taken();
+}
+
+void
+GsharePredictor::update(Addr pc, std::uint64_t ghist, bool taken)
+{
+    table[index(pc, ghist)].update(taken);
+}
+
+std::uint64_t
+GsharePredictor::storageBits() const
+{
+    return table.size() * ctrBits;
+}
+
+} // namespace fdip

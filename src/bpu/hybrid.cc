@@ -1,0 +1,54 @@
+#include "bpu/hybrid.hh"
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace fdip
+{
+
+HybridPredictor::HybridPredictor(std::size_t gshare_entries,
+                                 unsigned history_bits,
+                                 std::size_t bimodal_entries,
+                                 std::size_t chooser_entries)
+    : gshare(gshare_entries, history_bits),
+      bimodal(bimodal_entries),
+      chooser(chooser_entries, SatCounter(2, 2))
+{
+    fatal_if(!isPowerOf2(chooser_entries), "chooser size must be 2^n");
+}
+
+std::size_t
+HybridPredictor::chooserIndex(Addr pc) const
+{
+    return (pc / instBytes) & (chooser.size() - 1);
+}
+
+bool
+HybridPredictor::predict(Addr pc, std::uint64_t ghist) const
+{
+    bool use_gshare = chooser[chooserIndex(pc)].taken();
+    return use_gshare ? gshare.predict(pc, ghist)
+                      : bimodal.predict(pc, ghist);
+}
+
+void
+HybridPredictor::update(Addr pc, std::uint64_t ghist, bool taken)
+{
+    bool g = gshare.predict(pc, ghist);
+    bool b = bimodal.predict(pc, ghist);
+    // Train the chooser toward whichever component was right, but only
+    // when they disagree (McFarling's rule).
+    if (g != b)
+        chooser[chooserIndex(pc)].update(g == taken);
+    gshare.update(pc, ghist, taken);
+    bimodal.update(pc, ghist, taken);
+}
+
+std::uint64_t
+HybridPredictor::storageBits() const
+{
+    return gshare.storageBits() + bimodal.storageBits() +
+        chooser.size() * 2;
+}
+
+} // namespace fdip

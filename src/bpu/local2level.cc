@@ -1,0 +1,59 @@
+#include "bpu/local2level.hh"
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace fdip
+{
+
+Local2LevelPredictor::Local2LevelPredictor(std::size_t history_entries,
+                                           unsigned history_bits,
+                                           std::size_t pattern_entries,
+                                           unsigned counter_bits)
+    : historyTable(history_entries, 0),
+      patternTable(pattern_entries, SatCounter(counter_bits,
+          static_cast<std::uint8_t>((1u << counter_bits) / 2))),
+      histBits(history_bits), ctrBits(counter_bits)
+{
+    fatal_if(!isPowerOf2(history_entries), "history table size must be 2^n");
+    fatal_if(!isPowerOf2(pattern_entries), "pattern table size must be 2^n");
+    fatal_if(history_bits > 30, "local history too long");
+}
+
+std::size_t
+Local2LevelPredictor::histIndex(Addr pc) const
+{
+    return (pc / instBytes) & (historyTable.size() - 1);
+}
+
+std::size_t
+Local2LevelPredictor::patIndex(std::uint64_t local_hist) const
+{
+    return local_hist & (patternTable.size() - 1);
+}
+
+bool
+Local2LevelPredictor::predict(Addr pc, std::uint64_t) const
+{
+    std::uint64_t local = historyTable[histIndex(pc)];
+    return patternTable[patIndex(local)].taken();
+}
+
+void
+Local2LevelPredictor::update(Addr pc, std::uint64_t, bool taken)
+{
+    std::size_t hi = histIndex(pc);
+    std::uint64_t local = historyTable[hi];
+    patternTable[patIndex(local)].update(taken);
+    historyTable[hi] = static_cast<std::uint32_t>(
+        ((local << 1) | (taken ? 1 : 0)) &
+        ((std::uint64_t(1) << histBits) - 1));
+}
+
+std::uint64_t
+Local2LevelPredictor::storageBits() const
+{
+    return historyTable.size() * histBits + patternTable.size() * ctrBits;
+}
+
+} // namespace fdip

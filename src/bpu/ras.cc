@@ -1,0 +1,54 @@
+#include "bpu/ras.hh"
+
+#include "common/logging.hh"
+
+namespace fdip
+{
+
+ReturnAddressStack::ReturnAddressStack(unsigned d)
+    : stack(d, invalidAddr)
+{
+    panic_if(d == 0, "RAS depth must be nonzero");
+}
+
+void
+ReturnAddressStack::push(Addr return_pc)
+{
+    stack[tos] = return_pc;
+    tos = (tos + 1) % stack.size();
+    if (count < stack.size())
+        ++count;
+}
+
+Addr
+ReturnAddressStack::pop()
+{
+    if (count == 0)
+        return invalidAddr;
+    tos = (tos + stack.size() - 1) % stack.size();
+    --count;
+    return stack[tos];
+}
+
+Addr
+ReturnAddressStack::top() const
+{
+    if (count == 0)
+        return invalidAddr;
+    return stack[(tos + stack.size() - 1) % stack.size()];
+}
+
+void
+ReturnAddressStack::clear()
+{
+    tos = 0;
+    count = 0;
+}
+
+std::uint64_t
+ReturnAddressStack::storageBits() const
+{
+    return static_cast<std::uint64_t>(stack.size()) * 48;
+}
+
+} // namespace fdip

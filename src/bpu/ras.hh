@@ -1,0 +1,47 @@
+/**
+ * @file ras.hh
+ * Return address stack: fixed-depth circular stack that overwrites the
+ * oldest entry on overflow, as real hardware does. Copyable so the BPU
+ * can keep an architectural shadow for misprediction recovery.
+ */
+
+#ifndef FDIP_BPU_RAS_HH
+#define FDIP_BPU_RAS_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace fdip
+{
+
+class ReturnAddressStack
+{
+  public:
+    explicit ReturnAddressStack(unsigned depth = 32);
+
+    void push(Addr return_pc);
+
+    /** Pop and return the top; invalidAddr when empty. */
+    Addr pop();
+
+    /** Peek without popping; invalidAddr when empty. */
+    Addr top() const;
+
+    bool empty() const { return count == 0; }
+    unsigned size() const { return count; }
+    unsigned depth() const { return static_cast<unsigned>(stack.size()); }
+
+    void clear();
+
+    std::uint64_t storageBits() const;
+
+  private:
+    std::vector<Addr> stack;
+    unsigned tos = 0;    ///< index one past the top entry
+    unsigned count = 0;  ///< valid entries (<= depth)
+};
+
+} // namespace fdip
+
+#endif // FDIP_BPU_RAS_HH

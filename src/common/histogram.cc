@@ -1,0 +1,97 @@
+#include "common/histogram.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace fdip
+{
+
+void
+Histogram::sample(std::uint64_t value, std::uint64_t weight)
+{
+    std::uint64_t idx = std::min<std::uint64_t>(value, buckets.size() - 1);
+    buckets[idx] += weight;
+    total += weight;
+    weightedSum += idx * weight;
+}
+
+std::uint64_t
+Histogram::bucket(std::uint64_t value) const
+{
+    panic_if(value >= buckets.size(), "Histogram bucket out of range");
+    return buckets[value];
+}
+
+double
+Histogram::mean() const
+{
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(weightedSum) / static_cast<double>(total);
+}
+
+std::uint64_t
+Histogram::percentile(double frac) const
+{
+    if (total == 0)
+        return 0;
+    frac = std::clamp(frac, 0.0, 1.0);
+    std::uint64_t threshold =
+        static_cast<std::uint64_t>(frac * static_cast<double>(total));
+    std::uint64_t running = 0;
+    for (std::size_t v = 0; v < buckets.size(); ++v) {
+        running += buckets[v];
+        if (running >= threshold && running > 0)
+            return v;
+    }
+    return buckets.size() - 1;
+}
+
+double
+Histogram::fraction(std::uint64_t value) const
+{
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(bucket(value)) /
+        static_cast<double>(total);
+}
+
+double
+Histogram::fractionAtLeast(std::uint64_t value) const
+{
+    if (total == 0)
+        return 0.0;
+    std::uint64_t sum = 0;
+    for (std::size_t v = value; v < buckets.size(); ++v)
+        sum += buckets[v];
+    return static_cast<double>(sum) / static_cast<double>(total);
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets.begin(), buckets.end(), 0);
+    total = 0;
+    weightedSum = 0;
+}
+
+std::string
+Histogram::render(const std::string &label) const
+{
+    std::string out = label + " (n=" + std::to_string(total) + ", mean=" +
+        strprintf("%.2f", mean()) + ")\n";
+    for (std::size_t v = 0; v < buckets.size(); ++v) {
+        if (buckets[v] == 0)
+            continue;
+        double frac = fraction(v);
+        int bars = static_cast<int>(frac * 50.0 + 0.5);
+        out += strprintf("  %4zu | %-50s %6.2f%% (%llu)\n", v,
+                         std::string(static_cast<size_t>(bars), '#').c_str(),
+                         frac * 100.0,
+                         static_cast<unsigned long long>(buckets[v]));
+    }
+    return out;
+}
+
+} // namespace fdip

@@ -1,0 +1,61 @@
+/**
+ * @file histogram.hh
+ * Integer-valued histogram with summary statistics, used for FTQ
+ * occupancy distributions, offset-length distributions, and latency
+ * profiles.
+ */
+
+#ifndef FDIP_COMMON_HISTOGRAM_HH
+#define FDIP_COMMON_HISTOGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fdip
+{
+
+class Histogram
+{
+  public:
+    /**
+     * @param max_value samples above this are clamped into the final
+     *                  (overflow) bucket
+     */
+    explicit Histogram(std::uint64_t max_value)
+        : buckets(max_value + 1, 0)
+    {}
+
+    /** Record one sample of @p value. */
+    void sample(std::uint64_t value, std::uint64_t weight = 1);
+
+    std::uint64_t count() const { return total; }
+    std::uint64_t bucket(std::uint64_t value) const;
+    std::size_t numBuckets() const { return buckets.size(); }
+
+    /** Arithmetic mean of all samples. */
+    double mean() const;
+
+    /** Smallest value v such that at least frac of samples are <= v. */
+    std::uint64_t percentile(double frac) const;
+
+    /** Fraction of samples equal to @p value. */
+    double fraction(std::uint64_t value) const;
+
+    /** Fraction of samples >= @p value. */
+    double fractionAtLeast(std::uint64_t value) const;
+
+    void reset();
+
+    /** Multi-line ASCII rendering (one row per non-empty bucket). */
+    std::string render(const std::string &label) const;
+
+  private:
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t total = 0;
+    std::uint64_t weightedSum = 0;
+};
+
+} // namespace fdip
+
+#endif // FDIP_COMMON_HISTOGRAM_HH

@@ -1,0 +1,94 @@
+/**
+ * @file intmath.hh
+ * Small integer-math helpers used throughout the simulator.
+ */
+
+#ifndef FDIP_COMMON_INTMATH_HH
+#define FDIP_COMMON_INTMATH_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace fdip
+{
+
+/** True if @p n is a (nonzero) power of two. */
+constexpr bool
+isPowerOf2(std::uint64_t n)
+{
+    return n != 0 && (n & (n - 1)) == 0;
+}
+
+/** Floor of log2(n); n must be nonzero. */
+constexpr unsigned
+floorLog2(std::uint64_t n)
+{
+    unsigned p = 0;
+    while (n >>= 1)
+        ++p;
+    return p;
+}
+
+/** Ceiling of log2(n); n must be nonzero. */
+constexpr unsigned
+ceilLog2(std::uint64_t n)
+{
+    return isPowerOf2(n) ? floorLog2(n) : floorLog2(n) + 1;
+}
+
+/** Ceiling of a/b for positive integers. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Round @p addr down to a multiple of @p align (align power of two). */
+constexpr std::uint64_t
+alignDown(std::uint64_t addr, std::uint64_t align)
+{
+    return addr & ~(align - 1);
+}
+
+/** Round @p addr up to a multiple of @p align (align power of two). */
+constexpr std::uint64_t
+alignUp(std::uint64_t addr, std::uint64_t align)
+{
+    return (addr + align - 1) & ~(align - 1);
+}
+
+/**
+ * Number of bits needed to encode the signed displacement @p offset
+ * (magnitude only; the sign is tracked by a separate direction bit, as in
+ * the partitioned-BTB storage analysis).
+ */
+constexpr unsigned
+bitsForOffset(std::int64_t offset)
+{
+    std::uint64_t mag = offset < 0
+        ? static_cast<std::uint64_t>(-offset)
+        : static_cast<std::uint64_t>(offset);
+    if (mag == 0)
+        return 1;
+    return floorLog2(mag) + 1;
+}
+
+/** Fold @p value into @p width bits by XOR-ing width-bit chunks. */
+constexpr std::uint64_t
+foldXor(std::uint64_t value, unsigned width)
+{
+    if (width == 0 || width >= 64)
+        return value;
+    std::uint64_t mask = (std::uint64_t(1) << width) - 1;
+    std::uint64_t folded = 0;
+    while (value) {
+        folded ^= value & mask;
+        value >>= width;
+    }
+    return folded;
+}
+
+} // namespace fdip
+
+#endif // FDIP_COMMON_INTMATH_HH

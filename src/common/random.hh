@@ -1,0 +1,190 @@
+/**
+ * @file random.hh
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * A seeded xoshiro256** generator plus the distributions the workload
+ * synthesizer needs (uniform, geometric-ish block sizes, Zipf function
+ * popularity, weighted choice). Fully deterministic given the seed so
+ * every experiment is reproducible.
+ */
+
+#ifndef FDIP_COMMON_RANDOM_HH
+#define FDIP_COMMON_RANDOM_HH
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace fdip
+{
+
+/** xoshiro256** 1.0, seeded via splitmix64. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        // splitmix64 seeding as recommended by the xoshiro authors.
+        std::uint64_t x = seed;
+        for (auto &word : state) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    std::uint64_t
+    next()
+    {
+        auto rotl = [](std::uint64_t v, int k) {
+            return (v << k) | (v >> (64 - k));
+        };
+        std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+        std::uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        panic_if(bound == 0, "Rng::below(0)");
+        // Debiased multiply-shift (Lemire).
+        unsigned __int128 m =
+            static_cast<unsigned __int128>(next()) * bound;
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        panic_if(lo > hi, "Rng::range: lo > hi");
+        return lo + static_cast<std::int64_t>(
+            below(static_cast<std::uint64_t>(hi - lo) + 1));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with probability @p p of returning true. */
+    bool
+    chance(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return uniform() < p;
+    }
+
+    /** Geometric-shaped positive integer with the given mean (>= 1). */
+    unsigned
+    geometric(double mean)
+    {
+        if (mean <= 1.0)
+            return 1;
+        double p = 1.0 / mean;
+        double u = uniform();
+        // Inverse CDF of the geometric distribution on {1, 2, ...}.
+        double v = std::log1p(-u) / std::log1p(-p);
+        unsigned n = static_cast<unsigned>(v) + 1;
+        return n == 0 ? 1 : n;
+    }
+
+  private:
+    std::uint64_t state[4];
+};
+
+/**
+ * Sampler over {0, .., n-1} with Zipf(s) popularity. Used to pick callee
+ * functions so that instruction working sets show realistic reuse skew.
+ */
+class ZipfSampler
+{
+  public:
+    ZipfSampler(std::size_t n, double s)
+    {
+        panic_if(n == 0, "ZipfSampler over empty domain");
+        cdf.reserve(n);
+        double sum = 0.0;
+        for (std::size_t i = 1; i <= n; ++i) {
+            sum += 1.0 / std::pow(static_cast<double>(i), s);
+            cdf.push_back(sum);
+        }
+        for (auto &c : cdf)
+            c /= sum;
+    }
+
+    std::size_t
+    sample(Rng &rng) const
+    {
+        double u = rng.uniform();
+        // Binary search the CDF.
+        std::size_t lo = 0, hi = cdf.size() - 1;
+        while (lo < hi) {
+            std::size_t mid = (lo + hi) / 2;
+            if (cdf[mid] < u)
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        return lo;
+    }
+
+    std::size_t size() const { return cdf.size(); }
+
+  private:
+    std::vector<double> cdf;
+};
+
+/** Weighted discrete choice over a fixed weight vector. */
+class WeightedChoice
+{
+  public:
+    explicit WeightedChoice(std::vector<double> weights)
+    {
+        panic_if(weights.empty(), "WeightedChoice with no weights");
+        double sum = 0.0;
+        for (double w : weights) {
+            panic_if(w < 0.0, "negative weight");
+            sum += w;
+            cdf.push_back(sum);
+        }
+        panic_if(sum <= 0.0, "WeightedChoice weights sum to zero");
+        for (auto &c : cdf)
+            c /= sum;
+    }
+
+    std::size_t
+    sample(Rng &rng) const
+    {
+        double u = rng.uniform();
+        for (std::size_t i = 0; i < cdf.size(); ++i) {
+            if (u <= cdf[i])
+                return i;
+        }
+        return cdf.size() - 1;
+    }
+
+  private:
+    std::vector<double> cdf;
+};
+
+} // namespace fdip
+
+#endif // FDIP_COMMON_RANDOM_HH

@@ -1,0 +1,86 @@
+/**
+ * @file sat_counter.hh
+ * An n-bit saturating up/down counter, the basic building block of
+ * direction predictors.
+ */
+
+#ifndef FDIP_COMMON_SAT_COUNTER_HH
+#define FDIP_COMMON_SAT_COUNTER_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace fdip
+{
+
+class SatCounter
+{
+  public:
+    /**
+     * @param bits counter width in bits (1..8)
+     * @param initial initial counter value
+     */
+    explicit SatCounter(unsigned bits = 2, std::uint8_t initial = 0)
+        : maxVal(static_cast<std::uint8_t>((1u << bits) - 1)),
+          value_(initial)
+    {
+        panic_if(bits == 0 || bits > 8, "SatCounter width %u", bits);
+        panic_if(initial > maxVal, "SatCounter initial value too large");
+    }
+
+    /** Increment, saturating at the maximum. */
+    void
+    increment()
+    {
+        if (value_ < maxVal)
+            ++value_;
+    }
+
+    /** Decrement, saturating at zero. */
+    void
+    decrement()
+    {
+        if (value_ > 0)
+            --value_;
+    }
+
+    /** Train toward @p taken. */
+    void
+    update(bool taken)
+    {
+        taken ? increment() : decrement();
+    }
+
+    /** MSB set: predict taken. */
+    bool
+    taken() const
+    {
+        return value_ > maxVal / 2;
+    }
+
+    /** True when the counter is saturated in either direction. */
+    bool
+    saturated() const
+    {
+        return value_ == 0 || value_ == maxVal;
+    }
+
+    std::uint8_t value() const { return value_; }
+    std::uint8_t max() const { return maxVal; }
+
+    void
+    set(std::uint8_t v)
+    {
+        panic_if(v > maxVal, "SatCounter::set out of range");
+        value_ = v;
+    }
+
+  private:
+    std::uint8_t maxVal;
+    std::uint8_t value_;
+};
+
+} // namespace fdip
+
+#endif // FDIP_COMMON_SAT_COUNTER_HH

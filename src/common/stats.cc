@@ -1,0 +1,91 @@
+#include "common/stats.hh"
+
+#include "common/logging.hh"
+
+namespace fdip
+{
+
+void
+StatSet::inc(const std::string &name, std::uint64_t delta)
+{
+    values[name] += static_cast<double>(delta);
+}
+
+void
+StatSet::set(const std::string &name, double value)
+{
+    values[name] = value;
+}
+
+std::uint64_t
+StatSet::counter(const std::string &name) const
+{
+    auto it = values.find(name);
+    if (it == values.end())
+        return 0;
+    return static_cast<std::uint64_t>(it->second);
+}
+
+double
+StatSet::value(const std::string &name) const
+{
+    auto it = values.find(name);
+    return it == values.end() ? 0.0 : it->second;
+}
+
+bool
+StatSet::has(const std::string &name) const
+{
+    return values.count(name) != 0;
+}
+
+double
+StatSet::ratio(const std::string &num, const std::string &den) const
+{
+    double d = value(den);
+    if (d == 0.0)
+        return 0.0;
+    return value(num) / d;
+}
+
+void
+StatSet::merge(const StatSet &other, const std::string &prefix)
+{
+    for (const auto &[name, val] : other.values)
+        values[prefix + name] += val;
+}
+
+StatSet
+StatSet::subtract(const StatSet &a, const StatSet &b)
+{
+    StatSet out;
+    out.values = a.values;
+    for (const auto &[name, val] : b.values)
+        out.values[name] -= val;
+    return out;
+}
+
+void
+StatSet::reset()
+{
+    values.clear();
+}
+
+std::string
+StatSet::dump() const
+{
+    std::string out;
+    for (const auto &[name, val] : values) {
+        double rounded = static_cast<double>(
+            static_cast<std::uint64_t>(val));
+        if (rounded == val) {
+            out += strprintf("%-48s %20llu\n", name.c_str(),
+                             static_cast<unsigned long long>(val));
+        } else {
+            out += strprintf("%-48s %20.6f\n", name.c_str(), val);
+        }
+    }
+    return out;
+}
+
+} // namespace fdip

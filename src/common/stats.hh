@@ -1,0 +1,58 @@
+/**
+ * @file stats.hh
+ * Lightweight named-statistics registry. Components register counters
+ * into a StatSet; reports walk the registry. Formulas (rates, ratios)
+ * are computed at dump time from the raw counters.
+ */
+
+#ifndef FDIP_COMMON_STATS_HH
+#define FDIP_COMMON_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+namespace fdip
+{
+
+class StatSet
+{
+  public:
+    /** Add @p delta to the named counter (creating it at zero). */
+    void inc(const std::string &name, std::uint64_t delta = 1);
+
+    /** Overwrite a scalar value (for gauges / derived values). */
+    void set(const std::string &name, double value);
+
+    /** Raw counter value (0 if absent). */
+    std::uint64_t counter(const std::string &name) const;
+
+    /** Scalar value: counters and gauges alike (0.0 if absent). */
+    double value(const std::string &name) const;
+
+    bool has(const std::string &name) const;
+
+    /** counter(a) / counter(b), 0 when the denominator is 0. */
+    double ratio(const std::string &num, const std::string &den) const;
+
+    /** Merge all counters/gauges from @p other into this set. */
+    void merge(const StatSet &other, const std::string &prefix = "");
+
+    /** Element-wise a - b (for warmup-window deltas). */
+    static StatSet subtract(const StatSet &a, const StatSet &b);
+
+    void reset();
+
+    /** All entries, sorted by name, formatted one per line. */
+    std::string dump() const;
+
+    const std::map<std::string, double> &entries() const { return values; }
+
+  private:
+    std::map<std::string, double> values;
+};
+
+} // namespace fdip
+
+#endif // FDIP_COMMON_STATS_HH

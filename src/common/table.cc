@@ -1,0 +1,75 @@
+#include "common/table.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace fdip
+{
+
+AsciiTable::AsciiTable(std::vector<std::string> hdrs)
+    : headers(std::move(hdrs))
+{
+    panic_if(headers.empty(), "AsciiTable needs at least one column");
+}
+
+void
+AsciiTable::addRow(std::vector<std::string> cells)
+{
+    panic_if(cells.size() != headers.size(),
+             "AsciiTable row has %zu cells, expected %zu",
+             cells.size(), headers.size());
+    rows.push_back(std::move(cells));
+}
+
+std::string
+AsciiTable::num(double v, int precision)
+{
+    return strprintf("%.*f", precision, v);
+}
+
+std::string
+AsciiTable::pct(double frac, int precision)
+{
+    return strprintf("%.*f%%", precision, frac * 100.0);
+}
+
+std::string
+AsciiTable::integer(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+std::string
+AsciiTable::render() const
+{
+    std::vector<std::size_t> width(headers.size());
+    for (std::size_t c = 0; c < headers.size(); ++c)
+        width[c] = headers[c].size();
+    for (const auto &row : rows) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    }
+
+    auto render_row = [&](const std::vector<std::string> &row) {
+        std::string line = "|";
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            line += " " + row[c] +
+                std::string(width[c] - row[c].size(), ' ') + " |";
+        }
+        return line + "\n";
+    };
+
+    std::string sep = "+";
+    for (std::size_t c = 0; c < headers.size(); ++c)
+        sep += std::string(width[c] + 2, '-') + "+";
+    sep += "\n";
+
+    std::string out = sep + render_row(headers) + sep;
+    for (const auto &row : rows)
+        out += render_row(row);
+    out += sep;
+    return out;
+}
+
+} // namespace fdip

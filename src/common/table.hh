@@ -1,0 +1,41 @@
+/**
+ * @file table.hh
+ * ASCII table rendering used by the benchmark harness to print the
+ * paper's tables and figure series.
+ */
+
+#ifndef FDIP_COMMON_TABLE_HH
+#define FDIP_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace fdip
+{
+
+class AsciiTable
+{
+  public:
+    explicit AsciiTable(std::vector<std::string> headers);
+
+    /** Append a row; must have exactly one cell per header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience cell formatters. */
+    static std::string num(double v, int precision = 2);
+    static std::string pct(double frac, int precision = 1);
+    static std::string integer(std::uint64_t v);
+
+    /** Render with a box-drawing-free, pipe-separated layout. */
+    std::string render() const;
+
+    std::size_t numRows() const { return rows.size(); }
+
+  private:
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace fdip
+
+#endif // FDIP_COMMON_TABLE_HH

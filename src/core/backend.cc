@@ -1,0 +1,57 @@
+#include "core/backend.hh"
+
+#include "common/logging.hh"
+
+namespace fdip
+{
+
+Backend::Backend(const Config &config)
+    : cfg(config), q(cfg.queueDepth)
+{
+    fatal_if(cfg.retireWidth == 0, "retire width must be nonzero");
+}
+
+void
+Backend::deliver(const DeliveredInst &inst)
+{
+    panic_if(q.full(), "deliver to full backend queue");
+    q.push(inst);
+    stats.inc("backend.delivered");
+    if (inst.wrongPath)
+        stats.inc("backend.delivered_wrong_path");
+}
+
+void
+Backend::tick(Cycle now)
+{
+    unsigned retired = 0;
+    while (retired < cfg.retireWidth && !q.empty()) {
+        const DeliveredInst &head = q.front();
+        if (head.wrongPath) {
+            // Wrong-path instructions are squashed by the redirect,
+            // never committed; they just occupy window slots.
+            break;
+        }
+        q.pop();
+        ++numCommitted;
+        ++retired;
+    }
+    stats.inc("backend.cycles");
+    if (retired == 0)
+        stats.inc("backend.starved_cycles");
+    stats.inc("backend.retire_slots_lost", cfg.retireWidth - retired);
+}
+
+void
+Backend::squashWrongPath()
+{
+    // Wrong-path instructions are always younger than correct-path
+    // ones, so they form the queue's tail: truncate at the first one.
+    std::size_t keep = 0;
+    while (keep < q.size() && !q.at(keep).wrongPath)
+        ++keep;
+    stats.inc("backend.squashed", q.size() - keep);
+    q.truncate(keep);
+}
+
+} // namespace fdip

@@ -1,0 +1,63 @@
+/**
+ * @file backend.hh
+ * Retire-width drain model of the execution backend. The front-end
+ * delivers instructions into a bounded queue; the backend commits up to
+ * retireWidth correct-path instructions per cycle. Wrong-path
+ * instructions occupy queue slots (window pressure) until the redirect
+ * squashes them. FDIP is a front-end technique; this is all the paper's
+ * speedup numbers need from the core.
+ */
+
+#ifndef FDIP_CORE_BACKEND_HH
+#define FDIP_CORE_BACKEND_HH
+
+#include "common/circular_queue.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace fdip
+{
+
+struct DeliveredInst
+{
+    InstSeqNum seq = 0;
+    bool wrongPath = false;
+};
+
+class Backend
+{
+  public:
+    struct Config
+    {
+        unsigned retireWidth = 4;
+        std::size_t queueDepth = 32;
+    };
+
+    explicit Backend(const Config &config);
+
+    /** Free queue slots this cycle. */
+    std::size_t freeSlots() const { return q.freeSlots(); }
+
+    void deliver(const DeliveredInst &inst);
+
+    /** Commit up to retireWidth correct-path instructions. */
+    void tick(Cycle now);
+
+    /** Drop queued wrong-path instructions (mispredict recovery). */
+    void squashWrongPath();
+
+    std::uint64_t committed() const { return numCommitted; }
+
+    const Config &config() const { return cfg; }
+
+    StatSet stats;
+
+  private:
+    Config cfg;
+    CircularQueue<DeliveredInst> q;
+    std::uint64_t numCommitted = 0;
+};
+
+} // namespace fdip
+
+#endif // FDIP_CORE_BACKEND_HH

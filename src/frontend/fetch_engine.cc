@@ -1,0 +1,111 @@
+#include "frontend/fetch_engine.hh"
+
+#include <algorithm>
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace fdip
+{
+
+FetchEngine::FetchEngine(Ftq &ftq_ref, MemHierarchy &mem_ref,
+                         Backend &backend_ref, const Config &config)
+    : ftq(ftq_ref), mem(mem_ref), backend(backend_ref), cfg(config)
+{
+    fatal_if(cfg.fetchWidth == 0, "fetch width must be nonzero");
+}
+
+void
+FetchEngine::tick(Cycle now)
+{
+    if (now < stallUntil) {
+        stats.inc("fetch.miss_stall_cycles");
+        return;
+    }
+    if (ftq.empty()) {
+        stats.inc("fetch.ftq_empty_cycles");
+        return;
+    }
+    if (backend.freeSlots() == 0) {
+        stats.inc("fetch.backend_full_cycles");
+        return;
+    }
+
+    FtqEntry &e = ftq.head();
+    Addr pc = e.blk.pcOf(e.fetchedInsts);
+    Addr block = mem.l1i().blockAlign(pc);
+
+    // The demand fetch owns the first tag port of every cycle; the
+    // fetch engine ticks before any prefetcher, so this cannot fail.
+    bool port = mem.reserveTagPort();
+    panic_if(!port, "demand fetch found no tag port");
+
+    FetchAccess acc = mem.demandFetch(pc, now);
+
+    for (Prefetcher *pf : prefetchers)
+        pf->onDemandAccess(block, acc, now);
+
+    if (acc.retry) {
+        stats.inc("fetch.mshr_retry_cycles");
+        return;
+    }
+
+    bool ready_now = acc.hitL1 || acc.hitPrefetchBuffer ||
+        acc.hitStreamBuffer;
+    if (!ready_now) {
+        panic_if(acc.readyAt == neverCycle, "miss without a fill time");
+        stallUntil = acc.readyAt;
+        stats.inc("fetch.demand_misses");
+        if (e.blk.wrongPath || e.fetchedInsts >= e.blk.validLen)
+            stats.inc("fetch.wrong_path_misses");
+        return;
+    }
+
+    // Deliver this cycle: bounded by fetch width, the entry, the cache
+    // block boundary, and backend queue space.
+    unsigned to_block_end = static_cast<unsigned>(
+        (block + mem.l1i().config().blockBytes - pc) / instBytes);
+    unsigned n = std::min({cfg.fetchWidth,
+                           e.blk.numInsts - e.fetchedInsts,
+                           to_block_end,
+                           static_cast<unsigned>(backend.freeSlots())});
+    panic_if(n == 0, "fetch delivered nothing on a hit");
+
+    for (unsigned k = 0; k < n; ++k) {
+        unsigned idx = e.fetchedInsts + k;
+        DeliveredInst di;
+        di.wrongPath = e.blk.wrongPath || idx >= e.blk.validLen;
+        di.seq = di.wrongPath ? 0 : e.blk.firstSeq + idx;
+        backend.deliver(di);
+        if (di.wrongPath)
+            stats.inc("fetch.wrong_path_delivered");
+
+        if (e.blk.diverges && idx == e.blk.culpritIdx) {
+            panic_if(redirectPending(), "two outstanding redirects");
+            Cycle lat = e.blk.decodeFixable
+                ? cfg.decodeRedirectLatency
+                : cfg.resolveRedirectLatency;
+            redirectAt = now + lat;
+            stats.inc("fetch.redirects_scheduled");
+            if (e.blk.decodeFixable)
+                stats.inc("fetch.decode_redirects");
+            else
+                stats.inc("fetch.resolve_redirects");
+        }
+    }
+
+    e.fetchedInsts += n;
+    stats.inc("fetch.delivered", n);
+    if (e.fetchedInsts == e.blk.numInsts)
+        ftq.popHead();
+}
+
+void
+FetchEngine::squash()
+{
+    stallUntil = 0;
+    redirectAt = neverCycle;
+    stats.inc("fetch.squashes");
+}
+
+} // namespace fdip

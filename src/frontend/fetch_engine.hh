@@ -1,0 +1,63 @@
+/**
+ * @file fetch_engine.hh
+ * Consumes the FTQ head, performs demand instruction-cache accesses
+ * (one cache block per cycle), and streams fetched instructions into
+ * the backend queue. Detects the delivery of a mispredicted branch and
+ * schedules the pipeline redirect.
+ */
+
+#ifndef FDIP_FRONTEND_FETCH_ENGINE_HH
+#define FDIP_FRONTEND_FETCH_ENGINE_HH
+
+#include <vector>
+
+#include "common/stats.hh"
+#include "core/backend.hh"
+#include "frontend/ftq.hh"
+#include "mem/hierarchy.hh"
+#include "prefetch/prefetcher.hh"
+
+namespace fdip
+{
+
+class FetchEngine
+{
+  public:
+    struct Config
+    {
+        unsigned fetchWidth = 8;
+        /** Redirect latency for decode-fixable misfetches. */
+        Cycle decodeRedirectLatency = 3;
+        /** Redirect latency for execute-resolved mispredictions. */
+        Cycle resolveRedirectLatency = 12;
+    };
+
+    FetchEngine(Ftq &ftq, MemHierarchy &mem, Backend &backend,
+                const Config &config);
+
+    void addPrefetcher(Prefetcher *pf) { prefetchers.push_back(pf); }
+
+    void tick(Cycle now);
+
+    bool redirectPending() const { return redirectAt != neverCycle; }
+    Cycle redirectTime() const { return redirectAt; }
+
+    /** The simulator performed the redirect: reset fetch state. */
+    void squash();
+
+    StatSet stats;
+
+  private:
+    Ftq &ftq;
+    MemHierarchy &mem;
+    Backend &backend;
+    Config cfg;
+
+    Cycle stallUntil = 0;
+    Cycle redirectAt = neverCycle;
+    std::vector<Prefetcher *> prefetchers;
+};
+
+} // namespace fdip
+
+#endif // FDIP_FRONTEND_FETCH_ENGINE_HH

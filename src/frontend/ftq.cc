@@ -1,0 +1,63 @@
+#include "frontend/ftq.hh"
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace fdip
+{
+
+Ftq::Ftq(std::size_t capacity, unsigned block_bytes)
+    : q(capacity), blockBytes(block_bytes), occupancy(capacity)
+{
+    fatal_if(!isPowerOf2(block_bytes), "cache block size must be 2^n");
+}
+
+void
+Ftq::push(const FetchBlock &blk)
+{
+    panic_if(full(), "push to full FTQ");
+    FtqEntry e;
+    e.blk = blk;
+    q.push(e);
+    stats.inc("ftq.pushed_blocks");
+    stats.inc("ftq.pushed_insts", blk.numInsts);
+}
+
+void
+Ftq::popHead()
+{
+    q.pop();
+    stats.inc("ftq.popped_blocks");
+}
+
+void
+Ftq::flush()
+{
+    stats.inc("ftq.flushes");
+    stats.inc("ftq.flushed_blocks", q.size());
+    q.clear();
+}
+
+unsigned
+Ftq::numCacheBlocks(std::size_t i) const
+{
+    const FetchBlock &blk = q.at(i).blk;
+    Addr first = alignDown(blk.startPc, blockBytes);
+    Addr last = alignDown(blk.endPc() - instBytes, blockBytes);
+    return static_cast<unsigned>((last - first) / blockBytes) + 1;
+}
+
+Addr
+Ftq::cacheBlockAddr(std::size_t i, unsigned k) const
+{
+    const FetchBlock &blk = q.at(i).blk;
+    return alignDown(blk.startPc, blockBytes) + Addr(k) * blockBytes;
+}
+
+void
+Ftq::sampleOccupancy()
+{
+    occupancy.sample(q.size());
+}
+
+} // namespace fdip

@@ -1,0 +1,75 @@
+/**
+ * @file ftq.hh
+ * The Fetch Target Queue: the decoupling buffer between the branch
+ * prediction unit and the fetch engine, and the source of prefetch
+ * candidates for fetch-directed prefetching. The head entry is the
+ * fetch point; deeper entries are the predicted future fetch stream.
+ */
+
+#ifndef FDIP_FRONTEND_FTQ_HH
+#define FDIP_FRONTEND_FTQ_HH
+
+#include "common/circular_queue.hh"
+#include "common/histogram.hh"
+#include "common/stats.hh"
+#include "bpu/bpu.hh"
+
+namespace fdip
+{
+
+struct FtqEntry
+{
+    FetchBlock blk;
+    /** Fetch-engine progress: instructions already delivered. */
+    unsigned fetchedInsts = 0;
+    /** Prefetch-scan progress: next cache block index to consider. */
+    unsigned nextScanBlock = 0;
+};
+
+class Ftq
+{
+  public:
+    Ftq(std::size_t capacity, unsigned block_bytes);
+
+    bool full() const { return q.full(); }
+    bool empty() const { return q.empty(); }
+    std::size_t size() const { return q.size(); }
+    std::size_t capacity() const { return q.capacity(); }
+
+    void push(const FetchBlock &blk);
+
+    FtqEntry &head() { return q.front(); }
+    const FtqEntry &head() const { return q.front(); }
+    void popHead();
+
+    FtqEntry &at(std::size_t i) { return q.at(i); }
+    const FtqEntry &at(std::size_t i) const { return q.at(i); }
+
+    /** Squash everything (branch misprediction recovery). */
+    void flush();
+
+    /** Number of cache blocks entry @p i spans. */
+    unsigned numCacheBlocks(std::size_t i) const;
+
+    /** Aligned address of cache block @p k of entry @p i. */
+    Addr cacheBlockAddr(std::size_t i, unsigned k) const;
+
+    /** Record the current occupancy (call once per cycle). */
+    void sampleOccupancy();
+
+    const Histogram &occupancyHist() const { return occupancy; }
+
+    /** Drop occupancy samples collected so far (warmup boundary). */
+    void resetOccupancy() { occupancy.reset(); }
+
+    StatSet stats;
+
+  private:
+    CircularQueue<FtqEntry> q;
+    unsigned blockBytes;
+    Histogram occupancy;
+};
+
+} // namespace fdip
+
+#endif // FDIP_FRONTEND_FTQ_HH

@@ -1,0 +1,63 @@
+#include "mem/bus.hh"
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace fdip
+{
+
+Bus::Bus(std::string name, unsigned bytes_per_cycle)
+    : label(std::move(name)), bytesPerCycle(bytes_per_cycle)
+{
+    fatal_if(bytesPerCycle == 0, "bus '%s' with zero bandwidth",
+             label.c_str());
+}
+
+Cycle
+Bus::cyclesFor(unsigned bytes) const
+{
+    return divCeil(bytes, bytesPerCycle);
+}
+
+Cycle
+Bus::transfer(Cycle now, unsigned bytes)
+{
+    Cycle start = busyUntil > now ? busyUntil : now;
+    Cycle cycles = cyclesFor(bytes);
+    busyUntil = start + cycles;
+    totalBusy += cycles;
+    stats.inc("bus.busy_cycles", cycles);
+    stats.inc("bus.transfers");
+    stats.inc("bus.demand_transfers");
+    stats.inc("bus.bytes", bytes);
+    if (start > now)
+        stats.inc("bus.demand_queue_cycles", start - now);
+    return busyUntil;
+}
+
+std::optional<Cycle>
+Bus::tryTransfer(Cycle now, unsigned bytes)
+{
+    if (busyUntil > now) {
+        stats.inc("bus.prefetch_denied");
+        return std::nullopt;
+    }
+    Cycle cycles = cyclesFor(bytes);
+    busyUntil = now + cycles;
+    totalBusy += cycles;
+    stats.inc("bus.busy_cycles", cycles);
+    stats.inc("bus.transfers");
+    stats.inc("bus.prefetch_transfers");
+    stats.inc("bus.bytes", bytes);
+    return busyUntil;
+}
+
+double
+Bus::utilization(Cycle elapsed) const
+{
+    if (elapsed == 0)
+        return 0.0;
+    return static_cast<double>(totalBusy) / static_cast<double>(elapsed);
+}
+
+} // namespace fdip

@@ -1,0 +1,61 @@
+/**
+ * @file bus.hh
+ * A finite-bandwidth transfer resource: one transaction at a time, each
+ * occupying the bus for blockBytes/bytesPerCycle cycles. Demand traffic
+ * queues behind whatever is in flight; prefetch traffic is only granted
+ * an *idle* bus, which is how demand fetches keep priority.
+ */
+
+#ifndef FDIP_MEM_BUS_HH
+#define FDIP_MEM_BUS_HH
+
+#include <optional>
+#include <string>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace fdip
+{
+
+class Bus
+{
+  public:
+    Bus(std::string name, unsigned bytes_per_cycle);
+
+    /**
+     * Demand transfer of @p bytes starting no earlier than @p now;
+     * queues behind current traffic. Returns completion time.
+     */
+    Cycle transfer(Cycle now, unsigned bytes);
+
+    /**
+     * Prefetch transfer: granted only if the bus is idle at @p now.
+     * Returns completion time, or nullopt when the bus is busy.
+     */
+    std::optional<Cycle> tryTransfer(Cycle now, unsigned bytes);
+
+    bool idleAt(Cycle now) const { return busyUntil <= now; }
+
+    /** Cycles the bus spent transferring data so far. */
+    Cycle busyCycles() const { return totalBusy; }
+
+    /** Fraction of @p elapsed cycles the bus was occupied. */
+    double utilization(Cycle elapsed) const;
+
+    const std::string &name() const { return label; }
+
+    StatSet stats;
+
+  private:
+    Cycle cyclesFor(unsigned bytes) const;
+
+    std::string label;
+    unsigned bytesPerCycle;
+    Cycle busyUntil = 0;
+    Cycle totalBusy = 0;
+};
+
+} // namespace fdip
+
+#endif // FDIP_MEM_BUS_HH

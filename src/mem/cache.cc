@@ -1,0 +1,178 @@
+#include "mem/cache.hh"
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace fdip
+{
+
+Cache::Cache(const Config &config)
+    : cfg(config)
+{
+    fatal_if(cfg.blockBytes == 0 || !isPowerOf2(cfg.blockBytes),
+             "cache '%s': block size must be a power of two",
+             cfg.name.c_str());
+    fatal_if(cfg.assoc == 0, "cache '%s': zero associativity",
+             cfg.name.c_str());
+    std::uint64_t num_blocks = cfg.sizeBytes / cfg.blockBytes;
+    fatal_if(num_blocks == 0 || num_blocks % cfg.assoc != 0,
+             "cache '%s': size/assoc/block geometry invalid",
+             cfg.name.c_str());
+    sets = static_cast<unsigned>(num_blocks / cfg.assoc);
+    fatal_if(!isPowerOf2(sets), "cache '%s': set count must be 2^n",
+             cfg.name.c_str());
+    blocks.resize(num_blocks);
+}
+
+std::size_t
+Cache::setIndex(Addr addr) const
+{
+    return (addr / cfg.blockBytes) & (sets - 1);
+}
+
+std::uint64_t
+Cache::tagOf(Addr addr) const
+{
+    return (addr / cfg.blockBytes) >> floorLog2(sets);
+}
+
+Cache::Block *
+Cache::findBlock(Addr addr)
+{
+    std::size_t base = setIndex(addr) * cfg.assoc;
+    std::uint64_t tag = tagOf(addr);
+    for (unsigned w = 0; w < cfg.assoc; ++w) {
+        Block &b = blocks[base + w];
+        if (b.valid && b.tag == tag)
+            return &b;
+    }
+    return nullptr;
+}
+
+const Cache::Block *
+Cache::findBlock(Addr addr) const
+{
+    return const_cast<Cache *>(this)->findBlock(addr);
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    return findBlock(addr) != nullptr;
+}
+
+const char *
+replPolicyName(ReplPolicy policy)
+{
+    switch (policy) {
+      case ReplPolicy::Lru: return "lru";
+      case ReplPolicy::Fifo: return "fifo";
+      case ReplPolicy::Random: return "random";
+    }
+    return "?";
+}
+
+bool
+Cache::access(Addr addr)
+{
+    stats.inc("cache.accesses");
+    if (Block *b = findBlock(addr)) {
+        // FIFO ignores access recency: the stamp is fill time only.
+        if (cfg.repl == ReplPolicy::Lru)
+            b->lruStamp = ++lruClock;
+        stats.inc("cache.hits");
+        return true;
+    }
+    stats.inc("cache.misses");
+    return false;
+}
+
+Cache::Block *
+Cache::pickVictim(std::size_t set_base)
+{
+    // Invalid ways fill first under every policy.
+    for (unsigned w = 0; w < cfg.assoc; ++w) {
+        if (!blocks[set_base + w].valid)
+            return &blocks[set_base + w];
+    }
+    if (cfg.repl == ReplPolicy::Random) {
+        // xorshift64 way choice: cheap and deterministic per run.
+        randState ^= randState << 13;
+        randState ^= randState >> 7;
+        randState ^= randState << 17;
+        return &blocks[set_base + randState % cfg.assoc];
+    }
+    // LRU and FIFO both evict the smallest stamp; they differ in
+    // whether access() refreshes it.
+    Block *victim = &blocks[set_base];
+    for (unsigned w = 1; w < cfg.assoc; ++w) {
+        if (blocks[set_base + w].lruStamp < victim->lruStamp)
+            victim = &blocks[set_base + w];
+    }
+    return victim;
+}
+
+std::optional<Addr>
+Cache::insert(Addr addr, bool first_use_tag)
+{
+    std::size_t base = setIndex(addr) * cfg.assoc;
+    std::uint64_t tag = tagOf(addr);
+
+    if (Block *b = findBlock(addr)) {
+        // Already present (e.g. duplicate fill): refresh only.
+        b->lruStamp = ++lruClock;
+        return std::nullopt;
+    }
+
+    Block *victim = pickVictim(base);
+
+    std::optional<Addr> evicted;
+    if (victim->valid) {
+        stats.inc("cache.evictions");
+        std::uint64_t set = setIndex(addr);
+        evicted = ((victim->tag << floorLog2(sets)) | set) *
+            cfg.blockBytes;
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lruStamp = ++lruClock;
+    victim->firstUseTag = first_use_tag;
+    stats.inc("cache.fills");
+    return evicted;
+}
+
+bool
+Cache::invalidate(Addr addr)
+{
+    if (Block *b = findBlock(addr)) {
+        b->valid = false;
+        stats.inc("cache.invalidations");
+        return true;
+    }
+    return false;
+}
+
+bool
+Cache::consumeFirstUse(Addr addr)
+{
+    if (Block *b = findBlock(addr)) {
+        if (b->firstUseTag) {
+            b->firstUseTag = false;
+            return true;
+        }
+    }
+    return false;
+}
+
+unsigned
+Cache::validBlocks() const
+{
+    unsigned n = 0;
+    for (const auto &b : blocks) {
+        if (b.valid)
+            ++n;
+    }
+    return n;
+}
+
+} // namespace fdip

@@ -1,0 +1,23 @@
+#include "mem/dram.hh"
+
+#include "common/logging.hh"
+
+namespace fdip
+{
+
+Dram::Dram(Cycle access_latency)
+    : lat(access_latency)
+{
+    fatal_if(lat == 0, "DRAM latency must be nonzero");
+}
+
+Cycle
+Dram::accessLatency(Cycle now, bool is_prefetch)
+{
+    stats.inc("dram.reads");
+    if (is_prefetch)
+        stats.inc("dram.prefetch_reads");
+    return lat;
+}
+
+} // namespace fdip

@@ -1,0 +1,33 @@
+/**
+ * @file dram.hh
+ * Fixed-latency main-memory model with access accounting.
+ */
+
+#ifndef FDIP_MEM_DRAM_HH
+#define FDIP_MEM_DRAM_HH
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace fdip
+{
+
+class Dram
+{
+  public:
+    explicit Dram(Cycle access_latency = 70);
+
+    /** Latency of one block read starting at @p now. */
+    Cycle accessLatency(Cycle now, bool is_prefetch);
+
+    Cycle latency() const { return lat; }
+
+    StatSet stats;
+
+  private:
+    Cycle lat;
+};
+
+} // namespace fdip
+
+#endif // FDIP_MEM_DRAM_HH

@@ -1,0 +1,257 @@
+#include "mem/hierarchy.hh"
+
+#include "common/logging.hh"
+
+namespace fdip
+{
+
+MemHierarchy::MemHierarchy(const MemConfig &config)
+    : cfg(config), l1i_(cfg.l1i), l2_(cfg.l2),
+      vc(cfg.victimCacheEntries),
+      pfBuf(cfg.prefetchBufferEntries),
+      l2Bus_("l2bus", cfg.l2BusBytesPerCycle),
+      memBus_("membus", cfg.memBusBytesPerCycle),
+      mshrFile(cfg.mshrs), dram(cfg.dramLatency)
+{
+    fatal_if(cfg.l1TagPorts == 0, "L1-I needs at least one tag port");
+    fatal_if(cfg.l1i.blockBytes != cfg.l2.blockBytes,
+             "L1/L2 block size mismatch not supported");
+}
+
+void
+MemHierarchy::tick(Cycle now)
+{
+    portsUsed = 0;
+    for (MshrEntry *e : mshrFile.ready(now)) {
+        if (e->fillL2)
+            l2_.insert(e->blockAddr);
+        switch (e->dest) {
+          case FillDest::DemandL1:
+            installL1(e->blockAddr, /*first_use_tag=*/true);
+            break;
+          case FillDest::PrefetchBuffer:
+            pfBuf.insert(e->blockAddr);
+            break;
+          case FillDest::StreamBuffer:
+            if (streamFill) {
+                streamFill->streamFill(e->streamId, e->slotId,
+                                       e->blockAddr);
+            }
+            break;
+        }
+        mshrFile.free(*e);
+    }
+}
+
+void
+MemHierarchy::installL1(Addr block_addr, bool first_use_tag)
+{
+    auto evicted = l1i_.insert(block_addr, first_use_tag);
+    if (evicted && vc.enabled())
+        vc.insert(*evicted);
+}
+
+bool
+MemHierarchy::reserveTagPort()
+{
+    if (portsUsed >= cfg.l1TagPorts)
+        return false;
+    ++portsUsed;
+    return true;
+}
+
+unsigned
+MemHierarchy::freeTagPorts() const
+{
+    return cfg.l1TagPorts - portsUsed;
+}
+
+bool
+MemHierarchy::tagProbe(Addr addr) const
+{
+    return l1i_.probe(l1i_.blockAlign(addr));
+}
+
+bool
+MemHierarchy::prefetchRedundant(Addr addr) const
+{
+    Addr block = l1i_.blockAlign(addr);
+    return pfBuf.probe(block) || mshrFile.find(block) != nullptr;
+}
+
+Cycle
+MemHierarchy::fillLatency(Addr block_addr, Cycle now, bool is_prefetch,
+                          bool &fills_l2, bool &granted)
+{
+    granted = true;
+    fills_l2 = false;
+    bool idle_only = is_prefetch && !cfg.prefetchMayQueueOnBus;
+    if (l2_.access(block_addr)) {
+        // L2 hit: pay L2 latency plus the L1<->L2 transfer.
+        if (idle_only) {
+            auto done = l2Bus_.tryTransfer(now + cfg.l2HitLatency,
+                                           cfg.l1i.blockBytes);
+            if (!done) {
+                granted = false;
+                return neverCycle;
+            }
+            return *done;
+        }
+        return l2Bus_.transfer(now + cfg.l2HitLatency,
+                               cfg.l1i.blockBytes);
+    }
+    // L2 miss: memory access plus both bus transfers.
+    fills_l2 = true;
+    Cycle dram_lat = dram.accessLatency(now, is_prefetch);
+    Cycle mem_done;
+    if (idle_only) {
+        auto done = memBus_.tryTransfer(now + cfg.l2HitLatency + dram_lat,
+                                        cfg.l2.blockBytes);
+        if (!done) {
+            granted = false;
+            return neverCycle;
+        }
+        mem_done = *done;
+        auto l1_done = l2Bus_.tryTransfer(mem_done, cfg.l1i.blockBytes);
+        if (!l1_done) {
+            granted = false;
+            return neverCycle;
+        }
+        return *l1_done;
+    }
+    mem_done = memBus_.transfer(now + cfg.l2HitLatency + dram_lat,
+                                cfg.l2.blockBytes);
+    return l2Bus_.transfer(mem_done, cfg.l1i.blockBytes);
+}
+
+FetchAccess
+MemHierarchy::demandFetch(Addr addr, Cycle now)
+{
+    FetchAccess res;
+    Addr block = l1i_.blockAlign(addr);
+    stats.inc("mem.demand_accesses");
+
+    if (l1i_.access(block)) {
+        res.hitL1 = true;
+        res.readyAt = now + cfg.l1HitLatency;
+        return res;
+    }
+
+    // Victim cache: catches recent conflict evictions; a hit swaps
+    // the block back into the L1 with one extra cycle of latency.
+    if (vc.enabled() && vc.extract(block)) {
+        installL1(block, /*first_use_tag=*/false);
+        res.hitL1 = true;
+        res.readyAt = now + cfg.l1HitLatency + 1;
+        stats.inc("mem.victim_hits");
+        return res;
+    }
+
+    // Probed in parallel with the L1 tags: the prefetch buffer.
+    if (pfBuf.consume(block)) {
+        installL1(block, /*first_use_tag=*/false);
+        res.hitPrefetchBuffer = true;
+        res.readyAt = now + cfg.l1HitLatency;
+        stats.inc("mem.pfbuf_hits");
+        return res;
+    }
+
+    // Stream buffers (when configured) are probed next.
+    if (streamProbe && streamProbe->probeAndConsume(block, now)) {
+        installL1(block, /*first_use_tag=*/false);
+        res.hitStreamBuffer = true;
+        res.readyAt = now + cfg.l1HitLatency;
+        stats.inc("mem.streambuf_hits");
+        return res;
+    }
+
+    stats.inc("mem.demand_misses");
+
+    // Merge with an in-flight fill: the demand inherits its timing.
+    if (MshrEntry *e = mshrFile.find(block)) {
+        res.mergedInflight = true;
+        res.mergedInflightPrefetch = e->isPrefetch;
+        res.readyAt = e->readyAt > now ? e->readyAt : now + 1;
+        if (e->dest != FillDest::DemandL1) {
+            // Retarget the fill straight into the L1.
+            e->dest = FillDest::DemandL1;
+            stats.inc("mem.inflight_retargets");
+        }
+        stats.inc("mem.inflight_merges");
+        if (e->isPrefetch)
+            stats.inc("mem.inflight_prefetch_merges");
+        return res;
+    }
+
+    if (mshrFile.full()) {
+        // MSHR pressure: the fetch engine retries next cycle.
+        res.retry = true;
+        stats.inc("mem.demand_mshr_stalls");
+        return res;
+    }
+
+    bool fills_l2 = false;
+    bool granted = false;
+    Cycle ready = fillLatency(block, now, /*is_prefetch=*/false,
+                              fills_l2, granted);
+    panic_if(!granted, "demand fill must always be granted");
+
+    MshrEntry *e = mshrFile.allocate(block, ready, /*is_prefetch=*/false,
+                                     FillDest::DemandL1);
+    panic_if(e == nullptr, "MSHR availability checked above");
+    e->fillL2 = fills_l2;
+    res.readyAt = ready;
+    return res;
+}
+
+MemHierarchy::PfIssue
+MemHierarchy::issuePrefetch(Addr addr, Cycle now, FillDest dest,
+                            std::uint32_t stream_id, std::uint32_t slot_id)
+{
+    Addr block = l1i_.blockAlign(addr);
+    stats.inc("mem.prefetch_attempts");
+
+    if (prefetchRedundant(block)) {
+        stats.inc("mem.prefetch_redundant");
+        return PfIssue::Redundant;
+    }
+    if (mshrFile.prefetchesInFlight() >= maxPrefetches ||
+        mshrFile.full()) {
+        stats.inc("mem.prefetch_mshr_stalls");
+        return PfIssue::NoResource;
+    }
+
+    bool fills_l2 = false;
+    bool granted = false;
+    Cycle ready = fillLatency(block, now, /*is_prefetch=*/true,
+                              fills_l2, granted);
+    if (!granted) {
+        stats.inc("mem.prefetch_bus_stalls");
+        return PfIssue::NoResource;
+    }
+
+    MshrEntry *e = mshrFile.allocate(block, ready, /*is_prefetch=*/true,
+                                     dest);
+    panic_if(e == nullptr, "MSHR availability checked above");
+    e->fillL2 = fills_l2;
+    e->streamId = stream_id;
+    e->slotId = slot_id;
+    stats.inc("mem.prefetches_issued");
+    return PfIssue::Issued;
+}
+
+void
+MemHierarchy::collectStats(StatSet &out) const
+{
+    out.merge(stats);
+    out.merge(l1i_.stats, "l1i.");
+    out.merge(l2_.stats, "l2.");
+    out.merge(vc.stats);
+    out.merge(pfBuf.stats);
+    out.merge(l2Bus_.stats, "l2bus.");
+    out.merge(memBus_.stats, "membus.");
+    out.merge(mshrFile.stats);
+    out.merge(dram.stats);
+}
+
+} // namespace fdip

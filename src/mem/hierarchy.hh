@@ -1,0 +1,182 @@
+/**
+ * @file hierarchy.hh
+ * The instruction-side memory hierarchy: multi-ported L1-I tags, the
+ * fully-associative prefetch buffer, a unified L2, the L1<->L2 and
+ * L2<->memory buses, MSHRs, and DRAM. This is the single point through
+ * which the fetch engine and every prefetcher touch memory, so demand
+ * priority, bandwidth contention, and in-flight merging live here.
+ */
+
+#ifndef FDIP_MEM_HIERARCHY_HH
+#define FDIP_MEM_HIERARCHY_HH
+
+#include <memory>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/bus.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "mem/mshr.hh"
+#include "mem/prefetch_buffer.hh"
+#include "mem/victim_cache.hh"
+
+namespace fdip
+{
+
+/** Receives completed stream-buffer fills. */
+class StreamFillClient
+{
+  public:
+    virtual ~StreamFillClient() = default;
+    virtual void streamFill(std::uint32_t stream_id, std::uint32_t slot_id,
+                            Addr block_addr) = 0;
+};
+
+/** Lets a stream buffer service demand misses before they go to L2. */
+class StreamProbeClient
+{
+  public:
+    virtual ~StreamProbeClient() = default;
+    /** Return true (and shift/refill) if the block is held. */
+    virtual bool probeAndConsume(Addr block_addr, Cycle now) = 0;
+};
+
+struct MemConfig
+{
+    Cache::Config l1i{.name = "l1i", .sizeBytes = 16 * 1024,
+                      .assoc = 2, .blockBytes = 32};
+    unsigned l1TagPorts = 2;
+    Cycle l1HitLatency = 1;
+
+    Cache::Config l2{.name = "l2", .sizeBytes = 1024 * 1024,
+                     .assoc = 8, .blockBytes = 32};
+    Cycle l2HitLatency = 12;
+
+    Cycle dramLatency = 70;
+    unsigned l2BusBytesPerCycle = 8;
+    unsigned memBusBytesPerCycle = 4;
+
+    unsigned mshrs = 16;
+    unsigned prefetchBufferEntries = 32;
+    /** Victim cache beside the L1-I; 0 disables (the default). */
+    unsigned victimCacheEntries = 0;
+    /**
+     * Ablation: allow prefetch transfers to queue on busy buses
+     * (delaying later demand traffic) instead of the default
+     * idle-bus-only policy.
+     */
+    bool prefetchMayQueueOnBus = false;
+};
+
+/** Outcome of one demand-fetch block access. */
+struct FetchAccess
+{
+    bool hitL1 = false;
+    bool hitPrefetchBuffer = false;
+    bool hitStreamBuffer = false;
+    bool mergedInflight = false;       ///< joined an in-flight fill
+    bool mergedInflightPrefetch = false;
+    bool retry = false;                ///< no MSHR; try again next cycle
+    Cycle readyAt = neverCycle;        ///< when instructions can stream
+};
+
+class MemHierarchy
+{
+  public:
+    explicit MemHierarchy(const MemConfig &config);
+
+    /** Per-cycle maintenance: complete fills, reset tag ports. */
+    void tick(Cycle now);
+
+    /**
+     * Demand fetch of the block containing @p addr. Probes L1, the
+     * prefetch buffer, stream buffers, and in-flight fills, in that
+     * order; allocates an MSHR and goes to L2/memory on a true miss.
+     * The caller must have reserved a tag port for this cycle.
+     */
+    FetchAccess demandFetch(Addr addr, Cycle now);
+
+    /** Outcome of a prefetch issue attempt. */
+    enum class PfIssue
+    {
+        Issued,      ///< request is on its way
+        Redundant,   ///< block already buffered or in flight
+        NoResource,  ///< MSHR/bus/budget exhausted: retry later
+    };
+
+    /**
+     * Issue a prefetch for @p addr into @p dest. Redundant when the
+     * block is already in flight or buffered; NoResource when the
+     * prefetch budget, MSHRs, or the required bus are exhausted.
+     */
+    PfIssue issuePrefetch(Addr addr, Cycle now, FillDest dest,
+                          std::uint32_t stream_id = 0,
+                          std::uint32_t slot_id = 0);
+
+    /** Cache-probe filter check: is the block in the L1-I? Tag check
+     *  only; the caller must have reserved a tag port. */
+    bool tagProbe(Addr addr) const;
+
+    /** True when a prefetch for @p addr would be redundant. */
+    bool prefetchRedundant(Addr addr) const;
+
+    /** Tag-port arbitration, reset each cycle. */
+    bool reserveTagPort();
+    unsigned freeTagPorts() const;
+
+    void setStreamFillClient(StreamFillClient *client)
+    {
+        streamFill = client;
+    }
+
+    void setStreamProbeClient(StreamProbeClient *client)
+    {
+        streamProbe = client;
+    }
+
+    void setMaxOutstandingPrefetches(unsigned n)
+    {
+        maxPrefetches = n;
+    }
+
+    Cache &l1i() { return l1i_; }
+    VictimCache &victimCache() { return vc; }
+    Cache &l2() { return l2_; }
+    PrefetchBuffer &pfBuffer() { return pfBuf; }
+    Bus &l2Bus() { return l2Bus_; }
+    Bus &memBus() { return memBus_; }
+    MshrFile &mshrs() { return mshrFile; }
+    const MemConfig &config() const { return cfg; }
+
+    /** Aggregate every component's statistics into @p out. */
+    void collectStats(StatSet &out) const;
+
+    StatSet stats;
+
+  private:
+    /** L2 lookup + bus/memory scheduling for a missing block. */
+    Cycle fillLatency(Addr block_addr, Cycle now, bool is_prefetch,
+                      bool &fills_l2, bool &granted);
+
+    /** Install into the L1, spilling any victim to the victim cache. */
+    void installL1(Addr block_addr, bool first_use_tag);
+
+    MemConfig cfg;
+    Cache l1i_;
+    Cache l2_;
+    VictimCache vc;
+    PrefetchBuffer pfBuf;
+    Bus l2Bus_;
+    Bus memBus_;
+    MshrFile mshrFile;
+    Dram dram;
+    StreamFillClient *streamFill = nullptr;
+    StreamProbeClient *streamProbe = nullptr;
+    unsigned portsUsed = 0;
+    unsigned maxPrefetches = 8;
+};
+
+} // namespace fdip
+
+#endif // FDIP_MEM_HIERARCHY_HH

@@ -1,0 +1,112 @@
+#include "mem/mshr.hh"
+
+#include "common/logging.hh"
+
+namespace fdip
+{
+
+MshrFile::MshrFile(unsigned n)
+    : entries(n)
+{
+    fatal_if(n == 0, "MSHR file needs at least one entry");
+}
+
+MshrEntry *
+MshrFile::find(Addr block_addr)
+{
+    for (auto &e : entries) {
+        if (e.valid && e.blockAddr == block_addr)
+            return &e;
+    }
+    return nullptr;
+}
+
+const MshrEntry *
+MshrFile::find(Addr block_addr) const
+{
+    return const_cast<MshrFile *>(this)->find(block_addr);
+}
+
+MshrEntry *
+MshrFile::allocate(Addr block_addr, Cycle ready_at, bool is_prefetch,
+                   FillDest dest)
+{
+    panic_if(find(block_addr) != nullptr,
+             "duplicate MSHR allocation for %#llx",
+             static_cast<unsigned long long>(block_addr));
+    for (auto &e : entries) {
+        if (!e.valid) {
+            e.valid = true;
+            e.blockAddr = block_addr;
+            e.readyAt = ready_at;
+            e.isPrefetch = is_prefetch;
+            e.fillL2 = false;
+            e.dest = dest;
+            e.streamId = 0;
+            e.slotId = 0;
+            stats.inc("mshr.allocations");
+            return &e;
+        }
+    }
+    stats.inc("mshr.alloc_failures");
+    return nullptr;
+}
+
+void
+MshrFile::free(MshrEntry &entry)
+{
+    panic_if(!entry.valid, "freeing invalid MSHR entry");
+    entry.valid = false;
+}
+
+bool
+MshrFile::full() const
+{
+    for (const auto &e : entries) {
+        if (!e.valid)
+            return false;
+    }
+    return true;
+}
+
+unsigned
+MshrFile::inUse() const
+{
+    unsigned n = 0;
+    for (const auto &e : entries) {
+        if (e.valid)
+            ++n;
+    }
+    return n;
+}
+
+unsigned
+MshrFile::prefetchesInFlight() const
+{
+    unsigned n = 0;
+    for (const auto &e : entries) {
+        if (e.valid && e.isPrefetch)
+            ++n;
+    }
+    return n;
+}
+
+std::vector<MshrEntry *>
+MshrFile::ready(Cycle now)
+{
+    std::vector<MshrEntry *> out;
+    for (auto &e : entries) {
+        if (e.valid && e.readyAt <= now)
+            out.push_back(&e);
+    }
+    return out;
+}
+
+void
+MshrFile::clear()
+{
+    for (auto &e : entries)
+        e.valid = false;
+}
+
+} // namespace fdip

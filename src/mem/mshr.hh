@@ -1,0 +1,78 @@
+/**
+ * @file mshr.hh
+ * Miss status holding registers: track outstanding fills so demand
+ * misses can merge with in-flight prefetches (partial latency hiding)
+ * and duplicate requests are suppressed.
+ */
+
+#ifndef FDIP_MEM_MSHR_HH
+#define FDIP_MEM_MSHR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace fdip
+{
+
+/** Where a completed fill should be delivered. */
+enum class FillDest : std::uint8_t
+{
+    DemandL1,        ///< straight into the L1-I
+    PrefetchBuffer,  ///< into the fully-associative prefetch buffer
+    StreamBuffer,    ///< into a stream-buffer slot
+};
+
+struct MshrEntry
+{
+    bool valid = false;
+    Addr blockAddr = invalidAddr;
+    Cycle readyAt = neverCycle;
+    bool isPrefetch = false;
+    bool fillL2 = false;   ///< the fill also installs into the L2
+    FillDest dest = FillDest::DemandL1;
+    std::uint32_t streamId = 0;
+    std::uint32_t slotId = 0;
+};
+
+class MshrFile
+{
+  public:
+    explicit MshrFile(unsigned entries = 16);
+
+    MshrEntry *find(Addr block_addr);
+    const MshrEntry *find(Addr block_addr) const;
+
+    /** Allocate an entry; nullptr when the file is full. */
+    MshrEntry *allocate(Addr block_addr, Cycle ready_at, bool is_prefetch,
+                        FillDest dest);
+
+    void free(MshrEntry &entry);
+
+    bool full() const;
+    unsigned inUse() const;
+    unsigned prefetchesInFlight() const;
+    unsigned capacity() const
+    {
+        return static_cast<unsigned>(entries.size());
+    }
+
+    /**
+     * Collect entries whose fill has arrived (readyAt <= now). The
+     * caller dispatches and then frees them.
+     */
+    std::vector<MshrEntry *> ready(Cycle now);
+
+    void clear();
+
+    StatSet stats;
+
+  private:
+    std::vector<MshrEntry> entries;
+};
+
+} // namespace fdip
+
+#endif // FDIP_MEM_MSHR_HH

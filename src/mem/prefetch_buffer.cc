@@ -1,0 +1,58 @@
+#include "mem/prefetch_buffer.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace fdip
+{
+
+PrefetchBuffer::PrefetchBuffer(unsigned entries)
+    : cap(entries)
+{
+    fatal_if(entries == 0, "prefetch buffer needs at least one entry");
+}
+
+bool
+PrefetchBuffer::probe(Addr block_addr) const
+{
+    return std::any_of(buf.begin(), buf.end(),
+                       [&](const Slot &s) { return s.addr == block_addr; });
+}
+
+bool
+PrefetchBuffer::consume(Addr block_addr)
+{
+    for (auto it = buf.begin(); it != buf.end(); ++it) {
+        if (it->addr == block_addr) {
+            buf.erase(it);
+            stats.inc("pfbuf.consumed");
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+PrefetchBuffer::insert(Addr block_addr)
+{
+    if (probe(block_addr)) {
+        stats.inc("pfbuf.duplicate_fills");
+        return;
+    }
+    if (buf.size() == cap) {
+        buf.pop_front();
+        stats.inc("pfbuf.unused_evictions");
+    }
+    buf.push_back({block_addr});
+    stats.inc("pfbuf.fills");
+}
+
+void
+PrefetchBuffer::clear()
+{
+    stats.inc("pfbuf.flushed_entries", buf.size());
+    buf.clear();
+}
+
+} // namespace fdip

@@ -1,0 +1,55 @@
+#include "mem/victim_cache.hh"
+
+#include <algorithm>
+
+namespace fdip
+{
+
+VictimCache::VictimCache(unsigned entries)
+    : cap(entries)
+{}
+
+bool
+VictimCache::probe(Addr block_addr) const
+{
+    return std::find(buf.begin(), buf.end(), block_addr) != buf.end();
+}
+
+bool
+VictimCache::extract(Addr block_addr)
+{
+    auto it = std::find(buf.begin(), buf.end(), block_addr);
+    if (it == buf.end())
+        return false;
+    buf.erase(it);
+    stats.inc("vc.hits");
+    return true;
+}
+
+void
+VictimCache::insert(Addr block_addr)
+{
+    if (cap == 0)
+        return;
+    auto it = std::find(buf.begin(), buf.end(), block_addr);
+    if (it != buf.end()) {
+        // Refresh: move to MRU.
+        buf.erase(it);
+        buf.push_back(block_addr);
+        return;
+    }
+    if (buf.size() == cap) {
+        buf.pop_front();
+        stats.inc("vc.evictions");
+    }
+    buf.push_back(block_addr);
+    stats.inc("vc.fills");
+}
+
+void
+VictimCache::clear()
+{
+    buf.clear();
+}
+
+} // namespace fdip

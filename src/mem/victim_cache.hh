@@ -1,0 +1,51 @@
+/**
+ * @file victim_cache.hh
+ * Jouppi-style victim cache: a small fully-associative buffer beside
+ * the L1-I that catches evicted blocks. A demand miss that hits the
+ * victim cache swaps the block back into the L1, converting conflict
+ * misses into short hits. Proposed in the same ISCA'90 paper as the
+ * stream buffers this repository also models.
+ */
+
+#ifndef FDIP_MEM_VICTIM_CACHE_HH
+#define FDIP_MEM_VICTIM_CACHE_HH
+
+#include <deque>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace fdip
+{
+
+class VictimCache
+{
+  public:
+    /** @param entries capacity; 0 disables the cache entirely. */
+    explicit VictimCache(unsigned entries);
+
+    bool enabled() const { return cap > 0; }
+
+    bool probe(Addr block_addr) const;
+
+    /** Hit path: remove and return true (block swaps into the L1). */
+    bool extract(Addr block_addr);
+
+    /** Eviction path: stash a victim, LRU-replacing when full. */
+    void insert(Addr block_addr);
+
+    unsigned size() const { return static_cast<unsigned>(buf.size()); }
+    unsigned capacity() const { return cap; }
+
+    void clear();
+
+    StatSet stats;
+
+  private:
+    std::deque<Addr> buf; ///< front = LRU, back = MRU
+    unsigned cap;
+};
+
+} // namespace fdip
+
+#endif // FDIP_MEM_VICTIM_CACHE_HH

@@ -1,0 +1,185 @@
+#include "prefetch/fdp.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace fdip
+{
+
+const char *
+cpfModeName(CpfMode mode)
+{
+    switch (mode) {
+      case CpfMode::None: return "none";
+      case CpfMode::Enqueue: return "enqueue";
+      case CpfMode::EnqueueAggressive: return "enqueue-aggr";
+      case CpfMode::Remove: return "remove";
+      case CpfMode::Ideal: return "ideal";
+    }
+    return "?";
+}
+
+FdpPrefetcher::FdpPrefetcher(Ftq &ftq_ref, MemHierarchy &mem_ref,
+                             const Config &config)
+    : ftq(ftq_ref), mem(mem_ref), cfg(config), piq_(cfg.piqEntries),
+      recentFilter(cfg.recentFilterEntries, invalidAddr)
+{
+    fatal_if(cfg.scanWidth == 0, "FDP scan width must be nonzero");
+    fatal_if(cfg.issueWidth == 0, "FDP issue width must be nonzero");
+}
+
+std::string
+FdpPrefetcher::name() const
+{
+    return strprintf("fdp-%s", cpfModeName(cfg.mode));
+}
+
+bool
+FdpPrefetcher::recentlyRequested(Addr block_addr) const
+{
+    return std::find(recentFilter.begin(), recentFilter.end(),
+                     block_addr) != recentFilter.end();
+}
+
+void
+FdpPrefetcher::markRequested(Addr block_addr)
+{
+    if (recentFilter.empty())
+        return;
+    recentFilter[recentNext] = block_addr;
+    recentNext = (recentNext + 1) % recentFilter.size();
+}
+
+void
+FdpPrefetcher::probeWaitingEntries(Cycle now)
+{
+    if (cfg.mode != CpfMode::Remove)
+        return;
+    // Opportunistically probe unverified PIQ entries with whatever tag
+    // ports the demand fetch left idle this cycle.
+    std::size_t i = 0;
+    while (i < piq_.size()) {
+        PiqEntry &e = piq_.at(i);
+        if (e.probed) {
+            ++i;
+            continue;
+        }
+        if (!mem.reserveTagPort())
+            return; // out of ports; try again next cycle
+        stats.inc("fdp.cpf_probes");
+        if (mem.tagProbe(e.blockAddr)) {
+            piq_.removeAt(i);
+            stats.inc("fdp.cpf_filtered");
+            continue; // entry i replaced by its successor
+        }
+        e.probed = true;
+        ++i;
+    }
+}
+
+void
+FdpPrefetcher::issuePrefetches(Cycle now)
+{
+    unsigned issued = 0;
+    while (issued < cfg.issueWidth && !piq_.empty()) {
+        Addr addr = piq_.front().blockAddr;
+        FillDest dest = cfg.fillIntoL1 ? FillDest::DemandL1
+                                       : FillDest::PrefetchBuffer;
+        auto result = mem.issuePrefetch(addr, now, dest);
+        if (result == MemHierarchy::PfIssue::NoResource) {
+            stats.inc("fdp.issue_stalls");
+            return; // bus/MSHR busy: keep the entry, retry next cycle
+        }
+        piq_.popFront();
+        if (result == MemHierarchy::PfIssue::Issued) {
+            stats.inc("fdp.issued");
+            ++issued;
+        } else {
+            stats.inc("fdp.issue_redundant");
+        }
+    }
+}
+
+void
+FdpPrefetcher::scanFtq(Cycle now)
+{
+    unsigned examined = 0;
+    // Entry 0 is the fetch point (being demand fetched); deeper
+    // entries are the prefetch candidates.
+    for (std::size_t i = 1; i < ftq.size(); ++i) {
+        FtqEntry &e = ftq.at(i);
+        unsigned n_blocks = ftq.numCacheBlocks(i);
+        while (e.nextScanBlock < n_blocks) {
+            if (examined >= cfg.scanWidth || piq_.full())
+                return;
+            Addr cand = ftq.cacheBlockAddr(i, e.nextScanBlock);
+            ++examined;
+            stats.inc("fdp.candidates");
+
+            if (recentlyRequested(cand) || piq_.contains(cand) ||
+                mem.prefetchRedundant(cand)) {
+                stats.inc("fdp.dedup_dropped");
+                ++e.nextScanBlock;
+                continue;
+            }
+
+            switch (cfg.mode) {
+              case CpfMode::None:
+              case CpfMode::Remove:
+                piq_.push(cand);
+                markRequested(cand);
+                break;
+              case CpfMode::Enqueue:
+              case CpfMode::EnqueueAggressive:
+                if (!mem.reserveTagPort()) {
+                    stats.inc("fdp.enqueue_no_port");
+                    if (cfg.mode == CpfMode::Enqueue) {
+                        // Conservative: no idle port, no enqueue.
+                        return;
+                    }
+                    // Aggressive: enqueue unprobed.
+                    piq_.push(cand);
+                    markRequested(cand);
+                    break;
+                }
+                stats.inc("fdp.cpf_probes");
+                if (mem.tagProbe(cand)) {
+                    stats.inc("fdp.cpf_filtered");
+                } else {
+                    piq_.push(cand);
+                    markRequested(cand);
+                }
+                break;
+              case CpfMode::Ideal:
+                stats.inc("fdp.cpf_probes");
+                if (mem.tagProbe(cand)) {
+                    stats.inc("fdp.cpf_filtered");
+                } else {
+                    piq_.push(cand);
+                    markRequested(cand);
+                }
+                break;
+            }
+            ++e.nextScanBlock;
+        }
+    }
+}
+
+void
+FdpPrefetcher::tick(Cycle now)
+{
+    probeWaitingEntries(now);
+    issuePrefetches(now);
+    scanFtq(now);
+}
+
+void
+FdpPrefetcher::onRedirect(Cycle now)
+{
+    if (cfg.flushPiqOnRedirect)
+        piq_.flush();
+    stats.inc("fdp.redirects");
+}
+
+} // namespace fdip

@@ -1,0 +1,94 @@
+/**
+ * @file fdp.hh
+ * Fetch-Directed Prefetching — the paper's primary contribution.
+ *
+ * Every cycle the prefetch engine scans FTQ entries past the fetch
+ * point, converts them into candidate cache-block addresses, filters
+ * them, and enqueues survivors into the PIQ. The PIQ issues prefetches
+ * to the L2 over the (idle) L2 bus; fills land in the fully-associative
+ * prefetch buffer probed by demand fetches.
+ *
+ * Cache Probe Filtering (CPF) variants:
+ *  - None:    everything the FTQ predicts is prefetched.
+ *  - Enqueue: a candidate enters the PIQ only when an idle L1 tag port
+ *             is available this cycle *and* the probe misses.
+ *  - Remove:  candidates always enter the PIQ; idle ports are used
+ *             opportunistically to probe waiting entries and remove
+ *             ones that turn out to be cached.
+ *  - Ideal:   unlimited probe bandwidth (filtering upper bound).
+ */
+
+#ifndef FDIP_PREFETCH_FDP_HH
+#define FDIP_PREFETCH_FDP_HH
+
+#include <vector>
+
+#include "frontend/ftq.hh"
+#include "prefetch/piq.hh"
+#include "prefetch/prefetcher.hh"
+
+namespace fdip
+{
+
+enum class CpfMode
+{
+    None,
+    Enqueue,           ///< conservative: no idle port, no enqueue
+    EnqueueAggressive, ///< no idle port: enqueue unprobed
+    Remove,
+    Ideal,
+};
+
+const char *cpfModeName(CpfMode mode);
+
+class FdpPrefetcher : public Prefetcher
+{
+  public:
+    struct Config
+    {
+        CpfMode mode = CpfMode::Remove;
+        std::size_t piqEntries = 16;
+        /** Candidate blocks examined per cycle during the FTQ scan. */
+        unsigned scanWidth = 4;
+        /** Prefetches issued to the L2 per cycle. */
+        unsigned issueWidth = 2;
+        /** Recently-requested filter size (suppresses re-requests). */
+        unsigned recentFilterEntries = 16;
+        /** Drop unissued PIQ entries on a pipeline redirect. */
+        bool flushPiqOnRedirect = true;
+        /**
+         * Ablation: fill prefetches straight into the L1-I instead of
+         * the prefetch buffer (exposes wrong-path pollution).
+         */
+        bool fillIntoL1 = false;
+    };
+
+    FdpPrefetcher(Ftq &ftq, MemHierarchy &mem, const Config &config);
+
+    std::string name() const override;
+    void tick(Cycle now) override;
+    void onRedirect(Cycle now) override;
+
+    const Piq &piq() const { return piq_; }
+    const Config &config() const { return cfg; }
+
+  private:
+    void probeWaitingEntries(Cycle now);
+    void issuePrefetches(Cycle now);
+    void scanFtq(Cycle now);
+
+    /** True if the candidate should be dropped before the PIQ. */
+    bool recentlyRequested(Addr block_addr) const;
+    void markRequested(Addr block_addr);
+
+    Ftq &ftq;
+    MemHierarchy &mem;
+    Config cfg;
+    Piq piq_;
+    std::vector<Addr> recentFilter;
+    std::size_t recentNext = 0;
+};
+
+} // namespace fdip
+
+#endif // FDIP_PREFETCH_FDP_HH

@@ -1,0 +1,66 @@
+#include "prefetch/nlp.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace fdip
+{
+
+NlpPrefetcher::NlpPrefetcher(MemHierarchy &mem_ref, const Config &config)
+    : mem(mem_ref), cfg(config)
+{
+    fatal_if(cfg.degree == 0, "NLP degree must be nonzero");
+}
+
+void
+NlpPrefetcher::onDemandAccess(Addr block_addr, const FetchAccess &access,
+                              Cycle now)
+{
+    // Trigger on a true miss or on first use of a prefetched block
+    // (the "tag" of tagged next-line prefetching).
+    bool trigger = isTrueMiss(access) || access.hitPrefetchBuffer;
+    if (!trigger)
+        return;
+    stats.inc("nlp.triggers");
+    unsigned bb = mem.l1i().config().blockBytes;
+    for (unsigned d = 1; d <= cfg.degree; ++d) {
+        Addr cand = block_addr + Addr(d) * bb;
+        if (std::find(pending.begin(), pending.end(), cand) !=
+            pending.end())
+            continue;
+        if (pending.size() >= cfg.queueEntries)
+            pending.pop_front();
+        pending.push_back(cand);
+    }
+}
+
+void
+NlpPrefetcher::tick(Cycle now)
+{
+    while (!pending.empty()) {
+        Addr cand = pending.front();
+        // Next-line prefetch should not waste bandwidth on blocks the
+        // cache already holds; the sequential-within-line case makes
+        // this check nearly free in hardware (same row as the trigger).
+        if (mem.tagProbe(cand)) {
+            pending.pop_front();
+            stats.inc("nlp.already_cached");
+            continue;
+        }
+        FillDest dest = cfg.fillIntoL1 ? FillDest::DemandL1
+                                       : FillDest::PrefetchBuffer;
+        auto result = mem.issuePrefetch(cand, now, dest);
+        if (result == MemHierarchy::PfIssue::NoResource) {
+            stats.inc("nlp.issue_stalls");
+            return;
+        }
+        pending.pop_front();
+        if (result == MemHierarchy::PfIssue::Issued)
+            stats.inc("nlp.issued");
+        else
+            stats.inc("nlp.redundant");
+    }
+}
+
+} // namespace fdip

@@ -1,0 +1,46 @@
+/**
+ * @file nlp.hh
+ * Tagged next-line prefetching (Smith): on a demand miss, or on the
+ * first use of a block that arrived by prefetch, request the next
+ * sequential block(s) into the prefetch buffer.
+ */
+
+#ifndef FDIP_PREFETCH_NLP_HH
+#define FDIP_PREFETCH_NLP_HH
+
+#include <deque>
+
+#include "prefetch/prefetcher.hh"
+
+namespace fdip
+{
+
+class NlpPrefetcher : public Prefetcher
+{
+  public:
+    struct Config
+    {
+        /** Sequential blocks requested per trigger. */
+        unsigned degree = 1;
+        /** Pending-candidate queue size. */
+        std::size_t queueEntries = 8;
+        /** Ablation: fill straight into the L1-I (pollution). */
+        bool fillIntoL1 = false;
+    };
+
+    NlpPrefetcher(MemHierarchy &mem, const Config &config);
+
+    std::string name() const override { return "nlp"; }
+    void tick(Cycle now) override;
+    void onDemandAccess(Addr block_addr, const FetchAccess &access,
+                        Cycle now) override;
+
+  private:
+    MemHierarchy &mem;
+    Config cfg;
+    std::deque<Addr> pending;
+};
+
+} // namespace fdip
+
+#endif // FDIP_PREFETCH_NLP_HH

@@ -1,0 +1,78 @@
+#include "prefetch/oracle.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace fdip
+{
+
+OraclePrefetcher::OraclePrefetcher(TraceWindow &trace_ref,
+                                   const Bpu &bpu_ref,
+                                   MemHierarchy &mem_ref,
+                                   const Config &config)
+    : trace(trace_ref), bpu(bpu_ref), mem(mem_ref), cfg(config),
+      recentFilter(cfg.recentFilterEntries, invalidAddr)
+{
+    fatal_if(cfg.lookaheadInsts == 0, "oracle needs lookahead");
+}
+
+bool
+OraclePrefetcher::recentlyRequested(Addr block) const
+{
+    return std::find(recentFilter.begin(), recentFilter.end(), block) !=
+        recentFilter.end();
+}
+
+void
+OraclePrefetcher::markRequested(Addr block)
+{
+    if (recentFilter.empty())
+        return;
+    recentFilter[recentNext] = block;
+    recentNext = (recentNext + 1) % recentFilter.size();
+}
+
+void
+OraclePrefetcher::tick(Cycle now)
+{
+    // Issue pending candidates over the idle bus.
+    unsigned issued = 0;
+    while (issued < cfg.issueWidth && !pending.empty()) {
+        Addr cand = pending.front();
+        auto result = mem.issuePrefetch(cand, now,
+                                        FillDest::PrefetchBuffer);
+        if (result == MemHierarchy::PfIssue::NoResource) {
+            stats.inc("oracle.issue_stalls");
+            break;
+        }
+        pending.erase(pending.begin());
+        if (result == MemHierarchy::PfIssue::Issued) {
+            stats.inc("oracle.issued");
+            ++issued;
+        }
+    }
+
+    // Scan the true future for new candidate blocks. The window of
+    // interest trails the BPU's verified position.
+    InstSeqNum base = bpu.nextVerifySeq();
+    if (scanSeq < base)
+        scanSeq = base;
+    InstSeqNum limit = base + cfg.lookaheadInsts;
+    unsigned examined = 0;
+    while (scanSeq < limit && examined < cfg.scanWidth &&
+           pending.size() < 2 * cfg.scanWidth) {
+        Addr block = mem.l1i().blockAlign(trace.at(scanSeq).pc);
+        ++scanSeq;
+        if (recentlyRequested(block) || mem.prefetchRedundant(block) ||
+            mem.tagProbe(block)) {
+            continue;
+        }
+        ++examined;
+        pending.push_back(block);
+        markRequested(block);
+        stats.inc("oracle.candidates");
+    }
+}
+
+} // namespace fdip

@@ -1,0 +1,60 @@
+/**
+ * @file oracle.hh
+ * Oracle instruction prefetcher: an upper bound on any front-end-
+ * directed scheme. It reads the *correct-path* future directly from
+ * the trace window and prefetches the next N instruction blocks ahead
+ * of the verified front-end position. It still pays real bus
+ * occupancy, MSHR limits, and fill latency — only its addresses are
+ * perfect.
+ */
+
+#ifndef FDIP_PREFETCH_ORACLE_HH
+#define FDIP_PREFETCH_ORACLE_HH
+
+#include <vector>
+
+#include "bpu/bpu.hh"
+#include "prefetch/prefetcher.hh"
+#include "trace/executor.hh"
+
+namespace fdip
+{
+
+class OraclePrefetcher : public Prefetcher
+{
+  public:
+    struct Config
+    {
+        /** Lookahead window in instructions. */
+        unsigned lookaheadInsts = 256;
+        /** Candidates examined per cycle. */
+        unsigned scanWidth = 4;
+        /** Issue attempts per cycle. */
+        unsigned issueWidth = 2;
+        unsigned recentFilterEntries = 32;
+    };
+
+    OraclePrefetcher(TraceWindow &trace, const Bpu &bpu,
+                     MemHierarchy &mem, const Config &config);
+
+    std::string name() const override { return "oracle"; }
+    void tick(Cycle now) override;
+
+  private:
+    bool recentlyRequested(Addr block) const;
+    void markRequested(Addr block);
+
+    TraceWindow &trace;
+    const Bpu &bpu;
+    MemHierarchy &mem;
+    Config cfg;
+    /** Next trace position to scan for candidate blocks. */
+    InstSeqNum scanSeq = 0;
+    std::vector<Addr> recentFilter;
+    std::size_t recentNext = 0;
+    std::vector<Addr> pending;
+};
+
+} // namespace fdip
+
+#endif // FDIP_PREFETCH_ORACLE_HH

@@ -1,0 +1,55 @@
+/**
+ * @file piq.hh
+ * Prefetch Instruction Queue: FIFO of candidate cache-block addresses
+ * awaiting prefetch issue, with per-entry probe state for the
+ * remove-variant of cache probe filtering.
+ */
+
+#ifndef FDIP_PREFETCH_PIQ_HH
+#define FDIP_PREFETCH_PIQ_HH
+
+#include "common/circular_queue.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace fdip
+{
+
+struct PiqEntry
+{
+    Addr blockAddr = invalidAddr;
+    /** Remove-CPF already verified this block misses in the L1. */
+    bool probed = false;
+};
+
+class Piq
+{
+  public:
+    explicit Piq(std::size_t capacity = 16);
+
+    bool full() const { return q.full(); }
+    bool empty() const { return q.empty(); }
+    std::size_t size() const { return q.size(); }
+    std::size_t capacity() const { return q.capacity(); }
+
+    void push(Addr block_addr);
+    PiqEntry &at(std::size_t i) { return q.at(i); }
+    PiqEntry &front() { return q.front(); }
+    void popFront();
+
+    /** Remove entry @p i (probe said the block is already cached). */
+    void removeAt(std::size_t i);
+
+    bool contains(Addr block_addr) const;
+
+    void flush();
+
+    StatSet stats;
+
+  private:
+    CircularQueue<PiqEntry> q;
+};
+
+} // namespace fdip
+
+#endif // FDIP_PREFETCH_PIQ_HH

@@ -1,0 +1,57 @@
+/**
+ * @file prefetcher.hh
+ * Interface every instruction prefetcher implements. The fetch engine
+ * notifies prefetchers of demand accesses; the simulator ticks them
+ * once per cycle (after demand fetch, so prefetchers only ever see
+ * leftover tag ports and idle buses).
+ */
+
+#ifndef FDIP_PREFETCH_PREFETCHER_HH
+#define FDIP_PREFETCH_PREFETCHER_HH
+
+#include <string>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/hierarchy.hh"
+
+namespace fdip
+{
+
+class Prefetcher
+{
+  public:
+    virtual ~Prefetcher() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Per-cycle work: probing, issuing, scanning. */
+    virtual void tick(Cycle now) {}
+
+    /**
+     * Demand access notification from the fetch engine.
+     * @param block_addr aligned block address accessed
+     * @param access the hierarchy's verdict for this access
+     * @param now current cycle
+     */
+    virtual void
+    onDemandAccess(Addr block_addr, const FetchAccess &access, Cycle now)
+    {}
+
+    /** Branch-misprediction redirect: squash speculative work. */
+    virtual void onRedirect(Cycle now) {}
+
+    StatSet stats;
+};
+
+/** A "true" L1-I miss: nothing anywhere had the block. */
+inline bool
+isTrueMiss(const FetchAccess &a)
+{
+    return !a.hitL1 && !a.hitPrefetchBuffer && !a.hitStreamBuffer &&
+        !a.mergedInflight && !a.retry;
+}
+
+} // namespace fdip
+
+#endif // FDIP_PREFETCH_PREFETCHER_HH

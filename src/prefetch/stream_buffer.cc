@@ -1,0 +1,180 @@
+#include "prefetch/stream_buffer.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace fdip
+{
+
+StreamBufferPrefetcher::StreamBufferPrefetcher(MemHierarchy &mem_ref,
+                                               const Config &config)
+    : mem(mem_ref), cfg(config), buffers(cfg.numBuffers)
+{
+    fatal_if(cfg.numBuffers == 0, "need at least one stream buffer");
+    fatal_if(cfg.depth == 0, "stream buffer depth must be nonzero");
+    mem.setStreamFillClient(this);
+    mem.setStreamProbeClient(this);
+}
+
+bool
+StreamBufferPrefetcher::recentlyMissed(Addr block_addr) const
+{
+    return std::find(missHistory.begin(), missHistory.end(),
+                     block_addr) != missHistory.end();
+}
+
+void
+StreamBufferPrefetcher::recordMiss(Addr block_addr)
+{
+    if (missHistory.size() >= cfg.missHistoryEntries)
+        missHistory.pop_front();
+    missHistory.push_back(block_addr);
+}
+
+void
+StreamBufferPrefetcher::allocate(Addr miss_addr)
+{
+    unsigned bb = mem.l1i().config().blockBytes;
+
+    // A buffer already streaming this region needs no re-allocation.
+    for (const Buffer &b : buffers) {
+        if (!b.active)
+            continue;
+        for (const Slot &s : b.slots) {
+            if (s.addr == miss_addr)
+                return;
+        }
+        if (b.nextAddr == miss_addr + bb)
+            return;
+    }
+
+    Buffer *victim = &buffers[0];
+    for (Buffer &b : buffers) {
+        if (!b.active) {
+            victim = &b;
+            break;
+        }
+        if (b.lruStamp < victim->lruStamp)
+            victim = &b;
+    }
+    if (victim->active)
+        stats.inc("sb.reallocations");
+    victim->active = true;
+    victim->slots.clear();
+    victim->nextAddr = miss_addr + bb;
+    victim->lruStamp = ++lruClock;
+    victim->requestInFlight = false;
+    stats.inc("sb.allocations");
+}
+
+void
+StreamBufferPrefetcher::onDemandAccess(Addr block_addr,
+                                       const FetchAccess &access,
+                                       Cycle now)
+{
+    if (!isTrueMiss(access))
+        return;
+    if (cfg.allocationFilter) {
+        unsigned bb = mem.l1i().config().blockBytes;
+        bool sequential = recentlyMissed(block_addr - bb);
+        recordMiss(block_addr);
+        if (!sequential) {
+            stats.inc("sb.filtered_allocations");
+            return;
+        }
+    }
+    allocate(block_addr);
+}
+
+bool
+StreamBufferPrefetcher::probeAndConsume(Addr block_addr, Cycle now)
+{
+    for (std::uint32_t bi = 0; bi < buffers.size(); ++bi) {
+        Buffer &b = buffers[bi];
+        if (!b.active)
+            continue;
+        for (std::size_t si = 0; si < b.slots.size(); ++si) {
+            if (b.slots[si].addr != block_addr)
+                continue;
+            if (!b.slots[si].filled)
+                return false; // in flight: demand merges via the MSHR
+            // Hit: consume this slot and everything older.
+            b.slots.erase(b.slots.begin(),
+                          b.slots.begin() + static_cast<long>(si) + 1);
+            b.lruStamp = ++lruClock;
+            stats.inc("sb.hits");
+            if (si > 0)
+                stats.inc("sb.skipped_slots", si);
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+StreamBufferPrefetcher::streamFill(std::uint32_t stream_id,
+                                   std::uint32_t slot_id, Addr block_addr)
+{
+    if (stream_id >= buffers.size()) {
+        stats.inc("sb.orphan_fills");
+        return;
+    }
+    Buffer &b = buffers[stream_id];
+    b.requestInFlight = false;
+    if (!b.active) {
+        stats.inc("sb.orphan_fills");
+        return;
+    }
+    for (Slot &s : b.slots) {
+        if (s.addr == block_addr && !s.filled) {
+            s.filled = true;
+            stats.inc("sb.fills");
+            return;
+        }
+    }
+    // The buffer was re-aimed while the request was in flight.
+    stats.inc("sb.orphan_fills");
+}
+
+void
+StreamBufferPrefetcher::tick(Cycle now)
+{
+    unsigned bb = mem.l1i().config().blockBytes;
+    // Top up each buffer, one outstanding request per buffer.
+    for (std::uint32_t bi = 0; bi < buffers.size(); ++bi) {
+        Buffer &b = buffers[bi];
+        if (!b.active || b.requestInFlight ||
+            b.slots.size() >= cfg.depth) {
+            continue;
+        }
+        // Stream past blocks the cache already holds (the stream
+        // buffer sits beside the L1 and can see its tags).
+        if (mem.tagProbe(b.nextAddr)) {
+            b.nextAddr += bb;
+            stats.inc("sb.skipped_redundant");
+            continue;
+        }
+        auto result = mem.issuePrefetch(
+            b.nextAddr, now, FillDest::StreamBuffer, bi,
+            static_cast<std::uint32_t>(b.slots.size()));
+        switch (result) {
+          case MemHierarchy::PfIssue::Issued:
+            b.slots.push_back({b.nextAddr, false});
+            b.nextAddr += bb;
+            b.requestInFlight = true;
+            stats.inc("sb.issued");
+            break;
+          case MemHierarchy::PfIssue::Redundant:
+            // Already cached or in flight elsewhere: stream past it.
+            b.nextAddr += bb;
+            stats.inc("sb.skipped_redundant");
+            break;
+          case MemHierarchy::PfIssue::NoResource:
+            stats.inc("sb.issue_stalls");
+            return; // shared buses: no point trying other buffers
+        }
+    }
+}
+
+} // namespace fdip

@@ -1,0 +1,82 @@
+/**
+ * @file stream_buffer.hh
+ * Jouppi-style instruction stream buffers: on an L1-I miss, a buffer is
+ * allocated and prefetches the successive cache blocks into its FIFO
+ * slots. Demand misses probe the buffers (fully-associative lookup
+ * across slots, the Farkas/Palacharla-Kessler improvement); a hit moves
+ * the block into the L1 and the buffer streams further ahead. An
+ * optional two-miss allocation filter suppresses one-off miss streams.
+ */
+
+#ifndef FDIP_PREFETCH_STREAM_BUFFER_HH
+#define FDIP_PREFETCH_STREAM_BUFFER_HH
+
+#include <deque>
+#include <vector>
+
+#include "prefetch/prefetcher.hh"
+
+namespace fdip
+{
+
+class StreamBufferPrefetcher : public Prefetcher,
+                               public StreamFillClient,
+                               public StreamProbeClient
+{
+  public:
+    struct Config
+    {
+        unsigned numBuffers = 4;
+        unsigned depth = 4;
+        /** Allocate only on the second of two sequential misses. */
+        bool allocationFilter = true;
+        unsigned missHistoryEntries = 16;
+    };
+
+    StreamBufferPrefetcher(MemHierarchy &mem, const Config &config);
+
+    std::string name() const override { return "stream"; }
+    void tick(Cycle now) override;
+    void onDemandAccess(Addr block_addr, const FetchAccess &access,
+                        Cycle now) override;
+
+    // StreamFillClient
+    void streamFill(std::uint32_t stream_id, std::uint32_t slot_id,
+                    Addr block_addr) override;
+
+    // StreamProbeClient
+    bool probeAndConsume(Addr block_addr, Cycle now) override;
+
+    const Config &config() const { return cfg; }
+
+  private:
+    struct Slot
+    {
+        Addr addr = invalidAddr;
+        bool filled = false;
+    };
+
+    struct Buffer
+    {
+        bool active = false;
+        std::deque<Slot> slots;
+        /** Next sequential block this buffer will request. */
+        Addr nextAddr = invalidAddr;
+        std::uint64_t lruStamp = 0;
+        bool requestInFlight = false;
+    };
+
+    void allocate(Addr miss_addr);
+    bool recentlyMissed(Addr block_addr) const;
+    void recordMiss(Addr block_addr);
+
+    MemHierarchy &mem;
+    Config cfg;
+    std::vector<Buffer> buffers;
+    std::deque<Addr> missHistory;
+    std::uint64_t lruClock = 0;
+};
+
+} // namespace fdip
+
+#endif // FDIP_PREFETCH_STREAM_BUFFER_HH

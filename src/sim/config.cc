@@ -1,0 +1,48 @@
+#include "sim/config.hh"
+
+#include "common/logging.hh"
+
+namespace fdip
+{
+
+const char *
+schemeName(PrefetchScheme scheme)
+{
+    switch (scheme) {
+      case PrefetchScheme::None: return "none";
+      case PrefetchScheme::Nlp: return "nlp";
+      case PrefetchScheme::StreamBuffer: return "stream";
+      case PrefetchScheme::FdpNone: return "fdp-nofilter";
+      case PrefetchScheme::FdpEnqueue: return "fdp-enqueue";
+      case PrefetchScheme::FdpEnqueueAggressive:
+        return "fdp-enqueue-aggr";
+      case PrefetchScheme::FdpRemove: return "fdp-remove";
+      case PrefetchScheme::FdpIdeal: return "fdp-ideal";
+      case PrefetchScheme::Oracle: return "oracle";
+    }
+    return "?";
+}
+
+bool
+schemeIsFdp(PrefetchScheme scheme)
+{
+    return scheme == PrefetchScheme::FdpNone ||
+        scheme == PrefetchScheme::FdpEnqueue ||
+        scheme == PrefetchScheme::FdpEnqueueAggressive ||
+        scheme == PrefetchScheme::FdpRemove ||
+        scheme == PrefetchScheme::FdpIdeal;
+}
+
+void
+SimConfig::validate() const
+{
+    fatal_if(measureInsts == 0, "measureInsts must be nonzero");
+    fatal_if(ftqEntries == 0, "FTQ needs at least one entry");
+    fatal_if(bpu.maxBlockInsts == 0, "fetch block size must be nonzero");
+    fatal_if(cycleLimitPerInst <= 1.0, "cycle limit too low to finish");
+    fatal_if(usePartitionedBtb && bpu.blockBased,
+             "partitioned BTB requires the conventional (non-FTB) "
+             "front-end");
+}
+
+} // namespace fdip

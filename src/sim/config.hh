@@ -1,0 +1,83 @@
+/**
+ * @file config.hh
+ * Top-level simulation configuration: workload, front-end geometry,
+ * memory hierarchy, prefetch scheme, and run lengths.
+ */
+
+#ifndef FDIP_SIM_CONFIG_HH
+#define FDIP_SIM_CONFIG_HH
+
+#include <optional>
+#include <string>
+
+#include "bpu/bpu.hh"
+#include "bpu/partitioned_btb.hh"
+#include "core/backend.hh"
+#include "frontend/fetch_engine.hh"
+#include "mem/hierarchy.hh"
+#include "prefetch/fdp.hh"
+#include "prefetch/nlp.hh"
+#include "prefetch/oracle.hh"
+#include "prefetch/stream_buffer.hh"
+
+namespace fdip
+{
+
+/** The prefetching schemes the MICRO-32 evaluation compares. */
+enum class PrefetchScheme
+{
+    None,         ///< no-prefetch baseline
+    Nlp,          ///< tagged next-line prefetching
+    StreamBuffer, ///< Jouppi streaming buffers
+    FdpNone,      ///< fetch-directed, no filtering
+    FdpEnqueue,   ///< fetch-directed, enqueue cache-probe filtering
+    FdpEnqueueAggressive, ///< enqueue CPF, unprobed on port shortage
+    FdpRemove,    ///< fetch-directed, remove cache-probe filtering
+    FdpIdeal,     ///< fetch-directed, ideal cache-probe filtering
+    Oracle,       ///< perfect-address prefetcher (upper bound)
+};
+
+const char *schemeName(PrefetchScheme scheme);
+bool schemeIsFdp(PrefetchScheme scheme);
+
+struct SimConfig
+{
+    std::string workload = "gcc";
+    /**
+     * When set, this profile is simulated instead of looking
+     * @c workload up in the built-in suite (the name is then only a
+     * label). This is the hook for user-defined workloads.
+     */
+    std::optional<WorkloadProfile> customProfile;
+    std::uint64_t warmupInsts = 300 * 1000;
+    std::uint64_t measureInsts = 1000 * 1000;
+    std::uint64_t seedOffset = 0; ///< extra seed entropy for replicates
+
+    std::size_t ftqEntries = 32;
+    FetchEngine::Config fetch;
+    BpuConfig bpu;
+    Backend::Config backend;
+    MemConfig mem;
+    unsigned maxOutstandingPrefetches = 8;
+
+    PrefetchScheme scheme = PrefetchScheme::None;
+    FdpPrefetcher::Config fdp;
+    NlpPrefetcher::Config nlp;
+    StreamBufferPrefetcher::Config sb;
+    OraclePrefetcher::Config oracle;
+    /** Run NLP alongside FDP (combined scheme). */
+    bool combineNlp = false;
+
+    /** Extension: conventional front-end with a partitioned BTB. */
+    bool usePartitionedBtb = false;
+    PartitionedBtb::Config pbtb;
+
+    /** Abort if a run exceeds this many cycles per instruction. */
+    double cycleLimitPerInst = 300.0;
+
+    void validate() const;
+};
+
+} // namespace fdip
+
+#endif // FDIP_SIM_CONFIG_HH

@@ -1,0 +1,97 @@
+#include "sim/presets.hh"
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace fdip
+{
+
+SimConfig
+makeBaselineConfig(const std::string &workload, PrefetchScheme scheme)
+{
+    SimConfig cfg;
+    cfg.workload = workload;
+    cfg.scheme = scheme;
+
+    cfg.ftqEntries = 32;
+    cfg.fetch.fetchWidth = 8;
+    cfg.fetch.decodeRedirectLatency = 3;
+    cfg.fetch.resolveRedirectLatency = 12;
+
+    cfg.bpu.blockBased = true;
+    cfg.bpu.maxBlockInsts = 8;
+    cfg.bpu.rasDepth = 32;
+    cfg.bpu.ftb.sets = 1024;
+    cfg.bpu.ftb.ways = 4;
+
+    cfg.backend.retireWidth = 4;
+    cfg.backend.queueDepth = 32;
+
+    cfg.mem.l1i.sizeBytes = 16 * 1024;
+    cfg.mem.l1i.assoc = 2;
+    cfg.mem.l1i.blockBytes = 32;
+    cfg.mem.l1TagPorts = 2;
+    cfg.mem.l2.sizeBytes = 1024 * 1024;
+    cfg.mem.l2.assoc = 8;
+    cfg.mem.l2.blockBytes = 32;
+    cfg.mem.l2HitLatency = 12;
+    cfg.mem.dramLatency = 70;
+    cfg.mem.prefetchBufferEntries = 32;
+
+    return cfg;
+}
+
+std::vector<BtbBudgetPoint>
+btbBudgetLadder()
+{
+    // Unified block-based BTB: 8-way; entry = tag + type(2) + bbsize(5)
+    // + target(46); tag shrinks one bit per doubling of sets. The
+    // partitioned design at each rung is sized by
+    // PartitionedBtb::makeDefaultConfig(ftbEntries) to fit inside the
+    // same budget with ~2.4x the entries.
+    return {
+        {1024, 11.5},
+        {2048, 22.75},
+        {4096, 45.0},
+        {8192, 89.0},
+        {16384, 176.0},
+        {32768, 348.0},
+    };
+}
+
+void
+applyFtbBudget(SimConfig &cfg, unsigned entries)
+{
+    fatal_if(entries < 8, "FTB budget too small");
+    cfg.bpu.blockBased = true;
+    cfg.usePartitionedBtb = false;
+    cfg.bpu.ftb.ways = 8;
+    cfg.bpu.ftb.sets = std::max(1u, entries / cfg.bpu.ftb.ways);
+    fatal_if(!isPowerOf2(cfg.bpu.ftb.sets),
+             "FTB entries must give a power-of-two set count");
+}
+
+void
+applyPartitionedBudget(SimConfig &cfg, unsigned unified_entries)
+{
+    cfg.bpu.blockBased = false;
+    cfg.usePartitionedBtb = true;
+    cfg.pbtb = PartitionedBtb::makeDefaultConfig(unified_entries,
+                                                 /*tag_bits=*/16);
+}
+
+void
+applyUnifiedBtbBudget(SimConfig &cfg, unsigned entries)
+{
+    fatal_if(entries < 8, "BTB budget too small");
+    cfg.bpu.blockBased = false;
+    cfg.usePartitionedBtb = false;
+    cfg.bpu.btb.ways = 8;
+    cfg.bpu.btb.sets = std::max(1u, entries / cfg.bpu.btb.ways);
+    cfg.bpu.btb.tagBits = 0;
+    cfg.bpu.btb.offsetBits = 0;
+    fatal_if(!isPowerOf2(cfg.bpu.btb.sets),
+             "BTB entries must give a power-of-two set count");
+}
+
+} // namespace fdip

@@ -1,0 +1,54 @@
+/**
+ * @file presets.hh
+ * Canonical machine configurations: the baseline front-end of the
+ * MICRO-32 study, plus the budget ladders used by the BTB-storage
+ * extension experiments.
+ */
+
+#ifndef FDIP_SIM_PRESETS_HH
+#define FDIP_SIM_PRESETS_HH
+
+#include <vector>
+
+#include "sim/config.hh"
+
+namespace fdip
+{
+
+/**
+ * The default machine: 16KB 2-way L1-I (32B blocks, 2 tag ports),
+ * 1MB L2, FTB-based decoupled front-end with a 32-entry FTQ, hybrid
+ * direction predictor, 32-entry prefetch buffer.
+ */
+SimConfig makeBaselineConfig(const std::string &workload,
+                             PrefetchScheme scheme = PrefetchScheme::None);
+
+/** One rung of the BTB-storage ladder (extension experiments). */
+struct BtbBudgetPoint
+{
+    unsigned ftbEntries;  ///< unified block-based BTB entries
+    double ftbBudgetKB;   ///< unified storage at this rung
+};
+
+/** The six-rung ladder (1K..32K-entry unified block-based BTB). */
+std::vector<BtbBudgetPoint> btbBudgetLadder();
+
+/** Configure the unified block-based FTB at @p entries (8-way). */
+void applyFtbBudget(SimConfig &cfg, unsigned entries);
+
+/**
+ * Configure the conventional front-end with the 4-partition BTB sized
+ * to fit the storage of a @p unified_entries unified block-based BTB,
+ * 16-bit tags.
+ */
+void applyPartitionedBudget(SimConfig &cfg, unsigned unified_entries);
+
+/**
+ * Configure the conventional front-end with a unified full-tag,
+ * full-target BTB of @p entries (8-way).
+ */
+void applyUnifiedBtbBudget(SimConfig &cfg, unsigned entries);
+
+} // namespace fdip
+
+#endif // FDIP_SIM_PRESETS_HH

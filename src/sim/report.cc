@@ -1,0 +1,28 @@
+#include "sim/report.hh"
+
+#include "common/logging.hh"
+
+namespace fdip
+{
+
+std::string
+experimentBanner(const std::string &id, const std::string &title,
+                 const std::string &paper_shape)
+{
+    std::string bar(72, '=');
+    return bar + "\n" + id + ": " + title + "\n" +
+        "expected shape: " + paper_shape + "\n" + bar + "\n";
+}
+
+std::string
+summarizeRun(const SimResults &r)
+{
+    return strprintf(
+        "%-10s %-14s ipc=%.3f mpki=%6.2f l2bus=%5.1f%% acc=%5.1f%% "
+        "cov=%5.1f%%",
+        r.workload.c_str(), r.scheme.c_str(), r.ipc, r.mpki,
+        r.l2BusUtil * 100.0, r.prefetchAccuracy * 100.0,
+        r.prefetchCoverage * 100.0);
+}
+
+} // namespace fdip

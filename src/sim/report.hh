@@ -1,0 +1,28 @@
+/**
+ * @file report.hh
+ * Formatting helpers shared by the benchmark harness binaries.
+ */
+
+#ifndef FDIP_SIM_REPORT_HH
+#define FDIP_SIM_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "sim/simulator.hh"
+
+namespace fdip
+{
+
+/** "experiment banner" printed at the top of every bench binary. */
+std::string experimentBanner(const std::string &id,
+                             const std::string &title,
+                             const std::string &paper_shape);
+
+/** One-line summary of a run (workload, scheme, ipc, mpki, util). */
+std::string summarizeRun(const SimResults &r);
+
+} // namespace fdip
+
+#endif // FDIP_SIM_REPORT_HH

@@ -1,0 +1,75 @@
+#include "sim/runner.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace fdip
+{
+
+SimResults
+simulate(const SimConfig &cfg)
+{
+    Simulator sim(cfg);
+    return sim.run();
+}
+
+Runner::Runner(std::uint64_t warmup_insts, std::uint64_t measure_insts)
+    : warmup(warmup_insts), measure(measure_insts)
+{}
+
+const SimResults &
+Runner::run(const std::string &workload, PrefetchScheme scheme,
+            const std::string &tweak_key, const Tweak &tweak)
+{
+    std::string key = workload + "/" + schemeName(scheme) + "/" +
+        tweak_key;
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+
+    SimConfig cfg = makeBaselineConfig(workload, scheme);
+    cfg.warmupInsts = warmup;
+    cfg.measureInsts = measure;
+    if (tweak)
+        tweak(cfg);
+    auto [pos, inserted] = cache.emplace(key, simulate(cfg));
+    return pos->second;
+}
+
+double
+Runner::speedup(const std::string &workload, PrefetchScheme scheme,
+                const std::string &tweak_key, const Tweak &tweak)
+{
+    const SimResults &base =
+        run(workload, PrefetchScheme::None, tweak_key, tweak);
+    const SimResults &with =
+        run(workload, scheme, tweak_key, tweak);
+    return speedupOver(base, with);
+}
+
+double
+gmeanSpeedup(const std::vector<double> &speedups)
+{
+    if (speedups.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double s : speedups) {
+        panic_if(1.0 + s <= 0.0, "speedup below -100%%");
+        log_sum += std::log(1.0 + s);
+    }
+    return std::exp(log_sum / static_cast<double>(speedups.size())) - 1.0;
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+} // namespace fdip

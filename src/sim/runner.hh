@@ -1,0 +1,69 @@
+/**
+ * @file runner.hh
+ * Experiment runner: executes (workload x scheme) grids with memoized
+ * baselines so a bench binary never simulates the same point twice.
+ */
+
+#ifndef FDIP_SIM_RUNNER_HH
+#define FDIP_SIM_RUNNER_HH
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "sim/presets.hh"
+#include "sim/simulator.hh"
+
+namespace fdip
+{
+
+/** Build + run one simulation from a fully-specified config. */
+SimResults simulate(const SimConfig &cfg);
+
+class Runner
+{
+  public:
+    /**
+     * @param warmup_insts warmup instructions per run
+     * @param measure_insts measured instructions per run
+     */
+    Runner(std::uint64_t warmup_insts = 300 * 1000,
+           std::uint64_t measure_insts = 1000 * 1000);
+
+    using Tweak = std::function<void(SimConfig &)>;
+
+    /**
+     * Run @p workload under @p scheme on the baseline machine with an
+     * optional config tweak. Results are memoized on
+     * (workload, scheme, tweak_key); pass distinct keys for distinct
+     * tweaks.
+     */
+    const SimResults &run(const std::string &workload,
+                          PrefetchScheme scheme,
+                          const std::string &tweak_key = "",
+                          const Tweak &tweak = nullptr);
+
+    /** Speedup of (workload, scheme [, tweak]) over the no-prefetch
+     *  baseline with the same non-scheme tweaks applied. */
+    double speedup(const std::string &workload, PrefetchScheme scheme,
+                   const std::string &tweak_key = "",
+                   const Tweak &tweak = nullptr);
+
+    std::uint64_t warmupInsts() const { return warmup; }
+    std::uint64_t measureInsts() const { return measure; }
+
+  private:
+    std::uint64_t warmup;
+    std::uint64_t measure;
+    std::map<std::string, SimResults> cache;
+};
+
+/** Geometric-mean speedup: gmean over (1 + s_i), minus 1. */
+double gmeanSpeedup(const std::vector<double> &speedups);
+
+/** Arithmetic mean. */
+double mean(const std::vector<double> &values);
+
+} // namespace fdip
+
+#endif // FDIP_SIM_RUNNER_HH

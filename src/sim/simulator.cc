@@ -1,0 +1,215 @@
+#include "sim/simulator.hh"
+
+#include "common/logging.hh"
+#include "trace/profile.hh"
+
+namespace fdip
+{
+
+double
+speedupOver(const SimResults &baseline, const SimResults &other)
+{
+    panic_if(baseline.ipc <= 0.0, "baseline IPC must be positive");
+    return other.ipc / baseline.ipc - 1.0;
+}
+
+Simulator::Simulator(const SimConfig &config)
+    : cfg(config)
+{
+    cfg.validate();
+
+    WorkloadProfile profile = cfg.customProfile
+        ? *cfg.customProfile
+        : findProfile(cfg.workload);
+    profile.seed += cfg.seedOffset;
+    prog = buildProgram(profile);
+    image = std::make_unique<CodeImage>(*prog);
+    exec = std::make_unique<SyntheticExecutor>(*prog, profile);
+    trace = std::make_unique<TraceWindow>(*exec);
+
+    std::unique_ptr<BtbIface> custom_btb;
+    if (cfg.usePartitionedBtb)
+        custom_btb = std::make_unique<PartitionedBtb>(cfg.pbtb);
+    bpu_ = std::make_unique<Bpu>(*trace, cfg.bpu, std::move(custom_btb));
+
+    mem_ = std::make_unique<MemHierarchy>(cfg.mem);
+    mem_->setMaxOutstandingPrefetches(cfg.maxOutstandingPrefetches);
+    ftq_ = std::make_unique<Ftq>(cfg.ftqEntries,
+                                 cfg.mem.l1i.blockBytes);
+    backend_ = std::make_unique<Backend>(cfg.backend);
+    fetch_ = std::make_unique<FetchEngine>(*ftq_, *mem_, *backend_,
+                                           cfg.fetch);
+
+    switch (cfg.scheme) {
+      case PrefetchScheme::None:
+        break;
+      case PrefetchScheme::Nlp:
+        prefetchers.push_back(
+            std::make_unique<NlpPrefetcher>(*mem_, cfg.nlp));
+        break;
+      case PrefetchScheme::StreamBuffer:
+        prefetchers.push_back(
+            std::make_unique<StreamBufferPrefetcher>(*mem_, cfg.sb));
+        break;
+      case PrefetchScheme::Oracle:
+        prefetchers.push_back(std::make_unique<OraclePrefetcher>(
+            *trace, *bpu_, *mem_, cfg.oracle));
+        break;
+      case PrefetchScheme::FdpNone:
+      case PrefetchScheme::FdpEnqueue:
+      case PrefetchScheme::FdpEnqueueAggressive:
+      case PrefetchScheme::FdpRemove:
+      case PrefetchScheme::FdpIdeal: {
+        FdpPrefetcher::Config fc = cfg.fdp;
+        if (cfg.scheme == PrefetchScheme::FdpNone)
+            fc.mode = CpfMode::None;
+        else if (cfg.scheme == PrefetchScheme::FdpEnqueue)
+            fc.mode = CpfMode::Enqueue;
+        else if (cfg.scheme == PrefetchScheme::FdpEnqueueAggressive)
+            fc.mode = CpfMode::EnqueueAggressive;
+        else if (cfg.scheme == PrefetchScheme::FdpRemove)
+            fc.mode = CpfMode::Remove;
+        else
+            fc.mode = CpfMode::Ideal;
+        prefetchers.push_back(
+            std::make_unique<FdpPrefetcher>(*ftq_, *mem_, fc));
+        if (cfg.combineNlp) {
+            prefetchers.push_back(
+                std::make_unique<NlpPrefetcher>(*mem_, cfg.nlp));
+        }
+        break;
+      }
+    }
+
+    for (auto &pf : prefetchers)
+        fetch_->addPrefetcher(pf.get());
+}
+
+Simulator::~Simulator() = default;
+
+void
+Simulator::step()
+{
+    ++curCycle;
+    mem_->tick(curCycle);
+
+    if (fetch_->redirectPending() &&
+        curCycle >= fetch_->redirectTime()) {
+        bpu_->redirect();
+        ftq_->flush();
+        fetch_->squash();
+        backend_->squashWrongPath();
+        for (auto &pf : prefetchers)
+            pf->onRedirect(curCycle);
+    }
+
+    backend_->tick(curCycle);
+    fetch_->tick(curCycle);
+    for (auto &pf : prefetchers)
+        pf->tick(curCycle);
+
+    if (!ftq_->full())
+        ftq_->push(bpu_->predictBlock());
+
+    ftq_->sampleOccupancy();
+    trace->retireUpTo(backend_->committed());
+}
+
+void
+Simulator::collectAll(StatSet &out) const
+{
+    mem_->collectStats(out);
+    out.merge(bpu_->stats);
+    if (bpu_->ftb())
+        out.merge(bpu_->ftb()->stats);
+    if (bpu_->btb())
+        out.merge(bpu_->btb()->stats);
+    out.merge(ftq_->stats);
+    out.merge(fetch_->stats);
+    out.merge(backend_->stats);
+    for (const auto &pf : prefetchers) {
+        out.merge(pf->stats);
+    }
+    out.set("sim.cycles", static_cast<double>(curCycle));
+    out.set("sim.committed", static_cast<double>(backend_->committed()));
+}
+
+SimResults
+Simulator::finalize(const StatSet &delta, Cycle cycles_delta,
+                    std::uint64_t insts_delta) const
+{
+    SimResults r;
+    r.workload = cfg.workload;
+    r.scheme = schemeName(cfg.scheme);
+    r.cycles = cycles_delta;
+    r.instructions = insts_delta;
+    r.ipc = cycles_delta == 0 ? 0.0
+        : static_cast<double>(insts_delta) /
+          static_cast<double>(cycles_delta);
+
+    double kinsts = static_cast<double>(insts_delta) / 1000.0;
+    double true_misses = delta.value("mem.demand_misses") -
+        delta.value("mem.inflight_merges");
+    r.mpki = kinsts > 0.0 ? true_misses / kinsts : 0.0;
+
+    r.l2BusUtil = cycles_delta == 0 ? 0.0
+        : delta.value("l2bus.bus.busy_cycles") /
+          static_cast<double>(cycles_delta);
+    r.memBusUtil = cycles_delta == 0 ? 0.0
+        : delta.value("membus.bus.busy_cycles") /
+          static_cast<double>(cycles_delta);
+
+    double issued = delta.value("mem.prefetches_issued");
+    double useful = delta.value("pfbuf.consumed") +
+        delta.value("sb.hits") +
+        delta.value("mem.inflight_prefetch_merges");
+    r.prefetchAccuracy = issued > 0.0 ? useful / issued : 0.0;
+
+    double would_miss = useful + true_misses;
+    r.prefetchCoverage = would_miss > 0.0 ? useful / would_miss : 0.0;
+
+    r.condMispredictPerKilo = kinsts > 0.0
+        ? delta.value("bpu.diverge_cond") / kinsts : 0.0;
+
+    r.ftqOccupancy = ftq_->occupancyHist();
+    r.stats = delta;
+    return r;
+}
+
+SimResults
+Simulator::run()
+{
+    std::uint64_t total_insts = cfg.warmupInsts + cfg.measureInsts;
+    Cycle cycle_cap = static_cast<Cycle>(
+        cfg.cycleLimitPerInst * static_cast<double>(total_insts)) + 10000;
+
+    // Warmup window.
+    while (backend_->committed() < cfg.warmupInsts) {
+        step();
+        panic_if(curCycle > cycle_cap,
+                 "simulation wedged during warmup (%s/%s)",
+                 cfg.workload.c_str(), schemeName(cfg.scheme));
+    }
+
+    StatSet at_warmup;
+    collectAll(at_warmup);
+    Cycle warmup_cycles = curCycle;
+    std::uint64_t warmup_insts = backend_->committed();
+    ftq_->resetOccupancy();
+
+    // Measurement window.
+    while (backend_->committed() < total_insts) {
+        step();
+        panic_if(curCycle > cycle_cap,
+                 "simulation wedged during measurement (%s/%s)",
+                 cfg.workload.c_str(), schemeName(cfg.scheme));
+    }
+
+    StatSet at_end;
+    collectAll(at_end);
+    StatSet delta = StatSet::subtract(at_end, at_warmup);
+    return finalize(delta, curCycle - warmup_cycles,
+                    backend_->committed() - warmup_insts);
+}
+
+} // namespace fdip

@@ -1,0 +1,92 @@
+/**
+ * @file simulator.hh
+ * Wires the whole system together — workload, BPU, FTQ, fetch engine,
+ * memory hierarchy, prefetchers, backend — and runs the cycle loop.
+ */
+
+#ifndef FDIP_SIM_SIMULATOR_HH
+#define FDIP_SIM_SIMULATOR_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/histogram.hh"
+#include "sim/config.hh"
+#include "trace/code_image.hh"
+#include "trace/executor.hh"
+#include "trace/synth_builder.hh"
+
+namespace fdip
+{
+
+/** Everything a benchmark needs from one simulation run. */
+struct SimResults
+{
+    std::string workload;
+    std::string scheme;
+
+    Cycle cycles = 0;
+    std::uint64_t instructions = 0;
+    double ipc = 0.0;
+
+    /** L1-I demand misses (not covered by any buffer) per kilo-inst. */
+    double mpki = 0.0;
+    double l2BusUtil = 0.0;
+    double memBusUtil = 0.0;
+    double prefetchAccuracy = 0.0;
+    double prefetchCoverage = 0.0;
+    double condMispredictPerKilo = 0.0;
+
+    Histogram ftqOccupancy{0};
+
+    /** Raw measurement-window counter deltas from every component. */
+    StatSet stats;
+};
+
+/** ipc_b / ipc_a - 1: fractional speedup of b over a. */
+double speedupOver(const SimResults &baseline, const SimResults &other);
+
+class Simulator
+{
+  public:
+    explicit Simulator(const SimConfig &config);
+    ~Simulator();
+
+    /** Run warmup + measurement; returns measurement-window results. */
+    SimResults run();
+
+    /** Access for white-box integration tests. */
+    Bpu &bpu() { return *bpu_; }
+    Ftq &ftq() { return *ftq_; }
+    MemHierarchy &mem() { return *mem_; }
+    Backend &backend() { return *backend_; }
+    const Program &program() const { return *prog; }
+    const CodeImage &codeImage() const { return *image; }
+    Cycle now() const { return curCycle; }
+
+    /** Advance one cycle (exposed for fine-grained tests). */
+    void step();
+
+  private:
+    void collectAll(StatSet &out) const;
+    SimResults finalize(const StatSet &delta, Cycle cycles_delta,
+                        std::uint64_t insts_delta) const;
+
+    SimConfig cfg;
+    std::unique_ptr<Program> prog;
+    std::unique_ptr<CodeImage> image;
+    std::unique_ptr<SyntheticExecutor> exec;
+    std::unique_ptr<TraceWindow> trace;
+    std::unique_ptr<Bpu> bpu_;
+    std::unique_ptr<Ftq> ftq_;
+    std::unique_ptr<MemHierarchy> mem_;
+    std::unique_ptr<Backend> backend_;
+    std::unique_ptr<FetchEngine> fetch_;
+    std::vector<std::unique_ptr<Prefetcher>> prefetchers;
+
+    Cycle curCycle = 0;
+};
+
+} // namespace fdip
+
+#endif // FDIP_SIM_SIMULATOR_HH

@@ -1,0 +1,64 @@
+#include "trace/code_image.hh"
+
+#include "common/logging.hh"
+
+namespace fdip
+{
+
+CodeImage::CodeImage(const Program &prog)
+    : base_(prog.base), end_(prog.codeEnd())
+{
+    panic_if(end_ <= base_, "CodeImage over empty program");
+    insts.resize((end_ - base_) / instBytes);
+
+    for (const auto &fn : prog.funcs) {
+        for (const auto &bb : fn.blocks) {
+            if (bb.term == InstClass::NonCF)
+                continue;
+            std::size_t idx = (bb.terminatorPc() - base_) / instBytes;
+            StaticInst &si = insts[idx];
+            si.cls = bb.term;
+            switch (bb.term) {
+              case InstClass::CondBr:
+              case InstClass::Jump:
+                si.target = fn.blocks[bb.targetBb].start;
+                break;
+              case InstClass::Call:
+                si.target = prog.funcs[bb.targetFn].entry;
+                break;
+              default:
+                si.target = invalidAddr;
+                break;
+            }
+        }
+    }
+}
+
+const StaticInst &
+CodeImage::at(Addr pc) const
+{
+    panic_if(!contains(pc), "CodeImage::at(%#llx) outside image",
+             static_cast<unsigned long long>(pc));
+    return insts[(pc - base_) / instBytes];
+}
+
+const StaticInst &
+CodeImage::atOrPlain(Addr pc) const
+{
+    if (!contains(pc))
+        return plain;
+    return insts[(pc - base_) / instBytes];
+}
+
+std::uint64_t
+CodeImage::countClass(InstClass cls) const
+{
+    std::uint64_t n = 0;
+    for (const auto &si : insts) {
+        if (si.cls == cls)
+            ++n;
+    }
+    return n;
+}
+
+} // namespace fdip

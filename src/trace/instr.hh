@@ -1,0 +1,106 @@
+/**
+ * @file instr.hh
+ * Dynamic instruction record produced by a trace source and consumed by
+ * the decoupled front-end simulator.
+ */
+
+#ifndef FDIP_TRACE_INSTR_HH
+#define FDIP_TRACE_INSTR_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace fdip
+{
+
+/** Instruction classes relevant to front-end modelling. */
+enum class InstClass : std::uint8_t
+{
+    NonCF,    ///< not a control-flow instruction
+    CondBr,   ///< direct conditional branch
+    Jump,     ///< direct unconditional jump
+    Call,     ///< direct call
+    Return,   ///< return (target comes from the return address stack)
+    IndJump,  ///< indirect unconditional jump
+    IndCall,  ///< indirect call
+};
+
+/** True for any control-flow instruction. */
+constexpr bool
+isControl(InstClass cls)
+{
+    return cls != InstClass::NonCF;
+}
+
+/** True when the instruction always transfers control when executed. */
+constexpr bool
+isUnconditional(InstClass cls)
+{
+    return cls == InstClass::Jump || cls == InstClass::Call ||
+        cls == InstClass::Return || cls == InstClass::IndJump ||
+        cls == InstClass::IndCall;
+}
+
+/** True for calls of any kind (push the return address stack). */
+constexpr bool
+isCall(InstClass cls)
+{
+    return cls == InstClass::Call || cls == InstClass::IndCall;
+}
+
+/** True when the branch target is direct (encodable in the BTB/image). */
+constexpr bool
+isDirect(InstClass cls)
+{
+    return cls == InstClass::CondBr || cls == InstClass::Jump ||
+        cls == InstClass::Call;
+}
+
+/** True when the target is only known at execution time. */
+constexpr bool
+isIndirect(InstClass cls)
+{
+    return cls == InstClass::IndJump || cls == InstClass::IndCall;
+}
+
+const char *instClassName(InstClass cls);
+
+/** One dynamic (correct-path) instruction. */
+struct TraceInstr
+{
+    Addr pc = invalidAddr;
+    InstClass cls = InstClass::NonCF;
+    /**
+     * Destination when control transfers. For conditional branches this
+     * holds the (static) taken target even when the branch is not taken.
+     */
+    Addr target = invalidAddr;
+    bool taken = false;
+
+    /** Address of the next dynamic instruction. */
+    Addr
+    nextPc() const
+    {
+        return taken ? target : pc + instBytes;
+    }
+};
+
+inline const char *
+instClassName(InstClass cls)
+{
+    switch (cls) {
+      case InstClass::NonCF: return "noncf";
+      case InstClass::CondBr: return "cond";
+      case InstClass::Jump: return "jump";
+      case InstClass::Call: return "call";
+      case InstClass::Return: return "ret";
+      case InstClass::IndJump: return "indjump";
+      case InstClass::IndCall: return "indcall";
+    }
+    return "?";
+}
+
+} // namespace fdip
+
+#endif // FDIP_TRACE_INSTR_HH

@@ -1,0 +1,191 @@
+/**
+ * @file profiles.cc
+ * The workload suite. Footprints and branch behaviour are chosen to span
+ * the space the MICRO-32 paper's SPEC95/C++ suite covers: from small
+ * loop-dominated codes that fit in a 16KB L1-I (li, ijpeg) to large
+ * branchy codes with hundreds of KB of text (gcc, vortex, groff).
+ */
+
+#include "trace/profile.hh"
+
+#include "common/logging.hh"
+
+namespace fdip
+{
+
+namespace
+{
+
+std::vector<WorkloadProfile>
+buildSuite()
+{
+    std::vector<WorkloadProfile> suite;
+
+    // Small-footprint, loop-heavy; near-zero L1-I pressure.
+    {
+        WorkloadProfile p;
+        p.name = "li";
+        p.seed = 101;
+        p.codeFootprintBytes = 24 * 1024;
+        p.meanBlockInsts = 5.5;
+        p.loopFraction = 0.42;
+        p.meanTripCount = 14.0;
+        p.calleeZipf = 1.1;
+        suite.push_back(p);
+    }
+    {
+        WorkloadProfile p;
+        p.name = "ijpeg";
+        p.seed = 102;
+        p.codeFootprintBytes = 40 * 1024;
+        p.meanBlockInsts = 8.0;
+        p.loopFraction = 0.50;
+        p.meanTripCount = 24.0;
+        p.wCond = 0.50;
+        p.wCall = 0.14;
+        p.calleeZipf = 1.2;
+        suite.push_back(p);
+    }
+    {
+        WorkloadProfile p;
+        p.name = "m88ksim";
+        p.seed = 103;
+        p.codeFootprintBytes = 56 * 1024;
+        p.meanBlockInsts = 6.0;
+        p.loopFraction = 0.34;
+        p.meanTripCount = 10.0;
+        p.calleeZipf = 1.0;
+        suite.push_back(p);
+    }
+    {
+        WorkloadProfile p;
+        p.name = "deltablue";
+        p.seed = 104;
+        p.codeFootprintBytes = 72 * 1024;
+        p.meanBlockInsts = 4.5;   // C++-style short blocks
+        p.wCall = 0.24;           // call-heavy
+        p.wIndCall = 0.08;        // virtual dispatch
+        p.loopFraction = 0.20;
+        p.meanTripCount = 5.0;
+        p.calleeZipf = 0.9;
+        suite.push_back(p);
+    }
+
+    // Large-footprint, branchy; heavy L1-I pressure.
+    {
+        WorkloadProfile p;
+        p.name = "burg";
+        p.seed = 105;
+        p.codeFootprintBytes = 144 * 1024;
+        p.meanBlockInsts = 5.0;
+        p.loopFraction = 0.22;
+        p.meanTripCount = 6.0;
+        p.calleeZipf = 0.95;
+        p.phaseLen = 900 * 1000;
+        suite.push_back(p);
+    }
+    {
+        WorkloadProfile p;
+        p.name = "perl";
+        p.seed = 106;
+        p.codeFootprintBytes = 176 * 1024;
+        p.meanBlockInsts = 5.5;
+        p.wIndCall = 0.06;        // opcode dispatch
+        p.loopFraction = 0.24;
+        p.meanTripCount = 7.0;
+        p.calleeZipf = 0.92;
+        p.phaseLen = 700 * 1000;
+        suite.push_back(p);
+    }
+    {
+        WorkloadProfile p;
+        p.name = "go";
+        p.seed = 107;
+        p.codeFootprintBytes = 208 * 1024;
+        p.meanBlockInsts = 6.5;
+        p.loopFraction = 0.18;
+        p.meanTripCount = 5.0;
+        p.biasLo = 0.15;          // hard-to-predict branches
+        p.biasHi = 0.85;
+        p.patternFraction = 0.15;
+        p.calleeZipf = 0.9;
+        suite.push_back(p);
+    }
+    {
+        WorkloadProfile p;
+        p.name = "groff";
+        p.seed = 108;
+        p.codeFootprintBytes = 240 * 1024;
+        p.meanBlockInsts = 4.5;   // C++-style short blocks
+        p.wCall = 0.22;
+        p.wIndCall = 0.07;
+        p.loopFraction = 0.20;
+        p.meanTripCount = 6.0;
+        p.calleeZipf = 0.95;
+        p.phaseLen = 800 * 1000;
+        suite.push_back(p);
+    }
+    {
+        WorkloadProfile p;
+        p.name = "gcc";
+        p.seed = 109;
+        p.codeFootprintBytes = 288 * 1024;
+        p.meanBlockInsts = 5.0;
+        p.loopFraction = 0.20;
+        p.meanTripCount = 5.0;
+        p.calleeZipf = 0.85;      // flat reuse: big active set
+        p.phaseLen = 600 * 1000;
+        suite.push_back(p);
+    }
+    {
+        WorkloadProfile p;
+        p.name = "vortex";
+        p.seed = 110;
+        p.codeFootprintBytes = 256 * 1024;
+        p.meanBlockInsts = 6.0;
+        p.wCall = 0.22;
+        p.loopFraction = 0.18;
+        p.meanTripCount = 5.0;
+        p.calleeZipf = 1.0;
+        p.phaseLen = 750 * 1000;
+        suite.push_back(p);
+    }
+
+    return suite;
+}
+
+} // namespace
+
+const std::vector<WorkloadProfile> &
+workloadSuite()
+{
+    static const std::vector<WorkloadProfile> suite = buildSuite();
+    return suite;
+}
+
+const WorkloadProfile &
+findProfile(const std::string &name)
+{
+    for (const auto &p : workloadSuite()) {
+        if (p.name == name)
+            return p;
+    }
+    fatal("unknown workload profile '%s'", name.c_str());
+}
+
+std::vector<std::string>
+largeFootprintNames()
+{
+    return {"burg", "perl", "go", "groff", "gcc", "vortex"};
+}
+
+std::vector<std::string>
+allWorkloadNames()
+{
+    std::vector<std::string> names;
+    for (const auto &p : workloadSuite())
+        names.push_back(p.name);
+    return names;
+}
+
+} // namespace fdip

@@ -1,0 +1,88 @@
+#include "trace/program.hh"
+
+#include "common/logging.hh"
+
+namespace fdip
+{
+
+unsigned
+Function::numInsts() const
+{
+    unsigned n = 0;
+    for (const auto &bb : blocks)
+        n += bb.numInsts;
+    return n;
+}
+
+void
+Program::layout()
+{
+    panic_if(funcs.empty(), "Program::layout with no functions");
+    Addr pc = base;
+    for (auto &fn : funcs) {
+        fn.entry = pc;
+        for (auto &bb : fn.blocks) {
+            panic_if(bb.numInsts == 0, "zero-size basic block");
+            bb.start = pc;
+            pc += Addr(bb.numInsts) * instBytes;
+        }
+    }
+    end = pc;
+}
+
+void
+Program::validate() const
+{
+    panic_if(end == 0, "Program::validate before layout");
+    for (std::size_t fi = 0; fi < funcs.size(); ++fi) {
+        const auto &fn = funcs[fi];
+        panic_if(fn.blocks.empty(), "function %zu has no blocks", fi);
+        for (std::size_t bi = 0; bi < fn.blocks.size(); ++bi) {
+            const auto &bb = fn.blocks[bi];
+            switch (bb.term) {
+              case InstClass::CondBr:
+                panic_if(bi + 1 >= fn.blocks.size(),
+                         "fn %zu bb %zu: conditional branch in final "
+                         "block has no fallthrough", fi, bi);
+                [[fallthrough]];
+              case InstClass::Jump:
+                panic_if(bb.targetBb >= fn.blocks.size(),
+                         "fn %zu bb %zu: branch target out of range",
+                         fi, bi);
+                break;
+              case InstClass::Call:
+                panic_if(bb.targetFn >= funcs.size(),
+                         "fn %zu bb %zu: callee out of range", fi, bi);
+                panic_if(bi + 1 >= fn.blocks.size(),
+                         "fn %zu bb %zu: call in final block has no "
+                         "return-to block", fi, bi);
+                break;
+              case InstClass::IndJump:
+              case InstClass::IndCall:
+                panic_if(bb.indTargets.empty(),
+                         "fn %zu bb %zu: indirect with no targets", fi, bi);
+                panic_if(bb.indTargets.size() != bb.indWeights.size(),
+                         "fn %zu bb %zu: weight/target mismatch", fi, bi);
+                for (auto t : bb.indTargets) {
+                    panic_if(t >= funcs.size(),
+                             "fn %zu bb %zu: indirect target out of range",
+                             fi, bi);
+                }
+                if (bb.term == InstClass::IndCall) {
+                    panic_if(bi + 1 >= fn.blocks.size(),
+                             "fn %zu bb %zu: indcall in final block", fi, bi);
+                }
+                break;
+              case InstClass::NonCF:
+                panic_if(bi + 1 >= fn.blocks.size(),
+                         "fn %zu bb %zu: fallthrough out of function",
+                         fi, bi);
+                break;
+              case InstClass::Return:
+                break;
+            }
+        }
+    }
+}
+
+} // namespace fdip

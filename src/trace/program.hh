@@ -1,0 +1,109 @@
+/**
+ * @file program.hh
+ * Static representation of a synthetic program: functions made of basic
+ * blocks laid out contiguously in the simulated address space. The
+ * executor walks this structure to produce the dynamic instruction trace,
+ * and the code image derived from it lets the front-end walk *wrong*
+ * paths after a misprediction, exactly like hardware fetching stale code.
+ */
+
+#ifndef FDIP_TRACE_PROGRAM_HH
+#define FDIP_TRACE_PROGRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "trace/instr.hh"
+
+namespace fdip
+{
+
+/** How a conditional branch decides its outcome at run time. */
+struct CondBehavior
+{
+    enum class Kind : std::uint8_t
+    {
+        Loop,     ///< taken (trip-1) times, then not taken once
+        Biased,   ///< i.i.d. taken with probability @c param
+        Pattern,  ///< repeating bit pattern of length @c patternLen
+    };
+
+    Kind kind = Kind::Biased;
+    /** Loop: mean trip count. Biased: taken probability. */
+    double param = 0.5;
+    std::uint32_t pattern = 0;
+    std::uint8_t patternLen = 0;
+};
+
+/**
+ * A basic block: a run of straight-line instructions, optionally
+ * terminated by a control-flow instruction (the last instruction of the
+ * block). A block with a NonCF terminator simply falls through into the
+ * next block of the function.
+ */
+struct BasicBlock
+{
+    Addr start = 0;          ///< filled in by Program::layout()
+    unsigned numInsts = 1;   ///< total instructions, terminator included
+    InstClass term = InstClass::NonCF;
+
+    /** Intra-function successor block for CondBr/Jump terminators. */
+    std::uint32_t targetBb = 0;
+    /** Callee function index for Call terminators. */
+    std::uint32_t targetFn = 0;
+    /** Possible callees/targets for indirect terminators. */
+    std::vector<std::uint32_t> indTargets;
+    std::vector<double> indWeights;
+
+    CondBehavior cond;
+
+    Addr
+    terminatorPc() const
+    {
+        return start + Addr(numInsts - 1) * instBytes;
+    }
+
+    Addr
+    end() const
+    {
+        return start + Addr(numInsts) * instBytes;
+    }
+};
+
+struct Function
+{
+    Addr entry = 0;  ///< filled in by Program::layout()
+    unsigned level = 0;
+    std::vector<BasicBlock> blocks;
+
+    unsigned numInsts() const;
+};
+
+/**
+ * A whole synthetic program. After layout() every block has a concrete
+ * start address; code is contiguous in [base, codeEnd).
+ */
+class Program
+{
+  public:
+    Addr base = 0x400000;
+    std::vector<Function> funcs;
+
+    /** Assign addresses to all functions/blocks. Must be called once. */
+    void layout();
+
+    Addr codeEnd() const { return end; }
+    std::uint64_t codeBytes() const { return end - base; }
+    std::uint64_t numInsts() const { return codeBytes() / instBytes; }
+
+    /** Sanity-check structural invariants; panics on violation. */
+    void validate() const;
+
+  private:
+    Addr end = 0;
+};
+
+} // namespace fdip
+
+#endif // FDIP_TRACE_PROGRAM_HH

@@ -1,0 +1,27 @@
+/**
+ * @file synth_builder.hh
+ * Turns a WorkloadProfile into a concrete synthetic Program: a layered
+ * (acyclic) call graph of functions, each a structured CFG of basic
+ * blocks with loops, forward branches, direct and indirect calls.
+ */
+
+#ifndef FDIP_TRACE_SYNTH_BUILDER_HH
+#define FDIP_TRACE_SYNTH_BUILDER_HH
+
+#include <memory>
+
+#include "trace/profile.hh"
+#include "trace/program.hh"
+
+namespace fdip
+{
+
+/**
+ * Build the program for @p profile. Deterministic in profile.seed.
+ * The returned program is laid out and validated.
+ */
+std::unique_ptr<Program> buildProgram(const WorkloadProfile &profile);
+
+} // namespace fdip
+
+#endif // FDIP_TRACE_SYNTH_BUILDER_HH

@@ -1,0 +1,86 @@
+#include "trace/trace_file.hh"
+
+#include "common/logging.hh"
+
+namespace fdip
+{
+
+void
+writeTraceFile(const std::string &path, TraceSource &source,
+               std::uint64_t count)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    fatal_if(f == nullptr, "cannot open trace file '%s' for writing",
+             path.c_str());
+
+    TraceFileHeader hdr;
+    hdr.numInsts = count;
+    fatal_if(std::fwrite(&hdr, sizeof(hdr), 1, f) != 1,
+             "short write on trace header");
+
+    for (std::uint64_t i = 0; i < count; ++i) {
+        TraceInstr ti = source.next();
+        TraceFileRecord rec{};
+        rec.pc = ti.pc;
+        rec.target = ti.target;
+        rec.cls = static_cast<std::uint8_t>(ti.cls);
+        rec.taken = ti.taken ? 1 : 0;
+        fatal_if(std::fwrite(&rec, sizeof(rec), 1, f) != 1,
+                 "short write on trace record %llu",
+                 static_cast<unsigned long long>(i));
+    }
+    std::fclose(f);
+}
+
+TraceFileReader::TraceFileReader(const std::string &path)
+    : path_(path)
+{
+    file = std::fopen(path.c_str(), "rb");
+    fatal_if(file == nullptr, "cannot open trace file '%s'",
+             path.c_str());
+    fatal_if(std::fread(&header, sizeof(header), 1, file) != 1,
+             "trace file '%s' too short for a header", path.c_str());
+    fatal_if(header.magic != traceFileMagic,
+             "'%s' is not a trace file (bad magic)", path.c_str());
+    fatal_if(header.version != 1, "trace file version %u unsupported",
+             header.version);
+    fatal_if(header.numInsts == 0, "trace file '%s' is empty",
+             path.c_str());
+}
+
+TraceFileReader::~TraceFileReader()
+{
+    if (file)
+        std::fclose(file);
+}
+
+void
+TraceFileReader::rewindToFirstRecord()
+{
+    fatal_if(std::fseek(file, sizeof(TraceFileHeader), SEEK_SET) != 0,
+             "seek failed on '%s'", path_.c_str());
+    position = 0;
+    ++loops;
+}
+
+TraceInstr
+TraceFileReader::next()
+{
+    if (position == header.numInsts)
+        rewindToFirstRecord();
+
+    TraceFileRecord rec;
+    fatal_if(std::fread(&rec, sizeof(rec), 1, file) != 1,
+             "trace file '%s' truncated at record %llu", path_.c_str(),
+             static_cast<unsigned long long>(position));
+    ++position;
+
+    TraceInstr ti;
+    ti.pc = rec.pc;
+    ti.target = rec.target;
+    ti.cls = static_cast<InstClass>(rec.cls);
+    ti.taken = rec.taken != 0;
+    return ti;
+}
+
+} // namespace fdip

@@ -1,0 +1,93 @@
+/**
+ * @file trace_file.hh
+ * Binary instruction-trace record/replay.
+ *
+ * Record: drain any TraceSource into a compact on-disk format.
+ * Replay: a TraceFileReader is itself a TraceSource, so recorded (or
+ * externally generated) traces drive the simulator exactly like the
+ * synthetic executor. The format is self-describing with a magic,
+ * version, and instruction count; records are fixed 16-byte entries:
+ *
+ *   u64 pc_and_flags   bits[63:4] pc>>4? -- no: pc is word aligned, so
+ *                      bits[63:2] hold pc>>2, bits[1:0] spare
+ *   u8  cls            InstClass
+ *   u8  taken
+ *   u16 reserved
+ *   u32 target_delta   (target - pc)/4 as signed 32-bit; the sentinel
+ *                      INT32_MIN means "far target": a full 8-byte
+ *                      target record follows
+ *
+ * For simplicity and robustness this implementation stores fixed
+ * 24-byte records (pc, target, cls, taken) — traces are short-lived
+ * experiment artifacts, not archives.
+ */
+
+#ifndef FDIP_TRACE_TRACE_FILE_HH
+#define FDIP_TRACE_TRACE_FILE_HH
+
+#include <cstdio>
+#include <string>
+
+#include "trace/executor.hh"
+
+namespace fdip
+{
+
+/** Magic bytes at the start of every trace file. */
+constexpr std::uint64_t traceFileMagic = 0x46444950'54524331ULL;
+
+struct TraceFileHeader
+{
+    std::uint64_t magic = traceFileMagic;
+    std::uint32_t version = 1;
+    std::uint32_t reserved = 0;
+    std::uint64_t numInsts = 0;
+};
+
+struct TraceFileRecord
+{
+    std::uint64_t pc;
+    std::uint64_t target;
+    std::uint8_t cls;
+    std::uint8_t taken;
+    std::uint8_t pad[6];
+};
+
+static_assert(sizeof(TraceFileRecord) == 24, "record layout");
+
+/** Record @p count instructions from @p source into @p path. */
+void writeTraceFile(const std::string &path, TraceSource &source,
+                    std::uint64_t count);
+
+/**
+ * Replays a recorded trace. When the file is exhausted the reader
+ * loops back to the beginning (experiments need endless streams);
+ * loopCount() reports how often that happened.
+ */
+class TraceFileReader : public TraceSource
+{
+  public:
+    explicit TraceFileReader(const std::string &path);
+    ~TraceFileReader() override;
+
+    TraceFileReader(const TraceFileReader &) = delete;
+    TraceFileReader &operator=(const TraceFileReader &) = delete;
+
+    TraceInstr next() override;
+
+    std::uint64_t numInsts() const { return header.numInsts; }
+    std::uint64_t loopCount() const { return loops; }
+
+  private:
+    void rewindToFirstRecord();
+
+    std::FILE *file = nullptr;
+    TraceFileHeader header;
+    std::uint64_t position = 0;
+    std::uint64_t loops = 0;
+    std::string path_;
+};
+
+} // namespace fdip
+
+#endif // FDIP_TRACE_TRACE_FILE_HH

@@ -1,0 +1,101 @@
+/** Tests for the backend drain model. */
+
+#include <gtest/gtest.h>
+
+#include "core/backend.hh"
+
+using namespace fdip;
+
+namespace
+{
+
+DeliveredInst
+inst(InstSeqNum seq, bool wrong = false)
+{
+    DeliveredInst d;
+    d.seq = seq;
+    d.wrongPath = wrong;
+    return d;
+}
+
+} // namespace
+
+TEST(Backend, RetiresUpToWidth)
+{
+    Backend be({.retireWidth = 2, .queueDepth = 8});
+    for (InstSeqNum s = 0; s < 5; ++s)
+        be.deliver(inst(s));
+    be.tick(1);
+    EXPECT_EQ(be.committed(), 2u);
+    be.tick(2);
+    EXPECT_EQ(be.committed(), 4u);
+    be.tick(3);
+    EXPECT_EQ(be.committed(), 5u);
+}
+
+TEST(Backend, FreeSlotsTrackOccupancy)
+{
+    Backend be({.retireWidth = 4, .queueDepth = 4});
+    EXPECT_EQ(be.freeSlots(), 4u);
+    be.deliver(inst(0));
+    be.deliver(inst(1));
+    EXPECT_EQ(be.freeSlots(), 2u);
+    be.tick(1);
+    EXPECT_EQ(be.freeSlots(), 4u);
+}
+
+TEST(Backend, WrongPathBlocksRetirementUntilSquash)
+{
+    Backend be({.retireWidth = 4, .queueDepth = 8});
+    be.deliver(inst(0));
+    be.deliver(inst(1));
+    be.deliver(inst(0, /*wrong=*/true));
+    be.deliver(inst(0, /*wrong=*/true));
+    be.tick(1);
+    EXPECT_EQ(be.committed(), 2u);
+    be.tick(2);
+    EXPECT_EQ(be.committed(), 2u); // stuck behind wrong-path head
+    be.squashWrongPath();
+    EXPECT_EQ(be.freeSlots(), 8u);
+    EXPECT_EQ(be.stats.counter("backend.squashed"), 2u);
+}
+
+TEST(Backend, SquashKeepsCorrectPathPrefix)
+{
+    Backend be({.retireWidth = 1, .queueDepth = 8});
+    be.deliver(inst(10));
+    be.deliver(inst(11));
+    be.deliver(inst(0, true));
+    be.squashWrongPath();
+    be.tick(1);
+    be.tick(2);
+    EXPECT_EQ(be.committed(), 2u);
+}
+
+TEST(Backend, StarvedCyclesCounted)
+{
+    Backend be({.retireWidth = 4, .queueDepth = 8});
+    be.tick(1);
+    be.tick(2);
+    EXPECT_EQ(be.stats.counter("backend.starved_cycles"), 2u);
+    be.deliver(inst(0));
+    be.tick(3);
+    EXPECT_EQ(be.stats.counter("backend.starved_cycles"), 2u);
+    EXPECT_EQ(be.stats.counter("backend.retire_slots_lost"), 8u + 3u);
+}
+
+TEST(Backend, DeliveryStatsSplitByPath)
+{
+    Backend be({.retireWidth = 4, .queueDepth = 8});
+    be.deliver(inst(0));
+    be.deliver(inst(0, true));
+    EXPECT_EQ(be.stats.counter("backend.delivered"), 2u);
+    EXPECT_EQ(be.stats.counter("backend.delivered_wrong_path"), 1u);
+}
+
+TEST(BackendDeath, OverflowPanics)
+{
+    Backend be({.retireWidth = 1, .queueDepth = 1});
+    be.deliver(inst(0));
+    EXPECT_DEATH(be.deliver(inst(1)), "full");
+}

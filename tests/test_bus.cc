@@ -1,0 +1,74 @@
+/** Tests for the finite-bandwidth bus. */
+
+#include <gtest/gtest.h>
+
+#include "mem/bus.hh"
+
+using namespace fdip;
+
+TEST(Bus, TransferTakesBytesOverBandwidth)
+{
+    Bus bus("b", 8);
+    EXPECT_EQ(bus.transfer(100, 32), 104u); // 32B at 8B/cyc
+    EXPECT_EQ(bus.busyCycles(), 4u);
+}
+
+TEST(Bus, PartialWordRoundsUp)
+{
+    Bus bus("b", 8);
+    EXPECT_EQ(bus.transfer(0, 33), 5u);
+}
+
+TEST(Bus, DemandQueuesBehindTraffic)
+{
+    Bus bus("b", 8);
+    bus.transfer(100, 32);            // busy until 104
+    EXPECT_EQ(bus.transfer(101, 32), 108u);
+    EXPECT_EQ(bus.stats.counter("bus.demand_queue_cycles"), 3u);
+}
+
+TEST(Bus, PrefetchDeniedWhenBusy)
+{
+    Bus bus("b", 8);
+    bus.transfer(100, 32);
+    EXPECT_FALSE(bus.tryTransfer(102, 32).has_value());
+    EXPECT_EQ(bus.stats.counter("bus.prefetch_denied"), 1u);
+    // Once idle, the prefetch is granted.
+    auto done = bus.tryTransfer(104, 32);
+    ASSERT_TRUE(done.has_value());
+    EXPECT_EQ(*done, 108u);
+}
+
+TEST(Bus, IdleAt)
+{
+    Bus bus("b", 8);
+    EXPECT_TRUE(bus.idleAt(0));
+    bus.transfer(10, 16);
+    EXPECT_FALSE(bus.idleAt(11));
+    EXPECT_TRUE(bus.idleAt(12));
+}
+
+TEST(Bus, UtilizationFraction)
+{
+    Bus bus("b", 8);
+    bus.transfer(0, 32);
+    bus.transfer(50, 32);
+    EXPECT_DOUBLE_EQ(bus.utilization(100), 0.08);
+    EXPECT_DOUBLE_EQ(bus.utilization(0), 0.0);
+}
+
+TEST(Bus, BusyCyclesAccumulateAcrossKinds)
+{
+    Bus bus("b", 4);
+    bus.transfer(0, 32);       // 8 cycles
+    bus.tryTransfer(100, 32);  // 8 cycles
+    EXPECT_EQ(bus.busyCycles(), 16u);
+    EXPECT_EQ(bus.stats.counter("bus.busy_cycles"), 16u);
+    EXPECT_EQ(bus.stats.counter("bus.demand_transfers"), 1u);
+    EXPECT_EQ(bus.stats.counter("bus.prefetch_transfers"), 1u);
+}
+
+TEST(BusDeath, ZeroBandwidth)
+{
+    EXPECT_DEATH({ Bus b("zero", 0); }, "zero bandwidth");
+}

@@ -1,0 +1,125 @@
+/** Unit tests for the fixed-capacity ring buffer. */
+
+#include <gtest/gtest.h>
+
+#include "common/circular_queue.hh"
+
+using namespace fdip;
+
+TEST(CircularQueue, StartsEmpty)
+{
+    CircularQueue<int> q(4);
+    EXPECT_TRUE(q.empty());
+    EXPECT_FALSE(q.full());
+    EXPECT_EQ(q.size(), 0u);
+    EXPECT_EQ(q.capacity(), 4u);
+    EXPECT_EQ(q.freeSlots(), 4u);
+}
+
+TEST(CircularQueue, FifoOrder)
+{
+    CircularQueue<int> q(4);
+    q.push(1);
+    q.push(2);
+    q.push(3);
+    EXPECT_EQ(q.front(), 1);
+    EXPECT_EQ(q.back(), 3);
+    q.pop();
+    EXPECT_EQ(q.front(), 2);
+    q.pop();
+    EXPECT_EQ(q.front(), 3);
+}
+
+TEST(CircularQueue, RandomAccessFromHead)
+{
+    CircularQueue<int> q(8);
+    for (int i = 0; i < 5; ++i)
+        q.push(i * 10);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(q.at(i), i * 10);
+}
+
+TEST(CircularQueue, WrapsAround)
+{
+    CircularQueue<int> q(3);
+    q.push(1);
+    q.push(2);
+    q.pop();
+    q.push(3);
+    q.push(4); // wraps
+    EXPECT_TRUE(q.full());
+    EXPECT_EQ(q.at(0), 2);
+    EXPECT_EQ(q.at(1), 3);
+    EXPECT_EQ(q.at(2), 4);
+}
+
+TEST(CircularQueue, TruncateDropsYoungest)
+{
+    CircularQueue<int> q(8);
+    for (int i = 0; i < 6; ++i)
+        q.push(i);
+    q.truncate(2);
+    EXPECT_EQ(q.size(), 2u);
+    EXPECT_EQ(q.at(0), 0);
+    EXPECT_EQ(q.at(1), 1);
+}
+
+TEST(CircularQueue, TruncateToZeroEqualsClear)
+{
+    CircularQueue<int> q(4);
+    q.push(1);
+    q.push(2);
+    q.truncate(0);
+    EXPECT_TRUE(q.empty());
+    q.push(9);
+    EXPECT_EQ(q.front(), 9);
+}
+
+TEST(CircularQueue, ClearResets)
+{
+    CircularQueue<int> q(4);
+    q.push(1);
+    q.push(2);
+    q.clear();
+    EXPECT_TRUE(q.empty());
+    q.push(7);
+    EXPECT_EQ(q.front(), 7);
+    EXPECT_EQ(q.back(), 7);
+}
+
+TEST(CircularQueue, StressWrapManyTimes)
+{
+    CircularQueue<int> q(5);
+    int next_in = 0, next_out = 0;
+    for (int round = 0; round < 1000; ++round) {
+        while (!q.full())
+            q.push(next_in++);
+        while (!q.empty()) {
+            EXPECT_EQ(q.front(), next_out++);
+            q.pop();
+        }
+    }
+    EXPECT_EQ(next_in, next_out);
+}
+
+TEST(CircularQueueDeath, Overflow)
+{
+    CircularQueue<int> q(1);
+    q.push(1);
+    EXPECT_DEATH(q.push(2), "full");
+}
+
+TEST(CircularQueueDeath, UnderflowAndRange)
+{
+    CircularQueue<int> q(2);
+    EXPECT_DEATH(q.pop(), "empty");
+    EXPECT_DEATH(q.front(), "empty");
+    q.push(1);
+    EXPECT_DEATH(q.at(1), "at");
+    EXPECT_DEATH(q.truncate(2), "truncate");
+}
+
+TEST(CircularQueueDeath, ZeroCapacity)
+{
+    EXPECT_DEATH({ CircularQueue<int> q(0); }, "capacity");
+}

@@ -1,0 +1,111 @@
+/** Tests for the PC-indexed static code image. */
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hh"
+#include "trace/code_image.hh"
+#include "trace/profile.hh"
+#include "trace/synth_builder.hh"
+
+using namespace fdip;
+
+TEST(CodeImage, GeometryMatchesProgram)
+{
+    auto prog = testutil::makeCallPattern();
+    CodeImage img(*prog);
+    EXPECT_EQ(img.base(), prog->base);
+    EXPECT_EQ(img.end(), prog->codeEnd());
+    EXPECT_EQ(img.numInsts(), prog->numInsts());
+}
+
+TEST(CodeImage, TerminatorsPlacedAtBlockEnds)
+{
+    auto prog = testutil::makeCallPattern();
+    CodeImage img(*prog);
+
+    const auto &f0 = prog->funcs[0];
+    const auto &f1 = prog->funcs[1];
+
+    // Call terminator of f0/bb0 targets f1's entry.
+    const StaticInst &call = img.at(f0.blocks[0].terminatorPc());
+    EXPECT_EQ(call.cls, InstClass::Call);
+    EXPECT_EQ(call.target, f1.entry);
+
+    // Jump terminator of f0/bb1 targets f0/bb0.
+    const StaticInst &jump = img.at(f0.blocks[1].terminatorPc());
+    EXPECT_EQ(jump.cls, InstClass::Jump);
+    EXPECT_EQ(jump.target, f0.blocks[0].start);
+
+    // CondBr terminator of f1/bb0 targets f1/bb2.
+    const StaticInst &cond = img.at(f1.blocks[0].terminatorPc());
+    EXPECT_EQ(cond.cls, InstClass::CondBr);
+    EXPECT_EQ(cond.target, f1.blocks[2].start);
+
+    // Return has no static target.
+    const StaticInst &ret = img.at(f1.blocks[2].terminatorPc());
+    EXPECT_EQ(ret.cls, InstClass::Return);
+    EXPECT_EQ(ret.target, invalidAddr);
+}
+
+TEST(CodeImage, NonTerminatorsArePlain)
+{
+    auto prog = testutil::makeTightLoop();
+    CodeImage img(*prog);
+    const auto &b0 = prog->funcs[0].blocks[0];
+    for (unsigned i = 0; i < b0.numInsts; ++i) {
+        EXPECT_EQ(img.at(b0.start + i * instBytes).cls, InstClass::NonCF);
+    }
+}
+
+TEST(CodeImage, ContainsChecksAlignmentAndRange)
+{
+    auto prog = testutil::makeTightLoop();
+    CodeImage img(*prog);
+    EXPECT_TRUE(img.contains(img.base()));
+    EXPECT_FALSE(img.contains(img.base() + 1)); // misaligned
+    EXPECT_FALSE(img.contains(img.end()));
+    EXPECT_FALSE(img.contains(img.base() - instBytes));
+}
+
+TEST(CodeImage, AtOrPlainOutsideImage)
+{
+    auto prog = testutil::makeTightLoop();
+    CodeImage img(*prog);
+    const StaticInst &out = img.atOrPlain(img.end() + 0x1000);
+    EXPECT_EQ(out.cls, InstClass::NonCF);
+    EXPECT_EQ(out.target, invalidAddr);
+}
+
+TEST(CodeImageDeath, AtOutsidePanics)
+{
+    auto prog = testutil::makeTightLoop();
+    CodeImage img(*prog);
+    EXPECT_DEATH(img.at(img.end()), "outside");
+}
+
+TEST(CodeImage, ClassCountsMatchProgramStructure)
+{
+    auto prog = testutil::makeCallPattern();
+    CodeImage img(*prog);
+    EXPECT_EQ(img.countClass(InstClass::Call), 1u);
+    EXPECT_EQ(img.countClass(InstClass::Jump), 1u);
+    EXPECT_EQ(img.countClass(InstClass::CondBr), 1u);
+    EXPECT_EQ(img.countClass(InstClass::Return), 1u);
+    EXPECT_EQ(img.countClass(InstClass::NonCF),
+              prog->numInsts() - 4);
+}
+
+TEST(CodeImage, SynthesizedProgramFullyMapped)
+{
+    auto prog = buildProgram(findProfile("li"));
+    CodeImage img(*prog);
+    // Every terminator of every block must appear in the image with
+    // the right class.
+    for (const auto &fn : prog->funcs) {
+        for (const auto &bb : fn.blocks) {
+            if (bb.term == InstClass::NonCF)
+                continue;
+            EXPECT_EQ(img.at(bb.terminatorPc()).cls, bb.term);
+        }
+    }
+}

@@ -1,0 +1,96 @@
+/** Unit tests for the histogram. */
+
+#include <gtest/gtest.h>
+
+#include "common/histogram.hh"
+
+using namespace fdip;
+
+TEST(Histogram, EmptyDefaults)
+{
+    Histogram h(10);
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.percentile(0.5), 0u);
+    EXPECT_DOUBLE_EQ(h.fraction(3), 0.0);
+}
+
+TEST(Histogram, MeanAndBuckets)
+{
+    Histogram h(10);
+    h.sample(2);
+    h.sample(2);
+    h.sample(4);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.bucket(2), 2u);
+    EXPECT_EQ(h.bucket(4), 1u);
+    EXPECT_NEAR(h.mean(), 8.0 / 3.0, 1e-12);
+}
+
+TEST(Histogram, WeightedSamples)
+{
+    Histogram h(10);
+    h.sample(1, 5);
+    h.sample(3, 5);
+    EXPECT_EQ(h.count(), 10u);
+    EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+}
+
+TEST(Histogram, OverflowClampsToLastBucket)
+{
+    Histogram h(4);
+    h.sample(100);
+    EXPECT_EQ(h.bucket(4), 1u);
+    EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+}
+
+TEST(Histogram, Percentiles)
+{
+    Histogram h(100);
+    for (std::uint64_t v = 1; v <= 100; ++v)
+        h.sample(v);
+    EXPECT_EQ(h.percentile(0.5), 50u);
+    EXPECT_EQ(h.percentile(0.9), 90u);
+    EXPECT_EQ(h.percentile(1.0), 100u);
+    EXPECT_EQ(h.percentile(0.01), 1u);
+}
+
+TEST(Histogram, Fractions)
+{
+    Histogram h(8);
+    h.sample(0);
+    h.sample(0);
+    h.sample(5);
+    h.sample(7);
+    EXPECT_DOUBLE_EQ(h.fraction(0), 0.5);
+    EXPECT_DOUBLE_EQ(h.fractionAtLeast(5), 0.5);
+    EXPECT_DOUBLE_EQ(h.fractionAtLeast(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.fractionAtLeast(8), 0.0);
+}
+
+TEST(Histogram, ResetClearsEverything)
+{
+    Histogram h(4);
+    h.sample(1);
+    h.sample(2);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.bucket(1), 0u);
+}
+
+TEST(Histogram, RenderContainsLabelAndRows)
+{
+    Histogram h(4);
+    h.sample(2);
+    std::string out = h.render("ftq occupancy");
+    EXPECT_NE(out.find("ftq occupancy"), std::string::npos);
+    EXPECT_NE(out.find("2"), std::string::npos);
+    EXPECT_NE(out.find("100.00%"), std::string::npos);
+}
+
+TEST(HistogramDeath, BucketOutOfRange)
+{
+    Histogram h(4);
+    EXPECT_DEATH(h.bucket(5), "out of range");
+}

@@ -1,0 +1,115 @@
+/** Unit tests for common/intmath.hh. */
+
+#include <gtest/gtest.h>
+
+#include "common/intmath.hh"
+
+using namespace fdip;
+
+TEST(IntMath, IsPowerOf2)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_TRUE(isPowerOf2(1ULL << 40));
+    EXPECT_FALSE(isPowerOf2((1ULL << 40) + 1));
+}
+
+TEST(IntMath, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(floorLog2(1025), 10u);
+    EXPECT_EQ(floorLog2(~0ULL), 63u);
+}
+
+TEST(IntMath, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1025), 11u);
+}
+
+TEST(IntMath, DivCeil)
+{
+    EXPECT_EQ(divCeil(0, 4), 0u);
+    EXPECT_EQ(divCeil(1, 4), 1u);
+    EXPECT_EQ(divCeil(4, 4), 1u);
+    EXPECT_EQ(divCeil(5, 4), 2u);
+    EXPECT_EQ(divCeil(32, 8), 4u);
+}
+
+TEST(IntMath, AlignDownUp)
+{
+    EXPECT_EQ(alignDown(0x1234, 32), 0x1220u);
+    EXPECT_EQ(alignDown(0x1220, 32), 0x1220u);
+    EXPECT_EQ(alignUp(0x1234, 32), 0x1240u);
+    EXPECT_EQ(alignUp(0x1240, 32), 0x1240u);
+    EXPECT_EQ(alignDown(0x1234, 1), 0x1234u);
+}
+
+TEST(IntMath, BitsForOffsetSmall)
+{
+    EXPECT_EQ(bitsForOffset(0), 1u);
+    EXPECT_EQ(bitsForOffset(1), 1u);
+    EXPECT_EQ(bitsForOffset(-1), 1u);
+    EXPECT_EQ(bitsForOffset(2), 2u);
+    EXPECT_EQ(bitsForOffset(-2), 2u);
+    EXPECT_EQ(bitsForOffset(255), 8u);
+    EXPECT_EQ(bitsForOffset(256), 9u);
+    EXPECT_EQ(bitsForOffset(-256), 9u);
+}
+
+// Offsets at each power-of-two boundary need exactly n+1 bits.
+class BitsForOffsetSweep : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(BitsForOffsetSweep, BoundaryExact)
+{
+    unsigned n = GetParam();
+    std::int64_t v = std::int64_t(1) << n;
+    EXPECT_EQ(bitsForOffset(v - 1), n);      // 2^n - 1 fits in n bits
+    EXPECT_EQ(bitsForOffset(v), n + 1);      // 2^n needs n+1
+    EXPECT_EQ(bitsForOffset(-v), n + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, BitsForOffsetSweep,
+                         ::testing::Values(1u, 2u, 3u, 7u, 8u, 12u, 13u,
+                                           22u, 23u, 31u, 45u));
+
+TEST(IntMath, FoldXorIdentityWideWidth)
+{
+    EXPECT_EQ(foldXor(0x1234, 32), 0x1234u);
+    EXPECT_EQ(foldXor(0xdeadbeef, 64), 0xdeadbeefu);
+}
+
+TEST(IntMath, FoldXorFolds)
+{
+    // 0xAB ^ 0xCD = 0x66
+    EXPECT_EQ(foldXor(0xABCD, 8), 0xABu ^ 0xCDu);
+    // Three chunks.
+    EXPECT_EQ(foldXor(0x112233, 8), 0x11u ^ 0x22u ^ 0x33u);
+    EXPECT_EQ(foldXor(0, 8), 0u);
+}
+
+TEST(IntMath, FoldXorStaysInWidth)
+{
+    for (std::uint64_t v : {0xffffffffffffffffULL, 0x123456789abcdefULL}) {
+        for (unsigned w : {4u, 8u, 13u, 16u}) {
+            EXPECT_LT(foldXor(v, w), std::uint64_t(1) << w)
+                << "v=" << v << " w=" << w;
+        }
+    }
+}
+
+TEST(IntMath, FoldXorPreservesLowEntropy)
+{
+    // Distinct values differing only in high bits should usually fold
+    // to distinct results: check a simple pair is preserved.
+    EXPECT_NE(foldXor(0x0100, 8), foldXor(0x0200, 8));
+}

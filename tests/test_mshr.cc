@@ -1,0 +1,84 @@
+/** Tests for the MSHR file. */
+
+#include <gtest/gtest.h>
+
+#include "mem/mshr.hh"
+
+using namespace fdip;
+
+TEST(Mshr, AllocateAndFind)
+{
+    MshrFile m(4);
+    MshrEntry *e = m.allocate(0x1000, 50, false, FillDest::DemandL1);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(m.find(0x1000), e);
+    EXPECT_EQ(m.find(0x2000), nullptr);
+    EXPECT_EQ(m.inUse(), 1u);
+}
+
+TEST(Mshr, FullRejectsAllocation)
+{
+    MshrFile m(2);
+    EXPECT_NE(m.allocate(0x1000, 1, false, FillDest::DemandL1), nullptr);
+    EXPECT_NE(m.allocate(0x2000, 1, false, FillDest::DemandL1), nullptr);
+    EXPECT_TRUE(m.full());
+    EXPECT_EQ(m.allocate(0x3000, 1, false, FillDest::DemandL1), nullptr);
+    EXPECT_EQ(m.stats.counter("mshr.alloc_failures"), 1u);
+}
+
+TEST(Mshr, FreeMakesRoom)
+{
+    MshrFile m(1);
+    MshrEntry *e = m.allocate(0x1000, 1, false, FillDest::DemandL1);
+    m.free(*e);
+    EXPECT_FALSE(m.full());
+    EXPECT_EQ(m.find(0x1000), nullptr);
+    EXPECT_NE(m.allocate(0x2000, 1, false, FillDest::DemandL1), nullptr);
+}
+
+TEST(Mshr, PrefetchesCountedSeparately)
+{
+    MshrFile m(4);
+    m.allocate(0x1000, 1, true, FillDest::PrefetchBuffer);
+    m.allocate(0x2000, 1, true, FillDest::PrefetchBuffer);
+    m.allocate(0x3000, 1, false, FillDest::DemandL1);
+    EXPECT_EQ(m.prefetchesInFlight(), 2u);
+    EXPECT_EQ(m.inUse(), 3u);
+}
+
+TEST(Mshr, ReadyCollectsCompletedOnly)
+{
+    MshrFile m(4);
+    m.allocate(0x1000, 10, false, FillDest::DemandL1);
+    m.allocate(0x2000, 20, false, FillDest::DemandL1);
+    auto ready = m.ready(15);
+    ASSERT_EQ(ready.size(), 1u);
+    EXPECT_EQ(ready[0]->blockAddr, 0x1000u);
+    // At t=20 both are ready.
+    EXPECT_EQ(m.ready(20).size(), 2u);
+}
+
+TEST(Mshr, ClearDropsEverything)
+{
+    MshrFile m(4);
+    m.allocate(0x1000, 1, false, FillDest::DemandL1);
+    m.clear();
+    EXPECT_EQ(m.inUse(), 0u);
+    EXPECT_EQ(m.find(0x1000), nullptr);
+}
+
+TEST(MshrDeath, DuplicateAllocation)
+{
+    MshrFile m(4);
+    m.allocate(0x1000, 1, false, FillDest::DemandL1);
+    EXPECT_DEATH(m.allocate(0x1000, 2, false, FillDest::DemandL1),
+                 "duplicate");
+}
+
+TEST(MshrDeath, DoubleFree)
+{
+    MshrFile m(2);
+    MshrEntry *e = m.allocate(0x1000, 1, false, FillDest::DemandL1);
+    m.free(*e);
+    EXPECT_DEATH(m.free(*e), "invalid");
+}

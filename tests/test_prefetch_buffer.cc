@@ -1,0 +1,72 @@
+/** Tests for the fully-associative prefetch buffer. */
+
+#include <gtest/gtest.h>
+
+#include "mem/prefetch_buffer.hh"
+
+using namespace fdip;
+
+TEST(PrefetchBuffer, InsertProbeConsume)
+{
+    PrefetchBuffer pb(4);
+    pb.insert(0x1000);
+    EXPECT_TRUE(pb.probe(0x1000));
+    EXPECT_TRUE(pb.consume(0x1000));
+    EXPECT_FALSE(pb.probe(0x1000)); // consumed entries leave
+    EXPECT_FALSE(pb.consume(0x1000));
+}
+
+TEST(PrefetchBuffer, FifoEvictionWhenFull)
+{
+    PrefetchBuffer pb(2);
+    pb.insert(0x1000);
+    pb.insert(0x2000);
+    pb.insert(0x3000); // evicts 0x1000 (oldest)
+    EXPECT_FALSE(pb.probe(0x1000));
+    EXPECT_TRUE(pb.probe(0x2000));
+    EXPECT_TRUE(pb.probe(0x3000));
+    EXPECT_EQ(pb.stats.counter("pfbuf.unused_evictions"), 1u);
+}
+
+TEST(PrefetchBuffer, DuplicateFillIgnored)
+{
+    PrefetchBuffer pb(4);
+    pb.insert(0x1000);
+    pb.insert(0x1000);
+    EXPECT_EQ(pb.size(), 1u);
+    EXPECT_EQ(pb.stats.counter("pfbuf.duplicate_fills"), 1u);
+}
+
+TEST(PrefetchBuffer, ConsumeCountsUseful)
+{
+    PrefetchBuffer pb(4);
+    pb.insert(0x1000);
+    pb.insert(0x2000);
+    pb.consume(0x2000);
+    EXPECT_EQ(pb.stats.counter("pfbuf.consumed"), 1u);
+    EXPECT_EQ(pb.size(), 1u);
+}
+
+TEST(PrefetchBuffer, ClearFlushes)
+{
+    PrefetchBuffer pb(4);
+    pb.insert(0x1000);
+    pb.insert(0x2000);
+    pb.clear();
+    EXPECT_EQ(pb.size(), 0u);
+    EXPECT_EQ(pb.stats.counter("pfbuf.flushed_entries"), 2u);
+}
+
+TEST(PrefetchBuffer, CapacityRespected)
+{
+    PrefetchBuffer pb(8);
+    for (int i = 0; i < 20; ++i)
+        pb.insert(0x1000 + i * 0x20);
+    EXPECT_EQ(pb.size(), 8u);
+    EXPECT_EQ(pb.capacity(), 8u);
+}
+
+TEST(PrefetchBufferDeath, ZeroEntries)
+{
+    EXPECT_DEATH({ PrefetchBuffer p(0); }, "at least one");
+}

@@ -1,0 +1,95 @@
+/** Tests for the canonical configs and BTB budget ladders. */
+
+#include <gtest/gtest.h>
+
+#include "bpu/ftb.hh"
+#include "sim/presets.hh"
+
+using namespace fdip;
+
+TEST(Presets, BaselineMachineShape)
+{
+    SimConfig cfg = makeBaselineConfig("gcc");
+    EXPECT_EQ(cfg.workload, "gcc");
+    EXPECT_EQ(cfg.mem.l1i.sizeBytes, 16u * 1024);
+    EXPECT_EQ(cfg.mem.l1i.assoc, 2u);
+    EXPECT_EQ(cfg.ftqEntries, 32u);
+    EXPECT_TRUE(cfg.bpu.blockBased);
+    EXPECT_NO_FATAL_FAILURE(cfg.validate());
+}
+
+TEST(Presets, LadderMatchesPaperBudgets)
+{
+    auto ladder = btbBudgetLadder();
+    ASSERT_EQ(ladder.size(), 6u);
+    EXPECT_EQ(ladder.front().ftbEntries, 1024u);
+    EXPECT_EQ(ladder.back().ftbEntries, 32768u);
+    // The unified FTB at each rung must cost what the ladder claims.
+    for (const auto &pt : ladder) {
+        SimConfig cfg = makeBaselineConfig("gcc");
+        applyFtbBudget(cfg, pt.ftbEntries);
+        Ftb ftb(cfg.bpu.ftb);
+        double kb = static_cast<double>(ftb.storageBits()) / 8.0 / 1024.0;
+        EXPECT_NEAR(kb, pt.ftbBudgetKB, pt.ftbBudgetKB * 0.01)
+            << pt.ftbEntries << " entries";
+    }
+}
+
+TEST(Presets, PartitionedBudgetUsesLessStorageMoreEntries)
+{
+    for (const auto &pt : btbBudgetLadder()) {
+        SimConfig ucfg = makeBaselineConfig("gcc");
+        applyFtbBudget(ucfg, pt.ftbEntries);
+        Ftb ftb(ucfg.bpu.ftb);
+
+        SimConfig pcfg = makeBaselineConfig("gcc");
+        applyPartitionedBudget(pcfg, pt.ftbEntries);
+        PartitionedBtb pbtb(pcfg.pbtb);
+
+        // The partitioned ensemble must fit within the unified budget
+        // and provide >2x the entries.
+        EXPECT_LE(pbtb.storageBits(), ftb.storageBits())
+            << pt.ftbEntries;
+        EXPECT_GT(pbtb.numEntries(), 2u * pt.ftbEntries)
+            << pt.ftbEntries;
+    }
+}
+
+TEST(Presets, ApplyFtbBudgetSetsGeometry)
+{
+    SimConfig cfg = makeBaselineConfig("gcc");
+    applyFtbBudget(cfg, 8192);
+    EXPECT_TRUE(cfg.bpu.blockBased);
+    EXPECT_EQ(cfg.bpu.ftb.ways, 8u);
+    EXPECT_EQ(cfg.bpu.ftb.sets, 1024u);
+    EXPECT_NO_FATAL_FAILURE(cfg.validate());
+}
+
+TEST(Presets, ApplyPartitionedBudgetSwitchesFrontEnd)
+{
+    SimConfig cfg = makeBaselineConfig("gcc");
+    applyPartitionedBudget(cfg, 1024);
+    EXPECT_FALSE(cfg.bpu.blockBased);
+    EXPECT_TRUE(cfg.usePartitionedBtb);
+    EXPECT_EQ(cfg.pbtb.tagBits, 16u);
+    EXPECT_NO_FATAL_FAILURE(cfg.validate());
+}
+
+TEST(Presets, ApplyUnifiedBtbBudget)
+{
+    SimConfig cfg = makeBaselineConfig("gcc");
+    applyUnifiedBtbBudget(cfg, 4096);
+    EXPECT_FALSE(cfg.bpu.blockBased);
+    EXPECT_FALSE(cfg.usePartitionedBtb);
+    EXPECT_EQ(cfg.bpu.btb.sets * cfg.bpu.btb.ways, 4096u);
+    EXPECT_NO_FATAL_FAILURE(cfg.validate());
+}
+
+TEST(Presets, SchemeNamesRoundTrip)
+{
+    EXPECT_STREQ(schemeName(PrefetchScheme::None), "none");
+    EXPECT_STREQ(schemeName(PrefetchScheme::FdpIdeal), "fdp-ideal");
+    EXPECT_TRUE(schemeIsFdp(PrefetchScheme::FdpEnqueue));
+    EXPECT_FALSE(schemeIsFdp(PrefetchScheme::Nlp));
+    EXPECT_FALSE(schemeIsFdp(PrefetchScheme::None));
+}

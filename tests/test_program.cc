@@ -1,0 +1,173 @@
+/** Tests for the static program representation and the synthesizer. */
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hh"
+#include "trace/profile.hh"
+#include "trace/synth_builder.hh"
+
+using namespace fdip;
+
+TEST(Program, LayoutAssignsContiguousAddresses)
+{
+    auto prog = testutil::makeCallPattern();
+    Addr pc = prog->base;
+    for (const auto &fn : prog->funcs) {
+        EXPECT_EQ(fn.entry, pc);
+        for (const auto &bb : fn.blocks) {
+            EXPECT_EQ(bb.start, pc);
+            pc += Addr(bb.numInsts) * instBytes;
+        }
+    }
+    EXPECT_EQ(prog->codeEnd(), pc);
+}
+
+TEST(Program, TerminatorPcIsLastInstruction)
+{
+    auto prog = testutil::makeTightLoop();
+    const auto &bb = prog->funcs[0].blocks[1];
+    EXPECT_EQ(bb.terminatorPc(), bb.start + 3 * instBytes);
+    EXPECT_EQ(bb.end(), bb.start + 4 * instBytes);
+}
+
+TEST(Program, NumInstsCounts)
+{
+    auto prog = testutil::makeCallPattern();
+    EXPECT_EQ(prog->funcs[0].numInsts(), 4u);
+    EXPECT_EQ(prog->funcs[1].numInsts(), 8u);
+    EXPECT_EQ(prog->numInsts(), 12u);
+}
+
+TEST(ProgramDeath, ValidateCatchesBadCondBr)
+{
+    Program prog;
+    Function fn;
+    BasicBlock bb;
+    bb.numInsts = 2;
+    bb.term = InstClass::CondBr; // cond branch in final block: invalid
+    bb.targetBb = 0;
+    fn.blocks.push_back(bb);
+    prog.funcs.push_back(fn);
+    prog.layout();
+    EXPECT_DEATH(prog.validate(), "fallthrough");
+}
+
+TEST(ProgramDeath, ValidateCatchesDanglingTarget)
+{
+    Program prog;
+    Function fn;
+    BasicBlock b0;
+    b0.numInsts = 2;
+    b0.term = InstClass::Jump;
+    b0.targetBb = 5; // out of range
+    fn.blocks.push_back(b0);
+    BasicBlock b1;
+    b1.numInsts = 1;
+    b1.term = InstClass::Return;
+    fn.blocks.push_back(b1);
+    prog.funcs.push_back(fn);
+    prog.layout();
+    EXPECT_DEATH(prog.validate(), "out of range");
+}
+
+// ---------------------------------------------------------------------
+// Synthesizer properties, swept over the whole workload suite.
+// ---------------------------------------------------------------------
+
+class SynthSuite : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    const WorkloadProfile &profile() { return findProfile(GetParam()); }
+};
+
+TEST_P(SynthSuite, FootprintApproximatelyRequested)
+{
+    auto prog = buildProgram(profile());
+    double want = static_cast<double>(profile().codeFootprintBytes);
+    double got = static_cast<double>(prog->codeBytes());
+    EXPECT_GT(got, want * 0.5);
+    EXPECT_LT(got, want * 1.8);
+}
+
+TEST_P(SynthSuite, DeterministicInSeed)
+{
+    auto a = buildProgram(profile());
+    auto b = buildProgram(profile());
+    ASSERT_EQ(a->funcs.size(), b->funcs.size());
+    EXPECT_EQ(a->codeBytes(), b->codeBytes());
+    for (std::size_t i = 0; i < a->funcs.size(); ++i) {
+        EXPECT_EQ(a->funcs[i].entry, b->funcs[i].entry);
+        EXPECT_EQ(a->funcs[i].blocks.size(), b->funcs[i].blocks.size());
+    }
+}
+
+TEST_P(SynthSuite, HasAllTerminatorKinds)
+{
+    auto prog = buildProgram(profile());
+    unsigned cond = 0, jump = 0, call = 0, ret = 0, icall = 0;
+    for (const auto &fn : prog->funcs) {
+        for (const auto &bb : fn.blocks) {
+            switch (bb.term) {
+              case InstClass::CondBr: ++cond; break;
+              case InstClass::Jump: ++jump; break;
+              case InstClass::Call: ++call; break;
+              case InstClass::Return: ++ret; break;
+              case InstClass::IndCall: ++icall; break;
+              default: break;
+            }
+        }
+    }
+    EXPECT_GT(cond, 0u);
+    EXPECT_GT(jump, 0u);
+    EXPECT_GT(call, 0u);
+    EXPECT_GT(ret, 0u);
+    EXPECT_GT(icall, 0u);
+}
+
+TEST_P(SynthSuite, CallGraphIsLayered)
+{
+    auto prog = buildProgram(profile());
+    for (const auto &fn : prog->funcs) {
+        for (const auto &bb : fn.blocks) {
+            if (bb.term == InstClass::Call) {
+                EXPECT_GT(prog->funcs[bb.targetFn].level, fn.level)
+                    << "call must go to a deeper level (no recursion)";
+            }
+            for (auto t : bb.indTargets) {
+                EXPECT_GT(prog->funcs[t].level, fn.level);
+            }
+        }
+    }
+}
+
+TEST_P(SynthSuite, DispatcherLoopsForever)
+{
+    auto prog = buildProgram(profile());
+    const Function &dispatcher = prog->funcs[0];
+    const BasicBlock &last = dispatcher.blocks.back();
+    EXPECT_EQ(last.term, InstClass::Jump);
+    EXPECT_EQ(last.targetBb, 0u);
+    for (const auto &bb : dispatcher.blocks)
+        EXPECT_NE(bb.term, InstClass::Return);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, SynthSuite,
+                         ::testing::ValuesIn(allWorkloadNames()));
+
+TEST(SynthBuilder, DistinctSeedsGiveDistinctPrograms)
+{
+    WorkloadProfile p = findProfile("gcc");
+    auto a = buildProgram(p);
+    p.seed += 1;
+    auto b = buildProgram(p);
+    // Same knobs, different seed: some structural difference expected.
+    bool differs = a->codeBytes() != b->codeBytes() ||
+        a->funcs.size() != b->funcs.size();
+    if (!differs) {
+        for (std::size_t i = 0; i < a->funcs.size() && !differs; ++i) {
+            differs = a->funcs[i].blocks.size() !=
+                b->funcs[i].blocks.size();
+        }
+    }
+    EXPECT_TRUE(differs);
+}

@@ -1,0 +1,177 @@
+/** Unit + property tests for the deterministic RNG and distributions. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.hh"
+
+using namespace fdip;
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 3);
+}
+
+class RngBelowSweep : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(RngBelowSweep, StaysInBound)
+{
+    std::uint64_t bound = GetParam();
+    Rng rng(7);
+    for (int i = 0; i < 2000; ++i)
+        EXPECT_LT(rng.below(bound), bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngBelowSweep,
+                         ::testing::Values(1ull, 2ull, 3ull, 10ull,
+                                           1000ull, 1ull << 33));
+
+TEST(Rng, BelowCoversDomain)
+{
+    Rng rng(9);
+    std::vector<int> seen(8, 0);
+    for (int i = 0; i < 4000; ++i)
+        ++seen[rng.below(8)];
+    for (int v : seen)
+        EXPECT_GT(v, 300); // each of 8 values ~500 expected
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(11);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        auto v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(13);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(17);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+        EXPECT_FALSE(rng.chance(-0.5));
+        EXPECT_TRUE(rng.chance(1.5));
+    }
+}
+
+TEST(Rng, ChanceFrequency)
+{
+    Rng rng(19);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+class GeometricSweep : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(GeometricSweep, MeanApproximatelyRight)
+{
+    double mean = GetParam();
+    Rng rng(23);
+    double sum = 0;
+    const int n = 40000;
+    for (int i = 0; i < n; ++i) {
+        unsigned v = rng.geometric(mean);
+        ASSERT_GE(v, 1u);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / n, mean, mean * 0.08 + 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, GeometricSweep,
+                         ::testing::Values(1.0, 2.0, 5.0, 9.0, 24.0));
+
+TEST(Rng, GeometricDegenerateMean)
+{
+    Rng rng(29);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.geometric(0.5), 1u);
+}
+
+TEST(ZipfSampler, SkewOrdersPopularity)
+{
+    Rng rng(31);
+    ZipfSampler zipf(16, 1.0);
+    std::vector<int> counts(16, 0);
+    for (int i = 0; i < 30000; ++i)
+        ++counts[zipf.sample(rng)];
+    // Rank 0 must dominate rank 8 and rank 15 heavily under s=1.
+    EXPECT_GT(counts[0], counts[8] * 3);
+    EXPECT_GT(counts[0], counts[15] * 5);
+}
+
+TEST(ZipfSampler, FlatWhenSkewZero)
+{
+    Rng rng(37);
+    ZipfSampler zipf(8, 0.0);
+    std::vector<int> counts(8, 0);
+    for (int i = 0; i < 32000; ++i)
+        ++counts[zipf.sample(rng)];
+    for (int c : counts)
+        EXPECT_NEAR(c, 4000, 450);
+}
+
+TEST(ZipfSampler, SingleElement)
+{
+    Rng rng(41);
+    ZipfSampler zipf(1, 1.2);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(zipf.sample(rng), 0u);
+}
+
+TEST(WeightedChoice, RespectsWeights)
+{
+    Rng rng(43);
+    WeightedChoice wc({1.0, 0.0, 3.0});
+    std::vector<int> counts(3, 0);
+    for (int i = 0; i < 20000; ++i)
+        ++counts[wc.sample(rng)];
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR(counts[2] / double(counts[0]), 3.0, 0.35);
+}
+
+TEST(WeightedChoice, SingleWeight)
+{
+    Rng rng(47);
+    WeightedChoice wc({2.5});
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(wc.sample(rng), 0u);
+}

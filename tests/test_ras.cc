@@ -1,0 +1,100 @@
+/** Tests for the return address stack. */
+
+#include <gtest/gtest.h>
+
+#include "bpu/ras.hh"
+
+using namespace fdip;
+
+TEST(Ras, PushPopLifo)
+{
+    ReturnAddressStack ras(8);
+    ras.push(0x100);
+    ras.push(0x200);
+    ras.push(0x300);
+    EXPECT_EQ(ras.size(), 3u);
+    EXPECT_EQ(ras.pop(), 0x300u);
+    EXPECT_EQ(ras.pop(), 0x200u);
+    EXPECT_EQ(ras.pop(), 0x100u);
+    EXPECT_TRUE(ras.empty());
+}
+
+TEST(Ras, PopEmptyReturnsInvalid)
+{
+    ReturnAddressStack ras(4);
+    EXPECT_EQ(ras.pop(), invalidAddr);
+    EXPECT_EQ(ras.top(), invalidAddr);
+}
+
+TEST(Ras, TopDoesNotPop)
+{
+    ReturnAddressStack ras(4);
+    ras.push(0x42);
+    EXPECT_EQ(ras.top(), 0x42u);
+    EXPECT_EQ(ras.size(), 1u);
+}
+
+TEST(Ras, OverflowOverwritesOldest)
+{
+    ReturnAddressStack ras(3);
+    ras.push(0x1);
+    ras.push(0x2);
+    ras.push(0x3);
+    ras.push(0x4); // overwrites 0x1
+    EXPECT_EQ(ras.size(), 3u);
+    EXPECT_EQ(ras.pop(), 0x4u);
+    EXPECT_EQ(ras.pop(), 0x3u);
+    EXPECT_EQ(ras.pop(), 0x2u);
+    EXPECT_TRUE(ras.empty());
+}
+
+TEST(Ras, CopySemanticsForCheckpointing)
+{
+    ReturnAddressStack arch(8);
+    arch.push(0x10);
+    arch.push(0x20);
+    ReturnAddressStack spec = arch; // checkpoint
+    spec.pop();
+    spec.push(0xBAD);
+    spec.push(0xBAD2);
+    // Restoring from the checkpoint recovers the original contents.
+    spec = arch;
+    EXPECT_EQ(spec.size(), 2u);
+    EXPECT_EQ(spec.pop(), 0x20u);
+    EXPECT_EQ(spec.pop(), 0x10u);
+    // The architectural copy is untouched.
+    EXPECT_EQ(arch.size(), 2u);
+}
+
+TEST(Ras, ClearEmpties)
+{
+    ReturnAddressStack ras(4);
+    ras.push(0x1);
+    ras.clear();
+    EXPECT_TRUE(ras.empty());
+    EXPECT_EQ(ras.pop(), invalidAddr);
+}
+
+TEST(Ras, DeepCallChain)
+{
+    ReturnAddressStack ras(32);
+    for (Addr a = 1; a <= 32; ++a)
+        ras.push(a * 0x10);
+    for (Addr a = 32; a >= 1; --a)
+        EXPECT_EQ(ras.pop(), a * 0x10);
+}
+
+TEST(Ras, WrapAroundManyTimes)
+{
+    ReturnAddressStack ras(4);
+    for (int round = 0; round < 100; ++round) {
+        ras.push(round);
+        EXPECT_EQ(ras.top(), static_cast<Addr>(round));
+    }
+    EXPECT_EQ(ras.size(), 4u);
+}
+
+TEST(RasDeath, ZeroDepth)
+{
+    EXPECT_DEATH({ ReturnAddressStack r(0); }, "depth");
+}

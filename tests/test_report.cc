@@ -1,0 +1,46 @@
+/** Tests for the report-formatting helpers. */
+
+#include <gtest/gtest.h>
+
+#include "sim/report.hh"
+
+using namespace fdip;
+
+TEST(Report, BannerContainsAllParts)
+{
+    std::string b = experimentBanner("R-F5", "headline result",
+                                     "fdp wins");
+    EXPECT_NE(b.find("R-F5"), std::string::npos);
+    EXPECT_NE(b.find("headline result"), std::string::npos);
+    EXPECT_NE(b.find("expected shape: fdp wins"), std::string::npos);
+    EXPECT_NE(b.find("===="), std::string::npos);
+}
+
+TEST(Report, SummarizeRunFormatsMetrics)
+{
+    SimResults r;
+    r.workload = "gcc";
+    r.scheme = "fdp-remove";
+    r.ipc = 1.234;
+    r.mpki = 12.5;
+    r.l2BusUtil = 0.25;
+    r.prefetchAccuracy = 0.5;
+    r.prefetchCoverage = 0.75;
+    std::string s = summarizeRun(r);
+    EXPECT_NE(s.find("gcc"), std::string::npos);
+    EXPECT_NE(s.find("fdp-remove"), std::string::npos);
+    EXPECT_NE(s.find("1.234"), std::string::npos);
+    EXPECT_NE(s.find("12.50"), std::string::npos);
+    EXPECT_NE(s.find("25.0%"), std::string::npos);
+    EXPECT_NE(s.find("75.0%"), std::string::npos);
+}
+
+TEST(Report, StrprintfBehavesLikePrintf)
+{
+    EXPECT_EQ(strprintf("%d-%s", 42, "x"), "42-x");
+    EXPECT_EQ(strprintf("%.3f", 1.5), "1.500");
+    EXPECT_EQ(strprintf("no args"), "no args");
+    // Long strings do not truncate.
+    std::string long_arg(500, 'a');
+    EXPECT_EQ(strprintf("%s", long_arg.c_str()).size(), 500u);
+}

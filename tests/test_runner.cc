@@ -1,0 +1,51 @@
+/** Tests for the experiment runner and aggregate helpers. */
+
+#include <gtest/gtest.h>
+
+#include "sim/runner.hh"
+
+using namespace fdip;
+
+TEST(Runner, MemoizesRuns)
+{
+    Runner r(20 * 1000, 60 * 1000);
+    const SimResults &a = r.run("li", PrefetchScheme::None);
+    const SimResults &b = r.run("li", PrefetchScheme::None);
+    EXPECT_EQ(&a, &b); // same cached object
+}
+
+TEST(Runner, DistinctTweakKeysDistinctRuns)
+{
+    Runner r(20 * 1000, 60 * 1000);
+    const SimResults &a = r.run("li", PrefetchScheme::None);
+    const SimResults &b = r.run(
+        "li", PrefetchScheme::None, "bigcache",
+        [](SimConfig &cfg) { cfg.mem.l1i.sizeBytes = 64 * 1024; });
+    EXPECT_NE(&a, &b);
+}
+
+TEST(Runner, SpeedupAgainstBaseline)
+{
+    Runner r(20 * 1000, 80 * 1000);
+    double s = r.speedup("gcc", PrefetchScheme::FdpRemove);
+    EXPECT_GT(s, 0.0);
+    // Baseline against itself is zero.
+    EXPECT_DOUBLE_EQ(r.speedup("gcc", PrefetchScheme::None), 0.0);
+}
+
+TEST(Aggregates, GmeanSpeedup)
+{
+    EXPECT_DOUBLE_EQ(gmeanSpeedup({}), 0.0);
+    EXPECT_NEAR(gmeanSpeedup({0.1}), 0.1, 1e-12);
+    // gmean(1.0, 1.21) - 1 = 0.1 exactly for {0.0, 0.21}.
+    EXPECT_NEAR(gmeanSpeedup({0.0, 0.21}), 0.1, 1e-12);
+    // Order invariant.
+    EXPECT_NEAR(gmeanSpeedup({0.21, 0.0}), gmeanSpeedup({0.0, 0.21}),
+                1e-12);
+}
+
+TEST(Aggregates, Mean)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}

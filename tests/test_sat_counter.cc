@@ -1,0 +1,97 @@
+/** Unit tests for the saturating counter. */
+
+#include <gtest/gtest.h>
+
+#include "common/sat_counter.hh"
+
+using namespace fdip;
+
+TEST(SatCounter, DefaultGeometry)
+{
+    SatCounter c;
+    EXPECT_EQ(c.max(), 3);
+    EXPECT_EQ(c.value(), 0);
+    EXPECT_FALSE(c.taken());
+}
+
+TEST(SatCounter, SaturatesHigh)
+{
+    SatCounter c(2, 0);
+    for (int i = 0; i < 10; ++i)
+        c.increment();
+    EXPECT_EQ(c.value(), 3);
+    EXPECT_TRUE(c.saturated());
+}
+
+TEST(SatCounter, SaturatesLow)
+{
+    SatCounter c(2, 3);
+    for (int i = 0; i < 10; ++i)
+        c.decrement();
+    EXPECT_EQ(c.value(), 0);
+    EXPECT_TRUE(c.saturated());
+}
+
+TEST(SatCounter, TakenThreshold2Bit)
+{
+    SatCounter c(2, 0);
+    EXPECT_FALSE(c.taken()); // 0
+    c.increment();
+    EXPECT_FALSE(c.taken()); // 1
+    c.increment();
+    EXPECT_TRUE(c.taken());  // 2
+    c.increment();
+    EXPECT_TRUE(c.taken());  // 3
+}
+
+TEST(SatCounter, UpdateTrainsTowardOutcome)
+{
+    SatCounter c(2, 2);
+    c.update(false);
+    c.update(false);
+    c.update(false);
+    EXPECT_FALSE(c.taken());
+    c.update(true);
+    c.update(true);
+    EXPECT_TRUE(c.taken());
+}
+
+class SatCounterWidths : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(SatCounterWidths, MaxMatchesWidth)
+{
+    unsigned bits = GetParam();
+    SatCounter c(bits, 0);
+    EXPECT_EQ(c.max(), (1u << bits) - 1);
+    for (unsigned i = 0; i < (1u << bits) + 5; ++i)
+        c.increment();
+    EXPECT_EQ(c.value(), c.max());
+    // Midpoint rule: values above max/2 predict taken.
+    SatCounter mid(bits, static_cast<std::uint8_t>(c.max() / 2));
+    EXPECT_FALSE(mid.taken());
+    mid.increment();
+    EXPECT_TRUE(mid.taken());
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SatCounterWidths,
+                         ::testing::Values(1u, 2u, 3u, 4u, 8u));
+
+TEST(SatCounter, SetWithinRange)
+{
+    SatCounter c(3, 0);
+    c.set(7);
+    EXPECT_EQ(c.value(), 7);
+    EXPECT_TRUE(c.taken());
+}
+
+TEST(SatCounterDeath, InvalidWidth)
+{
+    EXPECT_DEATH({ SatCounter c(0); }, "width");
+    EXPECT_DEATH({ SatCounter c(9); }, "width");
+}
+
+TEST(SatCounterDeath, InitialOutOfRange)
+{
+    EXPECT_DEATH({ SatCounter c(2, 4); }, "initial");
+}

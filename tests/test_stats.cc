@@ -1,0 +1,92 @@
+/** Unit tests for the statistics registry. */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+using namespace fdip;
+
+TEST(StatSet, CountersStartAtZero)
+{
+    StatSet s;
+    EXPECT_EQ(s.counter("x"), 0u);
+    EXPECT_DOUBLE_EQ(s.value("x"), 0.0);
+    EXPECT_FALSE(s.has("x"));
+}
+
+TEST(StatSet, IncAccumulates)
+{
+    StatSet s;
+    s.inc("a");
+    s.inc("a", 4);
+    EXPECT_EQ(s.counter("a"), 5u);
+    EXPECT_TRUE(s.has("a"));
+}
+
+TEST(StatSet, SetOverwrites)
+{
+    StatSet s;
+    s.set("g", 1.5);
+    s.set("g", 2.5);
+    EXPECT_DOUBLE_EQ(s.value("g"), 2.5);
+}
+
+TEST(StatSet, Ratio)
+{
+    StatSet s;
+    s.inc("hits", 30);
+    s.inc("lookups", 40);
+    EXPECT_DOUBLE_EQ(s.ratio("hits", "lookups"), 0.75);
+    EXPECT_DOUBLE_EQ(s.ratio("hits", "absent"), 0.0);
+}
+
+TEST(StatSet, MergeWithPrefix)
+{
+    StatSet a, b;
+    b.inc("hits", 3);
+    a.inc("l1.hits", 1);
+    a.merge(b, "l1.");
+    EXPECT_EQ(a.counter("l1.hits"), 4u);
+}
+
+TEST(StatSet, MergeNoPrefix)
+{
+    StatSet a, b;
+    a.inc("x", 1);
+    b.inc("x", 2);
+    b.inc("y", 7);
+    a.merge(b);
+    EXPECT_EQ(a.counter("x"), 3u);
+    EXPECT_EQ(a.counter("y"), 7u);
+}
+
+TEST(StatSet, SubtractDeltas)
+{
+    StatSet before, after;
+    before.inc("n", 10);
+    after.inc("n", 25);
+    after.inc("m", 5);
+    StatSet d = StatSet::subtract(after, before);
+    EXPECT_EQ(d.counter("n"), 15u);
+    EXPECT_EQ(d.counter("m"), 5u);
+}
+
+TEST(StatSet, ResetClears)
+{
+    StatSet s;
+    s.inc("a", 2);
+    s.reset();
+    EXPECT_FALSE(s.has("a"));
+    EXPECT_EQ(s.entries().size(), 0u);
+}
+
+TEST(StatSet, DumpSortedAndFormatted)
+{
+    StatSet s;
+    s.inc("zebra", 1);
+    s.inc("apple", 2);
+    s.set("ratio", 0.5);
+    std::string d = s.dump();
+    EXPECT_LT(d.find("apple"), d.find("zebra"));
+    EXPECT_NE(d.find("0.5"), std::string::npos);
+}

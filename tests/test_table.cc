@@ -1,0 +1,64 @@
+/** Unit tests for ASCII table rendering. */
+
+#include <gtest/gtest.h>
+
+#include "common/table.hh"
+
+using namespace fdip;
+
+TEST(AsciiTable, RendersHeadersAndRows)
+{
+    AsciiTable t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"beta", "22"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22"), std::string::npos);
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+TEST(AsciiTable, ColumnsPadToWidestCell)
+{
+    AsciiTable t({"h"});
+    t.addRow({"wide-cell-content"});
+    std::string out = t.render();
+    // Every line should have the same length.
+    std::size_t first_len = out.find('\n');
+    std::size_t pos = 0;
+    while (pos < out.size()) {
+        std::size_t next = out.find('\n', pos);
+        if (next == std::string::npos)
+            break;
+        EXPECT_EQ(next - pos, first_len);
+        pos = next + 1;
+    }
+}
+
+TEST(AsciiTable, NumFormatting)
+{
+    EXPECT_EQ(AsciiTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(AsciiTable::num(3.0, 0), "3");
+    EXPECT_EQ(AsciiTable::pct(0.1234, 1), "12.3%");
+    EXPECT_EQ(AsciiTable::pct(1.0, 0), "100%");
+    EXPECT_EQ(AsciiTable::integer(42), "42");
+}
+
+TEST(AsciiTable, EmptyTableRendersHeaderOnly)
+{
+    AsciiTable t({"a", "b"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("a"), std::string::npos);
+    EXPECT_EQ(t.numRows(), 0u);
+}
+
+TEST(AsciiTableDeath, RowArityMismatch)
+{
+    AsciiTable t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "cells");
+}
+
+TEST(AsciiTableDeath, NoColumns)
+{
+    EXPECT_DEATH({ AsciiTable t({}); }, "column");
+}

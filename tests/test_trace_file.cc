@@ -1,0 +1,114 @@
+/** Tests for binary trace record/replay. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "test_helpers.hh"
+#include "trace/trace_file.hh"
+
+using namespace fdip;
+
+namespace
+{
+
+struct TempPath
+{
+    std::string path;
+    explicit TempPath(const std::string &name)
+        : path("/tmp/fdip_test_" + name + ".trace")
+    {}
+    ~TempPath() { std::remove(path.c_str()); }
+};
+
+WorkloadProfile
+miniProfile()
+{
+    WorkloadProfile p;
+    p.name = "mini";
+    p.seed = 11;
+    return p;
+}
+
+} // namespace
+
+TEST(TraceFile, RoundTripPreservesInstructions)
+{
+    TempPath tmp("roundtrip");
+    auto prog = testutil::makeCallPattern();
+    SyntheticExecutor writer_src(*prog, miniProfile());
+    writeTraceFile(tmp.path, writer_src, 500);
+
+    SyntheticExecutor ref(*prog, miniProfile());
+    TraceFileReader reader(tmp.path);
+    EXPECT_EQ(reader.numInsts(), 500u);
+    for (int i = 0; i < 500; ++i) {
+        TraceInstr a = ref.next();
+        TraceInstr b = reader.next();
+        ASSERT_EQ(a.pc, b.pc) << "at " << i;
+        ASSERT_EQ(a.cls, b.cls);
+        ASSERT_EQ(a.taken, b.taken);
+        ASSERT_EQ(a.target, b.target);
+    }
+}
+
+TEST(TraceFile, ReaderLoopsAtEnd)
+{
+    TempPath tmp("loop");
+    auto prog = testutil::makeTightLoop();
+    SyntheticExecutor src(*prog, miniProfile());
+    writeTraceFile(tmp.path, src, 16); // exactly two loop iterations
+
+    TraceFileReader reader(tmp.path);
+    TraceInstr first = reader.next();
+    for (int i = 1; i < 16; ++i)
+        reader.next();
+    EXPECT_EQ(reader.loopCount(), 0u);
+    TraceInstr wrapped = reader.next();
+    EXPECT_EQ(reader.loopCount(), 1u);
+    EXPECT_EQ(wrapped.pc, first.pc);
+}
+
+TEST(TraceFile, ReaderIsATraceSource)
+{
+    TempPath tmp("source");
+    auto prog = testutil::makeTightLoop();
+    SyntheticExecutor src(*prog, miniProfile());
+    writeTraceFile(tmp.path, src, 64);
+
+    TraceFileReader reader(tmp.path);
+    TraceWindow win(reader);
+    // Window semantics work over a file-backed source.
+    EXPECT_EQ(win.at(10).pc, win.at(10).pc);
+    win.retireUpTo(5);
+    EXPECT_EQ(win.baseSeq(), 5u);
+}
+
+TEST(TraceFileDeath, RejectsGarbageFile)
+{
+    TempPath tmp("garbage");
+    std::FILE *f = std::fopen(tmp.path.c_str(), "wb");
+    const char junk[] = "not a trace file at all, sorry";
+    std::fwrite(junk, sizeof(junk), 1, f);
+    std::fclose(f);
+    EXPECT_EXIT({ TraceFileReader r(tmp.path); },
+                ::testing::ExitedWithCode(1), "bad magic");
+}
+
+TEST(TraceFileDeath, RejectsMissingFile)
+{
+    EXPECT_EXIT({ TraceFileReader r("/nonexistent/path.trace"); },
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(TraceFileDeath, RejectsTruncatedHeader)
+{
+    TempPath tmp("short");
+    std::FILE *f = std::fopen(tmp.path.c_str(), "wb");
+    std::uint32_t partial = 42;
+    std::fwrite(&partial, sizeof(partial), 1, f);
+    std::fclose(f);
+    EXPECT_EXIT({ TraceFileReader r(tmp.path); },
+                ::testing::ExitedWithCode(1), "too short");
+}

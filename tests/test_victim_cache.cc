@@ -1,0 +1,124 @@
+/** Tests for the victim cache and its hierarchy integration. */
+
+#include <gtest/gtest.h>
+
+#include "mem/hierarchy.hh"
+#include "mem/victim_cache.hh"
+
+using namespace fdip;
+
+TEST(VictimCache, DisabledWhenZeroEntries)
+{
+    VictimCache vc(0);
+    EXPECT_FALSE(vc.enabled());
+    vc.insert(0x1000);
+    EXPECT_EQ(vc.size(), 0u);
+    EXPECT_FALSE(vc.probe(0x1000));
+}
+
+TEST(VictimCache, InsertProbeExtract)
+{
+    VictimCache vc(4);
+    vc.insert(0x1000);
+    EXPECT_TRUE(vc.probe(0x1000));
+    EXPECT_TRUE(vc.extract(0x1000));
+    EXPECT_FALSE(vc.probe(0x1000));
+    EXPECT_FALSE(vc.extract(0x1000));
+    EXPECT_EQ(vc.stats.counter("vc.hits"), 1u);
+}
+
+TEST(VictimCache, LruReplacement)
+{
+    VictimCache vc(2);
+    vc.insert(0x1000);
+    vc.insert(0x2000);
+    vc.insert(0x1000); // refresh 0x1000 to MRU
+    vc.insert(0x3000); // evicts 0x2000 (LRU)
+    EXPECT_TRUE(vc.probe(0x1000));
+    EXPECT_FALSE(vc.probe(0x2000));
+    EXPECT_TRUE(vc.probe(0x3000));
+    EXPECT_EQ(vc.stats.counter("vc.evictions"), 1u);
+}
+
+TEST(VictimCache, ClearEmpties)
+{
+    VictimCache vc(4);
+    vc.insert(0x1000);
+    vc.clear();
+    EXPECT_EQ(vc.size(), 0u);
+}
+
+namespace
+{
+
+MemConfig
+vcConfig()
+{
+    MemConfig c;
+    c.l1i.sizeBytes = 256; // 8 blocks, 4 sets x 2 ways: easy conflicts
+    c.l1i.assoc = 2;
+    c.l1i.blockBytes = 32;
+    c.l2.sizeBytes = 64 * 1024;
+    c.l2.assoc = 4;
+    c.l2.blockBytes = 32;
+    c.victimCacheEntries = 4;
+    return c;
+}
+
+} // namespace
+
+TEST(VictimCacheIntegration, EvictionsLandInVictimCache)
+{
+    MemHierarchy mem(vcConfig());
+    mem.tick(0);
+    // Three conflicting blocks in the same set (stride 128).
+    mem.l1i().insert(0x1000);
+    mem.l1i().insert(0x1080);
+    // Direct inserts bypass the hierarchy; use a demand fill so the
+    // eviction routes to the victim cache.
+    mem.reserveTagPort();
+    FetchAccess a = mem.demandFetch(0x1100, 0);
+    for (Cycle t = 1; t <= a.readyAt; ++t)
+        mem.tick(t);
+    EXPECT_TRUE(mem.l1i().probe(0x1100));
+    // One of the conflicting blocks was evicted into the VC.
+    EXPECT_EQ(mem.victimCache().size(), 1u);
+}
+
+TEST(VictimCacheIntegration, HitSwapsBackIntoL1)
+{
+    MemHierarchy mem(vcConfig());
+    mem.tick(0);
+    mem.l1i().insert(0x1000);
+    mem.l1i().insert(0x1080);
+    mem.reserveTagPort();
+    FetchAccess a = mem.demandFetch(0x1100, 0); // evicts LRU (0x1000)
+    for (Cycle t = 1; t <= a.readyAt; ++t)
+        mem.tick(t);
+    ASSERT_TRUE(mem.victimCache().probe(0x1000));
+
+    // Re-demand the victim: short-latency hit, swapped into the L1.
+    Cycle now = a.readyAt + 1;
+    mem.tick(now);
+    mem.reserveTagPort();
+    FetchAccess b = mem.demandFetch(0x1000, now);
+    EXPECT_TRUE(b.hitL1);
+    EXPECT_EQ(b.readyAt, now + 1 + 1); // hit latency + VC penalty
+    EXPECT_TRUE(mem.l1i().probe(0x1000));
+    EXPECT_FALSE(mem.victimCache().probe(0x1000));
+    EXPECT_GT(mem.stats.counter("mem.victim_hits"), 0u);
+}
+
+TEST(VictimCacheIntegration, DisabledByDefaultInBaseline)
+{
+    MemConfig c = vcConfig();
+    c.victimCacheEntries = 0;
+    MemHierarchy mem(c);
+    mem.tick(0);
+    mem.reserveTagPort();
+    FetchAccess a = mem.demandFetch(0x1000, 0);
+    for (Cycle t = 1; t <= a.readyAt; ++t)
+        mem.tick(t);
+    EXPECT_FALSE(mem.victimCache().enabled());
+    EXPECT_EQ(mem.victimCache().size(), 0u);
+}
