@@ -5,7 +5,7 @@
  * mispredictions per kilo-instruction.
  */
 
-#include "bench/bench_util.hh"
+#include "bench_util.hh"
 #include "trace/synth_builder.hh"
 
 using namespace fdip;

@@ -19,9 +19,11 @@ void
 FetchEngine::tick(Cycle now)
 {
     if (now < stallUntil) {
-        stats.inc("fetch.miss_stall_cycles");
+        stats.inc(stalledOnWalk ? "fetch.itlb_stall_cycles"
+                                : "fetch.miss_stall_cycles");
         return;
     }
+    stalledOnWalk = false;
     if (ftq.empty()) {
         stats.inc("fetch.ftq_empty_cycles");
         return;
@@ -35,13 +37,30 @@ FetchEngine::tick(Cycle now)
     Addr pc = e.blk.pcOf(e.fetchedInsts);
     Addr block = mem.l1i().blockAlign(pc);
 
+    // Address translation precedes the cache access. An ITLB miss
+    // stalls fetch for the page walk; the walk fills the ITLB, so the
+    // retry at readyAt translates without further delay.
+    Addr fetch_pc = pc;
+    if (mmu != nullptr && mmu->enabled()) {
+        TlbAccess tr = mmu->demandTranslate(pc, now);
+        if (!tr.hit) {
+            stallUntil = tr.readyAt;
+            stalledOnWalk = true;
+            stats.inc("fetch.itlb_misses");
+            return;
+        }
+        fetch_pc = tr.paddr;
+    }
+
     // The demand fetch owns the first tag port of every cycle; the
     // fetch engine ticks before any prefetcher, so this cannot fail.
     bool port = mem.reserveTagPort();
     panic_if(!port, "demand fetch found no tag port");
 
-    FetchAccess acc = mem.demandFetch(pc, now);
+    FetchAccess acc = mem.demandFetch(fetch_pc, now);
 
+    // Prefetchers see the virtual block: candidate generation follows
+    // the predicted fetch stream and translates at issue time.
     for (Prefetcher *pf : prefetchers)
         pf->onDemandAccess(block, acc, now);
 
@@ -104,6 +123,7 @@ void
 FetchEngine::squash()
 {
     stallUntil = 0;
+    stalledOnWalk = false;
     redirectAt = neverCycle;
     stats.inc("fetch.squashes");
 }

@@ -16,6 +16,7 @@
 #include "frontend/ftq.hh"
 #include "mem/hierarchy.hh"
 #include "prefetch/prefetcher.hh"
+#include "vm/mmu.hh"
 
 namespace fdip
 {
@@ -37,6 +38,9 @@ class FetchEngine
 
     void addPrefetcher(Prefetcher *pf) { prefetchers.push_back(pf); }
 
+    /** Wire the VM subsystem (nullptr: flat physical addressing). */
+    void setMmu(Mmu *m) { mmu = m; }
+
     void tick(Cycle now);
 
     bool redirectPending() const { return redirectAt != neverCycle; }
@@ -52,8 +56,11 @@ class FetchEngine
     MemHierarchy &mem;
     Backend &backend;
     Config cfg;
+    Mmu *mmu = nullptr;
 
     Cycle stallUntil = 0;
+    /** The current stall waits on a page walk, not a cache fill. */
+    bool stalledOnWalk = false;
     Cycle redirectAt = neverCycle;
     std::vector<Prefetcher *> prefetchers;
 };

@@ -68,7 +68,7 @@ FdpPrefetcher::probeWaitingEntries(Cycle now)
         if (!mem.reserveTagPort())
             return; // out of ports; try again next cycle
         stats.inc("fdp.cpf_probes");
-        if (mem.tagProbe(e.blockAddr)) {
+        if (mem.tagProbe(translateFunctional(e.blockAddr))) {
             piq_.removeAt(i);
             stats.inc("fdp.cpf_filtered");
             continue; // entry i replaced by its successor
@@ -83,7 +83,20 @@ FdpPrefetcher::issuePrefetches(Cycle now)
 {
     unsigned issued = 0;
     while (issued < cfg.issueWidth && !piq_.empty()) {
-        Addr addr = piq_.front().blockAddr;
+        PiqEntry &head = piq_.front();
+        switch (resolveTranslation(head.tr, head.blockAddr, now)) {
+          case TrResolve::Dropped:
+            piq_.popFront();
+            stats.inc("fdp.tlb_dropped");
+            continue;
+          case TrResolve::Waiting:
+            // Head-of-line wait for the page walk (Wait/Fill).
+            stats.inc("fdp.tlb_wait_stalls");
+            return;
+          case TrResolve::Ready:
+            break;
+        }
+        Addr addr = head.tr.paddr;
         FillDest dest = cfg.fillIntoL1 ? FillDest::DemandL1
                                        : FillDest::PrefetchBuffer;
         auto result = mem.issuePrefetch(addr, now, dest);
@@ -114,11 +127,14 @@ FdpPrefetcher::scanFtq(Cycle now)
             if (examined >= cfg.scanWidth || piq_.full())
                 return;
             Addr cand = ftq.cacheBlockAddr(i, e.nextScanBlock);
+            // Candidates are virtual; physically-tagged filter probes
+            // (L1 tags, MSHRs) peek the page table functionally.
+            Addr pcand = translateFunctional(cand);
             ++examined;
             stats.inc("fdp.candidates");
 
             if (recentlyRequested(cand) || piq_.contains(cand) ||
-                mem.prefetchRedundant(cand)) {
+                mem.prefetchRedundant(pcand)) {
                 stats.inc("fdp.dedup_dropped");
                 ++e.nextScanBlock;
                 continue;
@@ -144,7 +160,7 @@ FdpPrefetcher::scanFtq(Cycle now)
                     break;
                 }
                 stats.inc("fdp.cpf_probes");
-                if (mem.tagProbe(cand)) {
+                if (mem.tagProbe(pcand)) {
                     stats.inc("fdp.cpf_filtered");
                 } else {
                     piq_.push(cand);
@@ -153,7 +169,7 @@ FdpPrefetcher::scanFtq(Cycle now)
                 break;
               case CpfMode::Ideal:
                 stats.inc("fdp.cpf_probes");
-                if (mem.tagProbe(cand)) {
+                if (mem.tagProbe(pcand)) {
                     stats.inc("fdp.cpf_filtered");
                 } else {
                     piq_.push(cand);

@@ -26,12 +26,16 @@ NlpPrefetcher::onDemandAccess(Addr block_addr, const FetchAccess &access,
     unsigned bb = mem.l1i().config().blockBytes;
     for (unsigned d = 1; d <= cfg.degree; ++d) {
         Addr cand = block_addr + Addr(d) * bb;
-        if (std::find(pending.begin(), pending.end(), cand) !=
-            pending.end())
+        bool queued = std::any_of(
+            pending.begin(), pending.end(),
+            [cand](const Cand &c) { return c.vaddr == cand; });
+        if (queued)
             continue;
         if (pending.size() >= cfg.queueEntries)
             pending.pop_front();
-        pending.push_back(cand);
+        Cand c;
+        c.vaddr = cand;
+        pending.push_back(c);
     }
 }
 
@@ -39,18 +43,29 @@ void
 NlpPrefetcher::tick(Cycle now)
 {
     while (!pending.empty()) {
-        Addr cand = pending.front();
+        Cand &c = pending.front();
+        switch (resolveTranslation(c.tr, c.vaddr, now)) {
+          case TrResolve::Dropped:
+            pending.pop_front();
+            stats.inc("nlp.tlb_dropped");
+            continue;
+          case TrResolve::Waiting:
+            stats.inc("nlp.tlb_wait_stalls");
+            return; // head-of-line wait for the page walk
+          case TrResolve::Ready:
+            break;
+        }
         // Next-line prefetch should not waste bandwidth on blocks the
         // cache already holds; the sequential-within-line case makes
         // this check nearly free in hardware (same row as the trigger).
-        if (mem.tagProbe(cand)) {
+        if (mem.tagProbe(c.tr.paddr)) {
             pending.pop_front();
             stats.inc("nlp.already_cached");
             continue;
         }
         FillDest dest = cfg.fillIntoL1 ? FillDest::DemandL1
                                        : FillDest::PrefetchBuffer;
-        auto result = mem.issuePrefetch(cand, now, dest);
+        auto result = mem.issuePrefetch(c.tr.paddr, now, dest);
         if (result == MemHierarchy::PfIssue::NoResource) {
             stats.inc("nlp.issue_stalls");
             return;

@@ -36,9 +36,16 @@ class NlpPrefetcher : public Prefetcher
                         Cycle now) override;
 
   private:
+    struct Cand
+    {
+        Addr vaddr = invalidAddr;
+        /** Issue-time translation state (VM runs only). */
+        PfTranslationState tr;
+    };
+
     MemHierarchy &mem;
     Config cfg;
-    std::deque<Addr> pending;
+    std::deque<Cand> pending;
 };
 
 } // namespace fdip

@@ -39,7 +39,9 @@ OraclePrefetcher::tick(Cycle now)
     // Issue pending candidates over the idle bus.
     unsigned issued = 0;
     while (issued < cfg.issueWidth && !pending.empty()) {
-        Addr cand = pending.front();
+        // The oracle is an upper bound: assume a perfect ITLB and
+        // translate functionally instead of paying walk latency.
+        Addr cand = translateFunctional(pending.front());
         auto result = mem.issuePrefetch(cand, now,
                                         FillDest::PrefetchBuffer);
         if (result == MemHierarchy::PfIssue::NoResource) {
@@ -63,9 +65,10 @@ OraclePrefetcher::tick(Cycle now)
     while (scanSeq < limit && examined < cfg.scanWidth &&
            pending.size() < 2 * cfg.scanWidth) {
         Addr block = mem.l1i().blockAlign(trace.at(scanSeq).pc);
+        Addr pblock = translateFunctional(block);
         ++scanSeq;
-        if (recentlyRequested(block) || mem.prefetchRedundant(block) ||
-            mem.tagProbe(block)) {
+        if (recentlyRequested(block) || mem.prefetchRedundant(pblock) ||
+            mem.tagProbe(pblock)) {
             continue;
         }
         ++examined;

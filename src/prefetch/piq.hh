@@ -11,15 +11,19 @@
 #include "common/circular_queue.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "vm/mmu.hh"
 
 namespace fdip
 {
 
 struct PiqEntry
 {
+    /** Candidate virtual block address from the FTQ scan. */
     Addr blockAddr = invalidAddr;
     /** Remove-CPF already verified this block misses in the L1. */
     bool probed = false;
+    /** Issue-time translation state (VM runs only). */
+    PfTranslationState tr;
 };
 
 class Piq

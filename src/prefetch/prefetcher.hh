@@ -14,6 +14,7 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "mem/hierarchy.hh"
+#include "vm/mmu.hh"
 
 namespace fdip
 {
@@ -30,7 +31,7 @@ class Prefetcher
 
     /**
      * Demand access notification from the fetch engine.
-     * @param block_addr aligned block address accessed
+     * @param block_addr aligned virtual block address accessed
      * @param access the hierarchy's verdict for this access
      * @param now current cycle
      */
@@ -41,7 +42,67 @@ class Prefetcher
     /** Branch-misprediction redirect: squash speculative work. */
     virtual void onRedirect(Cycle now) {}
 
+    /** Wire the VM subsystem (nullptr: flat physical addressing). */
+    void setMmu(Mmu *m) { mmu_ = m; }
+
     StatSet stats;
+
+  protected:
+    /** What a candidate's cached translation allows this cycle. */
+    enum class TrResolve
+    {
+        Ready,   ///< issue with @c state.paddr
+        Waiting, ///< page walk in progress; retry later
+        Dropped, ///< discard the candidate (Drop policy)
+    };
+
+    /**
+     * Translation probe for a candidate virtual block address,
+     * applying the configured prefetch-translation policy. Without an
+     * MMU the candidate is Ready at its own address.
+     */
+    PfTranslation
+    translateForPrefetch(Addr vaddr, Cycle now)
+    {
+        if (mmu_ == nullptr) {
+            PfTranslation res;
+            res.paddr = vaddr;
+            res.readyAt = now;
+            return res;
+        }
+        return mmu_->prefetchTranslate(vaddr, now);
+    }
+
+    /**
+     * Resolve a candidate's cached translation: probe at most once,
+     * then age the cached result until its walk (if any) completes.
+     */
+    TrResolve
+    resolveTranslation(PfTranslationState &state, Addr vaddr, Cycle now)
+    {
+        if (!state.translated) {
+            PfTranslation tr = translateForPrefetch(vaddr, now);
+            if (tr.status == PfTranslation::Status::Dropped)
+                return TrResolve::Dropped;
+            state.translated = true;
+            state.paddr = tr.paddr;
+            state.readyAt = tr.readyAt;
+        }
+        return now < state.readyAt ? TrResolve::Waiting
+                                   : TrResolve::Ready;
+    }
+
+    /**
+     * Untimed page-table peek for filter probes that compare a virtual
+     * candidate against physically-tagged structures (L1 tags, MSHRs).
+     */
+    Addr
+    translateFunctional(Addr vaddr) const
+    {
+        return mmu_ == nullptr ? vaddr : mmu_->translateFunctional(vaddr);
+    }
+
+    Mmu *mmu_ = nullptr;
 };
 
 /** A "true" L1-I miss: nothing anywhere had the block. */

@@ -42,7 +42,7 @@ StreamBufferPrefetcher::allocate(Addr miss_addr)
         if (!b.active)
             continue;
         for (const Slot &s : b.slots) {
-            if (s.addr == miss_addr)
+            if (s.vaddr == miss_addr)
                 return;
         }
         if (b.nextAddr == miss_addr + bb)
@@ -63,6 +63,7 @@ StreamBufferPrefetcher::allocate(Addr miss_addr)
     victim->active = true;
     victim->slots.clear();
     victim->nextAddr = miss_addr + bb;
+    victim->tr = PfTranslationState{};
     victim->lruStamp = ++lruClock;
     victim->requestInFlight = false;
     stats.inc("sb.allocations");
@@ -95,7 +96,7 @@ StreamBufferPrefetcher::probeAndConsume(Addr block_addr, Cycle now)
         if (!b.active)
             continue;
         for (std::size_t si = 0; si < b.slots.size(); ++si) {
-            if (b.slots[si].addr != block_addr)
+            if (b.slots[si].paddr != block_addr)
                 continue;
             if (!b.slots[si].filled)
                 return false; // in flight: demand merges via the MSHR
@@ -127,7 +128,7 @@ StreamBufferPrefetcher::streamFill(std::uint32_t stream_id,
         return;
     }
     for (Slot &s : b.slots) {
-        if (s.addr == block_addr && !s.filled) {
+        if (s.paddr == block_addr && !s.filled) {
             s.filled = true;
             stats.inc("sb.fills");
             return;
@@ -138,9 +139,26 @@ StreamBufferPrefetcher::streamFill(std::uint32_t stream_id,
 }
 
 void
-StreamBufferPrefetcher::tick(Cycle now)
+StreamBufferPrefetcher::advanceHead(Buffer &b)
 {
     unsigned bb = mem.l1i().config().blockBytes;
+    Addr next = b.nextAddr + bb;
+    // The head's translation register covers a whole page: advance the
+    // physical side in step while the stream stays inside it, and only
+    // re-translate (possibly re-walking) on a page crossing.
+    if (b.tr.translated && mmu_ != nullptr && mmu_->enabled() &&
+        mmu_->pageTable().vpn(next) ==
+            mmu_->pageTable().vpn(b.nextAddr)) {
+        b.tr.paddr += bb;
+    } else {
+        b.tr = PfTranslationState{};
+    }
+    b.nextAddr = next;
+}
+
+void
+StreamBufferPrefetcher::tick(Cycle now)
+{
     // Top up each buffer, one outstanding request per buffer.
     for (std::uint32_t bi = 0; bi < buffers.size(); ++bi) {
         Buffer &b = buffers[bi];
@@ -148,26 +166,39 @@ StreamBufferPrefetcher::tick(Cycle now)
             b.slots.size() >= cfg.depth) {
             continue;
         }
+        switch (resolveTranslation(b.tr, b.nextAddr, now)) {
+          case TrResolve::Dropped:
+            // The stream crossed into an untranslated page: stop
+            // streaming rather than prefetch blind.
+            b.active = false;
+            stats.inc("sb.tlb_stopped");
+            continue;
+          case TrResolve::Waiting:
+            stats.inc("sb.tlb_wait_cycles");
+            continue; // this stream waits; others may proceed
+          case TrResolve::Ready:
+            break;
+        }
         // Stream past blocks the cache already holds (the stream
         // buffer sits beside the L1 and can see its tags).
-        if (mem.tagProbe(b.nextAddr)) {
-            b.nextAddr += bb;
+        if (mem.tagProbe(b.tr.paddr)) {
+            advanceHead(b);
             stats.inc("sb.skipped_redundant");
             continue;
         }
         auto result = mem.issuePrefetch(
-            b.nextAddr, now, FillDest::StreamBuffer, bi,
+            b.tr.paddr, now, FillDest::StreamBuffer, bi,
             static_cast<std::uint32_t>(b.slots.size()));
         switch (result) {
           case MemHierarchy::PfIssue::Issued:
-            b.slots.push_back({b.nextAddr, false});
-            b.nextAddr += bb;
+            b.slots.push_back({b.nextAddr, b.tr.paddr, false});
+            advanceHead(b);
             b.requestInFlight = true;
             stats.inc("sb.issued");
             break;
           case MemHierarchy::PfIssue::Redundant:
             // Already cached or in flight elsewhere: stream past it.
-            b.nextAddr += bb;
+            advanceHead(b);
             stats.inc("sb.skipped_redundant");
             break;
           case MemHierarchy::PfIssue::NoResource:

@@ -52,7 +52,10 @@ class StreamBufferPrefetcher : public Prefetcher,
   private:
     struct Slot
     {
-        Addr addr = invalidAddr;
+        /** Virtual block address in the miss stream. */
+        Addr vaddr = invalidAddr;
+        /** Physical block address fills and demand probes match on. */
+        Addr paddr = invalidAddr;
         bool filled = false;
     };
 
@@ -60,11 +63,16 @@ class StreamBufferPrefetcher : public Prefetcher,
     {
         bool active = false;
         std::deque<Slot> slots;
-        /** Next sequential block this buffer will request. */
+        /** Next sequential virtual block this buffer will request. */
         Addr nextAddr = invalidAddr;
+        /** Issue-time translation of @c nextAddr (VM runs only). */
+        PfTranslationState tr;
         std::uint64_t lruStamp = 0;
         bool requestInFlight = false;
     };
+
+    /** Advance the stream head one block, discarding its translation. */
+    void advanceHead(Buffer &b);
 
     void allocate(Addr miss_addr);
     bool recentlyMissed(Addr block_addr) const;

@@ -1,5 +1,6 @@
 #include "sim/config.hh"
 
+#include "common/intmath.hh"
 #include "common/logging.hh"
 
 namespace fdip
@@ -43,6 +44,20 @@ SimConfig::validate() const
     fatal_if(usePartitionedBtb && bpu.blockBased,
              "partitioned BTB requires the conventional (non-FTB) "
              "front-end");
+    // VM knobs are checked even with vm.enable off: the simulator
+    // builds the MMU (page table + ITLB) unconditionally.
+    fatal_if(!isPowerOf2(vm.pageBytes),
+             "VM page size must be a power of two");
+    fatal_if(vm.pageBytes < mem.l1i.blockBytes,
+             "VM pages must be at least one cache block");
+    fatal_if(vm.itlbEntries == 0, "ITLB needs at least one entry");
+    fatal_if(vm.itlbAssoc == 0 || vm.itlbEntries % vm.itlbAssoc != 0,
+             "ITLB entries must divide evenly into ways");
+    fatal_if(!isPowerOf2(vm.itlbEntries / vm.itlbAssoc),
+             "ITLB set count must be a power of two");
+    fatal_if(vm.walkLatency == 0, "page-walk latency must be nonzero");
+    fatal_if(vm.walkLatency > 10000,
+             "page-walk latency implausibly high");
 }
 
 } // namespace fdip

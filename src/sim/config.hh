@@ -19,6 +19,7 @@
 #include "prefetch/nlp.hh"
 #include "prefetch/oracle.hh"
 #include "prefetch/stream_buffer.hh"
+#include "vm/mmu.hh"
 
 namespace fdip
 {
@@ -59,6 +60,9 @@ struct SimConfig
     Backend::Config backend;
     MemConfig mem;
     unsigned maxOutstandingPrefetches = 8;
+
+    /** Virtual memory: ITLB, page table, prefetch-translation policy. */
+    VmConfig vm;
 
     PrefetchScheme scheme = PrefetchScheme::None;
     FdpPrefetcher::Config fdp;

@@ -94,4 +94,19 @@ applyUnifiedBtbBudget(SimConfig &cfg, unsigned entries)
              "BTB entries must give a power-of-two set count");
 }
 
+void
+applyVmConfig(SimConfig &cfg, TlbPrefetchPolicy policy,
+              PageMapKind mapping, unsigned itlb_entries)
+{
+    fatal_if(!isPowerOf2(itlb_entries),
+             "ITLB entries must be a power of two");
+    cfg.vm.enable = true;
+    cfg.vm.pageBytes = 4096;
+    cfg.vm.walkLatency = 30;
+    cfg.vm.itlbEntries = itlb_entries;
+    cfg.vm.itlbAssoc = itlb_entries >= 4 ? 4 : itlb_entries;
+    cfg.vm.prefetchPolicy = policy;
+    cfg.vm.mapping = mapping;
+}
+
 } // namespace fdip

@@ -49,6 +49,18 @@ void applyPartitionedBudget(SimConfig &cfg, unsigned unified_entries);
  */
 void applyUnifiedBtbBudget(SimConfig &cfg, unsigned entries);
 
+/**
+ * Enable the virtual-memory subsystem on any preset: 4KB pages,
+ * 30-cycle page walks, and a 4-way (fully-associative below 4
+ * entries) ITLB of @p itlb_entries. Every existing workload runs
+ * unchanged with VM off; this switches the same machine to translated
+ * fetch with the given prefetch-translation policy and page mapping.
+ */
+void applyVmConfig(SimConfig &cfg,
+                   TlbPrefetchPolicy policy = TlbPrefetchPolicy::Drop,
+                   PageMapKind mapping = PageMapKind::Scrambled,
+                   unsigned itlb_entries = 64);
+
 } // namespace fdip
 
 #endif // FDIP_SIM_PRESETS_HH

@@ -1,5 +1,7 @@
 #include "sim/simulator.hh"
 
+#include <limits>
+
 #include "common/logging.hh"
 #include "trace/profile.hh"
 
@@ -9,7 +11,10 @@ namespace fdip
 double
 speedupOver(const SimResults &baseline, const SimResults &other)
 {
-    panic_if(baseline.ipc <= 0.0, "baseline IPC must be positive");
+    // Degenerate baselines (wedged or zero-length runs) yield NaN so
+    // sweep harnesses can tolerate and report them instead of dying.
+    if (baseline.ipc <= 0.0)
+        return std::numeric_limits<double>::quiet_NaN();
     return other.ipc / baseline.ipc - 1.0;
 }
 
@@ -32,6 +37,7 @@ Simulator::Simulator(const SimConfig &config)
         custom_btb = std::make_unique<PartitionedBtb>(cfg.pbtb);
     bpu_ = std::make_unique<Bpu>(*trace, cfg.bpu, std::move(custom_btb));
 
+    mmu_ = std::make_unique<Mmu>(cfg.vm, *prog);
     mem_ = std::make_unique<MemHierarchy>(cfg.mem);
     mem_->setMaxOutstandingPrefetches(cfg.maxOutstandingPrefetches);
     ftq_ = std::make_unique<Ftq>(cfg.ftqEntries,
@@ -39,6 +45,7 @@ Simulator::Simulator(const SimConfig &config)
     backend_ = std::make_unique<Backend>(cfg.backend);
     fetch_ = std::make_unique<FetchEngine>(*ftq_, *mem_, *backend_,
                                            cfg.fetch);
+    fetch_->setMmu(mmu_.get());
 
     switch (cfg.scheme) {
       case PrefetchScheme::None:
@@ -81,8 +88,10 @@ Simulator::Simulator(const SimConfig &config)
       }
     }
 
-    for (auto &pf : prefetchers)
+    for (auto &pf : prefetchers) {
+        pf->setMmu(mmu_.get());
         fetch_->addPrefetcher(pf.get());
+    }
 }
 
 Simulator::~Simulator() = default;
@@ -92,6 +101,7 @@ Simulator::step()
 {
     ++curCycle;
     mem_->tick(curCycle);
+    mmu_->tick(curCycle);
 
     if (fetch_->redirectPending() &&
         curCycle >= fetch_->redirectTime()) {
@@ -119,6 +129,8 @@ void
 Simulator::collectAll(StatSet &out) const
 {
     mem_->collectStats(out);
+    if (mmu_->enabled())
+        mmu_->collectStats(out);
     out.merge(bpu_->stats);
     if (bpu_->ftb())
         out.merge(bpu_->ftb()->stats);

@@ -60,6 +60,7 @@ class Simulator
     Ftq &ftq() { return *ftq_; }
     MemHierarchy &mem() { return *mem_; }
     Backend &backend() { return *backend_; }
+    Mmu &mmu() { return *mmu_; }
     const Program &program() const { return *prog; }
     const CodeImage &codeImage() const { return *image; }
     Cycle now() const { return curCycle; }
@@ -79,6 +80,7 @@ class Simulator
     std::unique_ptr<TraceWindow> trace;
     std::unique_ptr<Bpu> bpu_;
     std::unique_ptr<Ftq> ftq_;
+    std::unique_ptr<Mmu> mmu_;
     std::unique_ptr<MemHierarchy> mem_;
     std::unique_ptr<Backend> backend_;
     std::unique_ptr<FetchEngine> fetch_;

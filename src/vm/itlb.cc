@@ -1,0 +1,114 @@
+#include "vm/itlb.hh"
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace fdip
+{
+
+Itlb::Itlb(const Config &config)
+    : cfg(config)
+{
+    fatal_if(cfg.entries == 0, "ITLB needs at least one entry");
+    fatal_if(cfg.assoc == 0, "ITLB associativity must be nonzero");
+    fatal_if(cfg.entries % cfg.assoc != 0,
+             "ITLB entries must divide evenly into ways");
+    sets = cfg.entries / cfg.assoc;
+    fatal_if(!isPowerOf2(sets),
+             "ITLB set count must be a power of two");
+    entries_.resize(cfg.entries);
+}
+
+std::size_t
+Itlb::setBase(Addr vpn) const
+{
+    return static_cast<std::size_t>(vpn & (sets - 1)) * cfg.assoc;
+}
+
+Itlb::Entry *
+Itlb::find(Addr vpn)
+{
+    std::size_t base = setBase(vpn);
+    for (unsigned w = 0; w < cfg.assoc; ++w) {
+        Entry &e = entries_[base + w];
+        if (e.valid && e.vpn == vpn)
+            return &e;
+    }
+    return nullptr;
+}
+
+const Itlb::Entry *
+Itlb::find(Addr vpn) const
+{
+    return const_cast<Itlb *>(this)->find(vpn);
+}
+
+bool
+Itlb::lookup(Addr vpn) const
+{
+    return find(vpn) != nullptr;
+}
+
+bool
+Itlb::access(Addr vpn)
+{
+    stats.inc("itlb.accesses");
+    Entry *e = find(vpn);
+    if (e == nullptr) {
+        stats.inc("itlb.misses");
+        return false;
+    }
+    e->lruStamp = ++lruClock;
+    stats.inc("itlb.hits");
+    return true;
+}
+
+void
+Itlb::insert(Addr vpn)
+{
+    if (Entry *e = find(vpn)) {
+        // Refreshed by a racing walk; just bump recency.
+        e->lruStamp = ++lruClock;
+        return;
+    }
+    std::size_t base = setBase(vpn);
+    Entry *victim = &entries_[base];
+    for (unsigned w = 0; w < cfg.assoc; ++w) {
+        Entry &e = entries_[base + w];
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.lruStamp < victim->lruStamp)
+            victim = &e;
+    }
+    if (victim->valid)
+        stats.inc("itlb.evictions");
+    victim->valid = true;
+    victim->vpn = vpn;
+    victim->lruStamp = ++lruClock;
+    stats.inc("itlb.fills");
+}
+
+bool
+Itlb::invalidate(Addr vpn)
+{
+    Entry *e = find(vpn);
+    if (e == nullptr)
+        return false;
+    e->valid = false;
+    return true;
+}
+
+unsigned
+Itlb::validEntries() const
+{
+    unsigned n = 0;
+    for (const Entry &e : entries_) {
+        if (e.valid)
+            ++n;
+    }
+    return n;
+}
+
+} // namespace fdip

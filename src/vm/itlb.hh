@@ -1,0 +1,72 @@
+/**
+ * @file itlb.hh
+ * Instruction TLB: a set-associative, true-LRU cache of virtual page
+ * numbers. Only presence matters (the physical frame comes from the
+ * page table), so entries store the full VPN as their tag. Demand
+ * lookups update recency and statistics; the probe path is
+ * side-effect-free so prefetchers can test translations without
+ * perturbing replacement state.
+ */
+
+#ifndef FDIP_VM_ITLB_HH
+#define FDIP_VM_ITLB_HH
+
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace fdip
+{
+
+class Itlb
+{
+  public:
+    struct Config
+    {
+        unsigned entries = 64;
+        unsigned assoc = 4;
+    };
+
+    explicit Itlb(const Config &config);
+
+    /** Tag check only: no LRU update, no stats side effects. */
+    bool lookup(Addr vpn) const;
+
+    /** Demand lookup: updates LRU and hit/miss statistics. */
+    bool access(Addr vpn);
+
+    /** Install a translation, evicting the set's LRU entry if full. */
+    void insert(Addr vpn);
+
+    /** Remove the translation; true if it was present. */
+    bool invalidate(Addr vpn);
+
+    const Config &config() const { return cfg; }
+    unsigned numSets() const { return sets; }
+    unsigned numEntries() const { return cfg.entries; }
+    unsigned validEntries() const;
+
+    StatSet stats;
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        Addr vpn = 0;
+        std::uint64_t lruStamp = 0;
+    };
+
+    std::size_t setBase(Addr vpn) const;
+    Entry *find(Addr vpn);
+    const Entry *find(Addr vpn) const;
+
+    Config cfg;
+    unsigned sets;
+    std::vector<Entry> entries_;
+    std::uint64_t lruClock = 0;
+};
+
+} // namespace fdip
+
+#endif // FDIP_VM_ITLB_HH

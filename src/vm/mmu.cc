@@ -1,0 +1,150 @@
+#include "vm/mmu.hh"
+
+#include "common/logging.hh"
+#include "trace/program.hh"
+
+namespace fdip
+{
+
+const char *
+tlbPolicyName(TlbPrefetchPolicy policy)
+{
+    switch (policy) {
+      case TlbPrefetchPolicy::Drop: return "drop";
+      case TlbPrefetchPolicy::Wait: return "wait";
+      case TlbPrefetchPolicy::Fill: return "fill";
+    }
+    return "?";
+}
+
+Mmu::Mmu(const VmConfig &config, Addr code_base, Addr code_end)
+    : cfg(config),
+      pt(code_base, code_end, cfg.pageBytes, cfg.mapping, cfg.mapSeed),
+      itlb_({cfg.itlbEntries, cfg.itlbAssoc})
+{
+    fatal_if(cfg.enable && cfg.walkLatency == 0,
+             "page-walk latency must be nonzero");
+}
+
+Mmu::Mmu(const VmConfig &config, const Program &prog)
+    : Mmu(config, prog.base, prog.codeEnd())
+{}
+
+void
+Mmu::tick(Cycle now)
+{
+    if (!cfg.enable || walks.empty())
+        return;
+    for (auto it = walks.begin(); it != walks.end();) {
+        if (it->second.readyAt <= now) {
+            if (it->second.fillTlb)
+                itlb_.insert(it->first);
+            it = walks.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+Cycle
+Mmu::startWalk(Addr vpn, Cycle now, bool fill_tlb, bool &created)
+{
+    auto it = walks.find(vpn);
+    if (it != walks.end()) {
+        // A walk for this page is already in flight: join it. A demand
+        // joining a non-filling prefetch walk upgrades it to fill.
+        it->second.fillTlb |= fill_tlb;
+        stats.inc("mmu.walk_merges");
+        created = false;
+        return it->second.readyAt;
+    }
+    Cycle ready = now + cfg.walkLatency;
+    walks.emplace(vpn, Walk{ready, fill_tlb});
+    stats.inc("mmu.walks");
+    created = true;
+    return ready;
+}
+
+TlbAccess
+Mmu::demandTranslate(Addr vaddr, Cycle now)
+{
+    TlbAccess res;
+    res.paddr = vaddr;
+    res.readyAt = now;
+    if (!cfg.enable)
+        return res;
+
+    res.paddr = pt.translate(vaddr);
+    Addr vpn = pt.vpn(vaddr);
+    if (itlb_.access(vpn))
+        return res;
+
+    res.hit = false;
+    bool created = false;
+    res.readyAt = startWalk(vpn, now, /*fill_tlb=*/true, created);
+    if (created)
+        stats.inc("mmu.demand_walks");
+    return res;
+}
+
+PfTranslation
+Mmu::prefetchTranslate(Addr vaddr, Cycle now)
+{
+    PfTranslation res;
+    res.paddr = vaddr;
+    res.readyAt = now;
+    if (!cfg.enable)
+        return res;
+
+    res.paddr = pt.translate(vaddr);
+    Addr vpn = pt.vpn(vaddr);
+    if (itlb_.lookup(vpn)) {
+        stats.inc("mmu.pf_tlb_hits");
+        return res;
+    }
+
+    stats.inc("mmu.pf_tlb_misses");
+    bool created = false;
+    switch (cfg.prefetchPolicy) {
+      case TlbPrefetchPolicy::Drop:
+        res.status = PfTranslation::Status::Dropped;
+        stats.inc("mmu.pf_dropped");
+        break;
+      case TlbPrefetchPolicy::Wait:
+        res.status = PfTranslation::Status::Walking;
+        res.readyAt = startWalk(vpn, now, /*fill_tlb=*/false, created);
+        if (created)
+            stats.inc("mmu.pf_walks");
+        break;
+      case TlbPrefetchPolicy::Fill:
+        res.status = PfTranslation::Status::Walking;
+        res.readyAt = startWalk(vpn, now, /*fill_tlb=*/true, created);
+        if (created) {
+            stats.inc("mmu.pf_walks");
+            stats.inc("mmu.pf_fills");
+        }
+        break;
+    }
+    return res;
+}
+
+Addr
+Mmu::translateFunctional(Addr vaddr) const
+{
+    return cfg.enable ? pt.translate(vaddr) : vaddr;
+}
+
+bool
+Mmu::tlbHolds(Addr vaddr) const
+{
+    return !cfg.enable || itlb_.lookup(pt.vpn(vaddr));
+}
+
+void
+Mmu::collectStats(StatSet &out) const
+{
+    out.merge(stats);
+    out.merge(itlb_.stats);
+}
+
+} // namespace fdip

@@ -1,0 +1,156 @@
+/**
+ * @file mmu.hh
+ * The instruction-side virtual-memory subsystem: an ITLB backed by the
+ * program's page table, plus a fixed-latency page-table walker with
+ * per-page merging of concurrent walks. The fetch engine translates
+ * demand fetches here (stalling for the walk on an ITLB miss);
+ * prefetchers probe translations through one of the three policies
+ * from the literature:
+ *
+ *  - Drop: a candidate whose page misses the ITLB is discarded.
+ *  - Wait: the candidate waits for a page walk, then issues; the walk
+ *          does NOT fill the ITLB (no speculative TLB pollution).
+ *  - Fill: like Wait, but the completed walk also fills the ITLB,
+ *          pre-warming the translation for the later demand fetch.
+ */
+
+#ifndef FDIP_VM_MMU_HH
+#define FDIP_VM_MMU_HH
+
+#include <map>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "vm/itlb.hh"
+#include "vm/page_table.hh"
+
+namespace fdip
+{
+
+class Program;
+
+/** What a prefetcher does with a candidate whose page misses the ITLB. */
+enum class TlbPrefetchPolicy : std::uint8_t
+{
+    Drop,
+    Wait,
+    Fill,
+};
+
+const char *tlbPolicyName(TlbPrefetchPolicy policy);
+
+struct VmConfig
+{
+    bool enable = false;
+    unsigned pageBytes = 4096;
+    unsigned itlbEntries = 64;
+    unsigned itlbAssoc = 4;
+    /** Fixed page-table walk latency in cycles. */
+    Cycle walkLatency = 30;
+    TlbPrefetchPolicy prefetchPolicy = TlbPrefetchPolicy::Drop;
+    PageMapKind mapping = PageMapKind::Identity;
+    std::uint64_t mapSeed = 0xf0d1;
+};
+
+/** Outcome of one demand translation. */
+struct TlbAccess
+{
+    bool hit = true;
+    Addr paddr = invalidAddr;
+    /** When the translation is usable (now on a hit, walk end on miss). */
+    Cycle readyAt = 0;
+};
+
+/** Outcome of one prefetch translation probe. */
+struct PfTranslation
+{
+    enum class Status
+    {
+        Ready,   ///< translation available this cycle
+        Walking, ///< usable once @c readyAt arrives (Wait/Fill policies)
+        Dropped, ///< candidate must be discarded (Drop policy)
+    };
+
+    Status status = Status::Ready;
+    Addr paddr = invalidAddr;
+    Cycle readyAt = 0;
+};
+
+/**
+ * Cached issue-time translation of one prefetch candidate, resolved
+ * at most once via Prefetcher::resolveTranslation().
+ */
+struct PfTranslationState
+{
+    bool translated = false;
+    Addr paddr = invalidAddr;
+    /** Earliest issue time: page-walk completion under Wait/Fill. */
+    Cycle readyAt = 0;
+};
+
+class Mmu
+{
+  public:
+    Mmu(const VmConfig &config, Addr code_base, Addr code_end);
+    Mmu(const VmConfig &config, const Program &prog);
+
+    bool enabled() const { return cfg.enable; }
+
+    /** Complete due page walks (installing ITLB fills); once a cycle. */
+    void tick(Cycle now);
+
+    /**
+     * Translate a demand fetch. On an ITLB miss a walk is started (or
+     * joined) and @c readyAt reports its completion; the walk always
+     * fills the ITLB, so a retry at @c readyAt hits.
+     */
+    TlbAccess demandTranslate(Addr vaddr, Cycle now);
+
+    /**
+     * Translation probe for a prefetch candidate, applying the
+     * configured policy. Side-effect-free on the ITLB ordering; Wait
+     * and Fill start (or join) a page walk on a miss.
+     */
+    PfTranslation prefetchTranslate(Addr vaddr, Cycle now);
+
+    /** Untimed page-table peek (simulator-internal filter probes). */
+    Addr translateFunctional(Addr vaddr) const;
+
+    /** Pure ITLB probe: would @p vaddr translate without a walk? */
+    bool tlbHolds(Addr vaddr) const;
+
+    std::size_t walksInFlight() const { return walks.size(); }
+
+    Itlb &itlb() { return itlb_; }
+    const Itlb &itlb() const { return itlb_; }
+    const PageTable &pageTable() const { return pt; }
+    const VmConfig &config() const { return cfg; }
+
+    /** Aggregate MMU + ITLB statistics into @p out. */
+    void collectStats(StatSet &out) const;
+
+    StatSet stats;
+
+  private:
+    struct Walk
+    {
+        Cycle readyAt = 0;
+        bool fillTlb = false;
+    };
+
+    /**
+     * Start or join the walk for @p vpn; returns its completion time.
+     * @p created reports whether a new walk was launched (false when
+     * the request merged into an in-flight one).
+     */
+    Cycle startWalk(Addr vpn, Cycle now, bool fill_tlb, bool &created);
+
+    VmConfig cfg;
+    PageTable pt;
+    Itlb itlb_;
+    std::map<Addr, Walk> walks;
+};
+
+} // namespace fdip
+
+#endif // FDIP_VM_MMU_HH

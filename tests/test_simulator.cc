@@ -1,10 +1,13 @@
 /** Whole-system integration tests. */
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "sim/presets.hh"
 #include "sim/runner.hh"
 #include "sim/simulator.hh"
+#include "trace/profile.hh"
 
 using namespace fdip;
 
@@ -159,11 +162,107 @@ TEST(Simulator, SpeedupHelpers)
     EXPECT_DOUBLE_EQ(speedupOver(b, a), -0.2);
 }
 
+TEST(Simulator, SpeedupOverDegenerateBaselineIsNaN)
+{
+    SimResults dead, live;
+    dead.ipc = 0.0;
+    live.ipc = 1.0;
+    EXPECT_TRUE(std::isnan(speedupOver(dead, live)));
+}
+
+TEST(Simulator, VmIdentityHugeItlbMatchesVmOffBaseline)
+{
+    // Identity mapping + an effectively-infinite ITLB: all walks are
+    // compulsory and resolve during warmup, so the measured window
+    // must reproduce the VM-off machine for every preset workload.
+    for (const auto &name : allWorkloadNames()) {
+        SimConfig off = quickCfg(name, PrefetchScheme::FdpRemove);
+        SimConfig on = off;
+        applyVmConfig(on, TlbPrefetchPolicy::Fill,
+                      PageMapKind::Identity, /*itlb_entries=*/4096);
+        SimResults r_off = simulate(off);
+        SimResults r_on = simulate(on);
+        EXPECT_NEAR(r_on.ipc, r_off.ipc, r_off.ipc * 0.01)
+            << "workload " << name;
+    }
+}
+
+TEST(Simulator, VmStatsAppearInResults)
+{
+    SimConfig cfg = quickCfg("gcc", PrefetchScheme::FdpRemove);
+    applyVmConfig(cfg, TlbPrefetchPolicy::Drop,
+                  PageMapKind::Scrambled, /*itlb_entries=*/8);
+    SimResults r = simulate(cfg);
+    EXPECT_TRUE(r.stats.has("itlb.hits"));
+    EXPECT_TRUE(r.stats.has("itlb.misses"));
+    EXPECT_GT(r.stats.counter("itlb.misses"), 0u);
+    EXPECT_GT(r.stats.counter("mmu.walks"), 0u);
+    EXPECT_GT(r.stats.counter("fetch.itlb_misses"), 0u);
+    EXPECT_GT(r.stats.counter("fetch.itlb_stall_cycles"), 0u);
+    // Drop policy: TLB-missing candidates were discarded, not walked.
+    EXPECT_GT(r.stats.counter("mmu.pf_dropped"), 0u);
+    EXPECT_GT(r.stats.counter("fdp.tlb_dropped"), 0u);
+    EXPECT_EQ(r.stats.counter("mmu.pf_walks"), 0u);
+}
+
+TEST(Simulator, VmOffReportsNoItlbStats)
+{
+    SimResults r = simulate(quickCfg("gcc", PrefetchScheme::FdpRemove));
+    EXPECT_FALSE(r.stats.has("itlb.hits"));
+    EXPECT_FALSE(r.stats.has("mmu.walks"));
+}
+
+TEST(Simulator, VmPrefetchFillPolicyPreWarmsDemandTranslations)
+{
+    SimConfig drop = quickCfg("gcc", PrefetchScheme::FdpRemove);
+    applyVmConfig(drop, TlbPrefetchPolicy::Drop,
+                  PageMapKind::Scrambled, /*itlb_entries=*/8);
+    SimConfig fill = drop;
+    fill.vm.prefetchPolicy = TlbPrefetchPolicy::Fill;
+    SimResults r_drop = simulate(drop);
+    SimResults r_fill = simulate(fill);
+    EXPECT_GT(r_fill.stats.counter("mmu.pf_fills"), 0u);
+    // Pre-warmed translations mean fewer demand-side walks.
+    EXPECT_LT(r_fill.stats.counter("mmu.demand_walks"),
+              r_drop.stats.counter("mmu.demand_walks"));
+    EXPECT_GE(r_fill.ipc, r_drop.ipc);
+}
+
+TEST(Simulator, VmDeterministicAcrossRuns)
+{
+    SimConfig cfg = quickCfg("go", PrefetchScheme::FdpRemove);
+    applyVmConfig(cfg, TlbPrefetchPolicy::Wait,
+                  PageMapKind::Scrambled, /*itlb_entries=*/16);
+    SimResults a = simulate(cfg);
+    SimResults b = simulate(cfg);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.stats.counter("mmu.walks"), b.stats.counter("mmu.walks"));
+}
+
 TEST(SimulatorDeath, InvalidConfigRejected)
 {
     SimConfig cfg = quickCfg("li", PrefetchScheme::None);
     cfg.measureInsts = 0;
     EXPECT_DEATH({ Simulator s(cfg); }, "measureInsts");
+}
+
+TEST(SimulatorDeath, InvalidVmKnobsRejected)
+{
+    SimConfig cfg = quickCfg("li", PrefetchScheme::None);
+    cfg.vm.enable = true;
+    cfg.vm.pageBytes = 3000; // not a power of two
+    EXPECT_DEATH({ Simulator s(cfg); }, "power of two");
+
+    SimConfig cfg2 = quickCfg("li", PrefetchScheme::None);
+    applyVmConfig(cfg2);
+    cfg2.vm.walkLatency = 0;
+    EXPECT_DEATH({ Simulator s(cfg2); }, "walk latency");
+
+    SimConfig cfg3 = quickCfg("li", PrefetchScheme::None);
+    EXPECT_DEATH(
+        { applyVmConfig(cfg3, TlbPrefetchPolicy::Drop,
+                        PageMapKind::Scrambled, /*itlb_entries=*/12); },
+        "power of two");
 }
 
 TEST(SimulatorDeath, PartitionedBtbRequiresConventionalFrontEnd)
