@@ -16,7 +16,7 @@ using namespace fdip;
 using namespace fdip::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     print(experimentBanner(
         "R-A1", "design ablations (FDP remove-CPF unless noted)",
@@ -26,7 +26,7 @@ main()
         "the paper's demand-priority argument assumes a shared bus); "
         "oracle bounds all"));
 
-    Runner runner(kSweepWarmup, kSweepMeasure);
+    Runner runner = makeRunner(argc, argv, kSweepWarmup, kSweepMeasure);
 
     // (a) + (b) + (d): per-workload gmean table.
     AsciiTable t({"variant", "gmean speedup", "mean L2-bus util"});
@@ -53,6 +53,22 @@ main()
         {"oracle (perfect addresses)", PrefetchScheme::Oracle,
          nullptr, ""},
     };
+
+    for (const auto &v : variants) {
+        for (const auto &name : largeFootprintNames())
+            runner.enqueueSpeedup(name, v.scheme, v.key, v.tweak);
+    }
+    for (auto scheme : {PrefetchScheme::FdpEnqueue,
+                        PrefetchScheme::FdpEnqueueAggressive}) {
+        for (const auto &name : largeFootprintNames()) {
+            runner.enqueueSpeedup(name, scheme, "1port",
+                                  [](SimConfig &c) {
+                                      c.mem.l1TagPorts = 1;
+                                  });
+        }
+    }
+    runner.runPending();
+    print(runner.sweepSummary());
 
     for (const auto &v : variants) {
         std::vector<double> speedups, utils;

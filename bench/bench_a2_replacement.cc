@@ -10,7 +10,7 @@ using namespace fdip;
 using namespace fdip::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     print(experimentBanner(
         "R-A2", "L1-I replacement policy x {baseline, FDP remove}",
@@ -18,7 +18,22 @@ main()
         "policy-insensitive because it attacks compulsory/capacity "
         "misses ahead of time"));
 
-    Runner runner(kSweepWarmup, kSweepMeasure);
+    Runner runner = makeRunner(argc, argv, kSweepWarmup, kSweepMeasure);
+
+    for (auto policy : {ReplPolicy::Lru, ReplPolicy::Fifo,
+                        ReplPolicy::Random}) {
+        for (const auto &name : largeFootprintNames()) {
+            runner.enqueueSpeedup(
+                name, PrefetchScheme::FdpRemove,
+                std::string("repl-") + replPolicyName(policy),
+                [policy](SimConfig &cfg) {
+                    cfg.mem.l1i.repl = policy;
+                });
+        }
+    }
+    runner.runPending();
+    print(runner.sweepSummary());
+
     AsciiTable t({"policy", "gmean base IPC", "mean base MPKI",
                   "gmean FDP speedup"});
 

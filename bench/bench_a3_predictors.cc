@@ -11,7 +11,7 @@ using namespace fdip;
 using namespace fdip::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     print(experimentBanner(
         "R-A3", "direction predictor x {baseline, FDP remove}",
@@ -19,7 +19,33 @@ main()
         "baseline IPC and better FDP candidate quality; the hybrid "
         "matches or beats its components"));
 
-    Runner runner(kSweepWarmup, kSweepMeasure);
+    Runner runner = makeRunner(argc, argv, kSweepWarmup, kSweepMeasure);
+
+    for (auto kind : {PredictorKind::Bimodal, PredictorKind::Gshare,
+                      PredictorKind::Local2Level,
+                      PredictorKind::Hybrid}) {
+        for (const auto &name : largeFootprintNames()) {
+            runner.enqueueSpeedup(
+                name, PrefetchScheme::FdpRemove,
+                std::string("pred-") + predictorKindName(kind),
+                [kind](SimConfig &cfg) {
+                    cfg.bpu.predictor = kind;
+                });
+        }
+    }
+    for (unsigned entries : {0u, 16u}) {
+        for (const auto &name : largeFootprintNames()) {
+            runner.enqueueSpeedup(
+                name, PrefetchScheme::FdpRemove,
+                "vc" + std::to_string(entries),
+                [entries](SimConfig &cfg) {
+                    cfg.mem.victimCacheEntries = entries;
+                });
+        }
+    }
+    runner.runPending();
+    print(runner.sweepSummary());
+
     AsciiTable t({"predictor", "gmean base IPC", "cond misp/KI",
                   "gmean FDP speedup"});
 

@@ -10,14 +10,27 @@ using namespace fdip;
 using namespace fdip::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     print(experimentBanner(
         "R-F10", "L1-I capacity sweep (8..64KB) x {none, FDP remove}",
         "baseline MPKI and FDP's speedup both collapse as the cache "
         "approaches the working-set size"));
 
-    Runner runner(kSweepWarmup, kSweepMeasure);
+    Runner runner = makeRunner(argc, argv, kSweepWarmup, kSweepMeasure);
+
+    for (unsigned kb : {8u, 16u, 32u, 64u}) {
+        for (const auto &name : allWorkloadNames()) {
+            runner.enqueueSpeedup(
+                name, PrefetchScheme::FdpRemove,
+                "l1i" + std::to_string(kb), [kb](SimConfig &cfg) {
+                    cfg.mem.l1i.sizeBytes = std::uint64_t(kb) * 1024;
+                });
+        }
+    }
+    runner.runPending();
+    print(runner.sweepSummary());
+
     AsciiTable t({"L1-I KB", "gmean base IPC", "mean base MPKI",
                   "gmean FDP speedup"});
 

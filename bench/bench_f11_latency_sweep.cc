@@ -10,13 +10,31 @@ using namespace fdip;
 using namespace fdip::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     print(experimentBanner(
         "R-F11", "memory latency sweep (FDP remove-CPF, large set)",
         "FDP's gmean speedup grows monotonically with miss latency"));
 
-    Runner runner(kSweepWarmup, kSweepMeasure);
+    Runner runner = makeRunner(argc, argv, kSweepWarmup, kSweepMeasure);
+
+    {
+        struct Point { Cycle l2; Cycle dram; };
+        for (Point p : {Point{6, 35}, Point{12, 70}, Point{24, 140},
+                        Point{48, 280}}) {
+            for (const auto &name : largeFootprintNames()) {
+                runner.enqueueSpeedup(
+                    name, PrefetchScheme::FdpRemove,
+                    "lat" + std::to_string(p.l2), [p](SimConfig &cfg) {
+                        cfg.mem.l2HitLatency = p.l2;
+                        cfg.mem.dramLatency = p.dram;
+                    });
+            }
+        }
+        runner.runPending();
+    print(runner.sweepSummary());
+    }
+
     AsciiTable t({"L2 lat", "DRAM lat", "gmean base IPC",
                   "gmean FDP speedup"});
 

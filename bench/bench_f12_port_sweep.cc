@@ -9,7 +9,7 @@ using namespace fdip;
 using namespace fdip::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     print(experimentBanner(
         "R-F12", "CPF tag-port sweep (enqueue and remove vs ideal)",
@@ -17,7 +17,24 @@ main()
         "realistic variants degrade; two ports recover nearly all of "
         "ideal CPF's benefit"));
 
-    Runner runner(kSweepWarmup, kSweepMeasure);
+    Runner runner = makeRunner(argc, argv, kSweepWarmup, kSweepMeasure);
+
+    for (unsigned ports : {1u, 2u, 3u, 4u}) {
+        for (const auto &name : largeFootprintNames()) {
+            for (auto scheme :
+                 {PrefetchScheme::FdpEnqueue, PrefetchScheme::FdpRemove,
+                  PrefetchScheme::FdpIdeal}) {
+                runner.enqueueSpeedup(
+                    name, scheme, "ports" + std::to_string(ports),
+                    [ports](SimConfig &cfg) {
+                        cfg.mem.l1TagPorts = ports;
+                    });
+            }
+        }
+    }
+    runner.runPending();
+    print(runner.sweepSummary());
+
     AsciiTable t({"tag ports", "FDP enqueue", "FDP remove",
                   "FDP ideal"});
 

@@ -10,7 +10,7 @@ using namespace fdip;
 using namespace fdip::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     print(experimentBanner(
         "R-F2", "FTQ occupancy distribution (32-entry FTQ, no prefetch)",
@@ -18,7 +18,13 @@ main()
         "fetch engine stalls on L1-I misses, i.e. on large-footprint "
         "workloads"));
 
-    Runner runner(kWarmup, kMeasure);
+    Runner runner = makeRunner(argc, argv, kWarmup, kMeasure);
+
+    for (const auto &name : allWorkloadNames())
+        runner.enqueue(name, PrefetchScheme::None);
+    runner.runPending();
+    print(runner.sweepSummary());
+
     AsciiTable t({"workload", "mean occ", "% empty", "% full",
                   "p50", "p90"});
 

@@ -10,14 +10,29 @@ using namespace fdip;
 using namespace fdip::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     print(experimentBanner(
         "R-F4", "NLP and stream-buffer speedup over no-prefetch",
         "both help on large-footprint workloads; more stream buffers "
         "help up to a point; neither approaches FDP (see R-F5)"));
 
-    Runner runner(kWarmup, kMeasure);
+    Runner runner = makeRunner(argc, argv, kWarmup, kMeasure);
+
+    for (const auto &name : allWorkloadNames()) {
+        runner.enqueueSpeedup(name, PrefetchScheme::Nlp);
+        for (unsigned n : {1u, 2u, 4u, 8u}) {
+            runner.enqueueSpeedup(
+                name, PrefetchScheme::StreamBuffer,
+                "sb" + std::to_string(n), [n](SimConfig &cfg) {
+                    cfg.sb.numBuffers = n;
+                    cfg.sb.allocationFilter = false;
+                });
+        }
+    }
+    runner.runPending();
+    print(runner.sweepSummary());
+
     AsciiTable t({"workload", "NLP", "SB x1", "SB x2", "SB x4",
                   "SB x8"});
 

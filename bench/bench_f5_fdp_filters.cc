@@ -10,7 +10,7 @@ using namespace fdip;
 using namespace fdip::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     print(experimentBanner(
         "R-F5", "FDP speedup by CPF variant vs NLP",
@@ -18,7 +18,15 @@ main()
         "no-filter FDP while using far less bus bandwidth (see R-F6); "
         "remove-CPF is the best realistic variant"));
 
-    Runner runner(kWarmup, kMeasure);
+    Runner runner = makeRunner(argc, argv, kWarmup, kMeasure);
+
+    enqueueGrid(runner, allWorkloadNames(),
+                {PrefetchScheme::Nlp, PrefetchScheme::FdpNone,
+                 PrefetchScheme::FdpEnqueue, PrefetchScheme::FdpRemove,
+                 PrefetchScheme::FdpIdeal});
+    runner.runPending();
+    print(runner.sweepSummary());
+
     AsciiTable t({"workload", "NLP", "FDP nofilter", "FDP enqueue",
                   "FDP remove", "FDP ideal"});
 

@@ -10,7 +10,7 @@ using namespace fdip;
 using namespace fdip::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     print(experimentBanner(
         "R-F6", "L2-bus utilization per scheme",
@@ -18,7 +18,19 @@ main()
         "cut it to near the filtered-prefetcher level; the no-prefetch "
         "baseline is the floor"));
 
-    Runner runner(kWarmup, kMeasure);
+    Runner runner = makeRunner(argc, argv, kWarmup, kMeasure);
+
+    for (const auto &name : allWorkloadNames()) {
+        for (auto scheme :
+             {PrefetchScheme::None, PrefetchScheme::Nlp,
+              PrefetchScheme::StreamBuffer, PrefetchScheme::FdpNone,
+              PrefetchScheme::FdpEnqueue, PrefetchScheme::FdpRemove,
+              PrefetchScheme::FdpIdeal})
+            runner.enqueue(name, scheme);
+    }
+    runner.runPending();
+    print(runner.sweepSummary());
+
     AsciiTable t({"workload", "none", "NLP", "SB", "FDP nofil",
                   "FDP enq", "FDP rem", "FDP ideal"});
 

@@ -9,7 +9,7 @@ using namespace fdip;
 using namespace fdip::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     print(experimentBanner(
         "R-F7", "prefetch accuracy and coverage per scheme",
@@ -17,7 +17,15 @@ main()
         "keeping the best coverage of all schemes; NLP is accurate but "
         "covers only sequential misses; SB sits between"));
 
-    Runner runner(kWarmup, kMeasure);
+    Runner runner = makeRunner(argc, argv, kWarmup, kMeasure);
+
+    for (const auto &name : allWorkloadNames()) {
+        for (auto scheme : allSchemes())
+            runner.enqueue(name, scheme);
+    }
+    runner.runPending();
+    print(runner.sweepSummary());
+
     AsciiTable t({"workload", "scheme", "accuracy", "coverage",
                   "issued/KI"});
 

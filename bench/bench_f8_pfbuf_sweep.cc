@@ -10,14 +10,28 @@ using namespace fdip;
 using namespace fdip::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     print(experimentBanner(
         "R-F8", "prefetch buffer size sweep (FDP remove-CPF)",
         "speedup grows with buffer size and saturates around 32 "
         "entries — the paper's chosen design point"));
 
-    Runner runner(kSweepWarmup, kSweepMeasure);
+    Runner runner = makeRunner(argc, argv, kSweepWarmup, kSweepMeasure);
+
+    for (unsigned entries : {8u, 16u, 32u, 64u}) {
+        for (const auto &name : largeFootprintNames()) {
+            runner.enqueueSpeedup(
+                name, PrefetchScheme::FdpRemove,
+                "pfbuf" + std::to_string(entries),
+                [entries](SimConfig &cfg) {
+                    cfg.mem.prefetchBufferEntries = entries;
+                });
+        }
+    }
+    runner.runPending();
+    print(runner.sweepSummary());
+
     AsciiTable t({"entries", "gmean speedup", "gmean accuracy",
                   "unused evictions/KI"});
 

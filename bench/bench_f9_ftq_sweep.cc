@@ -10,14 +10,28 @@ using namespace fdip;
 using namespace fdip::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     print(experimentBanner(
         "R-F9", "FTQ depth sweep (FDP remove-CPF vs baseline FTQ=32)",
         "tiny FTQs cripple FDP (no lookahead); gains saturate by a "
         "few tens of entries"));
 
-    Runner runner(kSweepWarmup, kSweepMeasure);
+    Runner runner = makeRunner(argc, argv, kSweepWarmup, kSweepMeasure);
+
+    for (unsigned entries : {2u, 4u, 8u, 16u, 32u, 64u}) {
+        for (const auto &name : largeFootprintNames()) {
+            runner.enqueueSpeedup(
+                name, PrefetchScheme::FdpRemove,
+                "ftq" + std::to_string(entries),
+                [entries](SimConfig &cfg) {
+                    cfg.ftqEntries = entries;
+                });
+        }
+    }
+    runner.runPending();
+    print(runner.sweepSummary());
+
     AsciiTable t({"ftq entries", "gmean FDP speedup",
                   "gmean prefetch coverage", "mean occupancy"});
 

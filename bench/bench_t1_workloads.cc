@@ -12,14 +12,20 @@ using namespace fdip;
 using namespace fdip::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     print(experimentBanner(
         "R-T1", "workload characterization (no-prefetch baseline)",
         "large-footprint workloads (burg..vortex) show high L1-I MPKI; "
         "small ones (li..deltablue) are nearly cache-resident"));
 
-    Runner runner(kWarmup, kMeasure);
+    Runner runner = makeRunner(argc, argv, kWarmup, kMeasure);
+
+    for (const auto &name : allWorkloadNames())
+        runner.enqueue(name, PrefetchScheme::None);
+    runner.runPending();
+    print(runner.sweepSummary());
+
     AsciiTable t({"workload", "code KB", "dyn branch%", "base IPC",
                   "L1-I MPKI", "cond misp/KI"});
 

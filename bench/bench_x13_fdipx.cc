@@ -12,7 +12,7 @@ using namespace fdip;
 using namespace fdip::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     print(experimentBanner(
         "X-F13", "FDIP gain vs BTB budget: unified FTB vs partitioned",
@@ -20,13 +20,32 @@ main()
         "budgets (more branches tracked per KB) and the two converge "
         "once the branch working set fits either way"));
 
-    Runner runner(kSweepWarmup, kSweepMeasure);
+    Runner runner = makeRunner(argc, argv, kSweepWarmup, kSweepMeasure);
     AsciiTable t({"budget", "unified FTB gmean", "partitioned gmean"});
 
     // The largest rungs change nothing for our branch working sets;
     // sweep the interesting lower half of the ladder.
     auto ladder = btbBudgetLadder();
     ladder.resize(4); // 11.5K .. 89K
+
+    for (const auto &pt : ladder) {
+        for (const auto &name : allWorkloadNames()) {
+            runner.enqueueSpeedup(
+                name, PrefetchScheme::FdpRemove,
+                "uni" + std::to_string(pt.ftbEntries),
+                [pt](SimConfig &cfg) {
+                    applyFtbBudget(cfg, pt.ftbEntries);
+                });
+            runner.enqueueSpeedup(
+                name, PrefetchScheme::FdpRemove,
+                "part" + std::to_string(pt.ftbEntries),
+                [pt](SimConfig &cfg) {
+                    applyPartitionedBudget(cfg, pt.ftbEntries);
+                });
+        }
+    }
+    runner.runPending();
+    print(runner.sweepSummary());
 
     for (const auto &pt : ladder) {
         auto uni_tweak = [&pt](SimConfig &cfg) {

@@ -10,14 +10,14 @@ using namespace fdip;
 using namespace fdip::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     print(experimentBanner(
         "X-F14", "16-bit folded-XOR tags vs full tags (smallest BTB)",
         "the compressed tag costs almost nothing: the folded XOR "
         "preserves the high-order entropy"));
 
-    Runner runner(kSweepWarmup, kSweepMeasure);
+    Runner runner = makeRunner(argc, argv, kSweepWarmup, kSweepMeasure);
     AsciiTable t({"workload", "16-bit tag", "full tag", "delta"});
 
     auto tag16 = [](SimConfig &cfg) {
@@ -28,6 +28,15 @@ main()
         applyPartitionedBudget(cfg, 1024);
         cfg.pbtb.tagBits = 0; // full tags
     };
+
+    for (const auto &name : allWorkloadNames()) {
+        runner.enqueueSpeedup(name, PrefetchScheme::FdpRemove, "tag16",
+                              tag16);
+        runner.enqueueSpeedup(name, PrefetchScheme::FdpRemove,
+                              "tagfull", tagfull);
+    }
+    runner.runPending();
+    print(runner.sweepSummary());
 
     std::vector<double> s16, sfull;
     for (const auto &name : allWorkloadNames()) {

@@ -15,7 +15,7 @@ using namespace fdip;
 using namespace fdip::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     print(experimentBanner(
         "R-X15",
@@ -28,7 +28,26 @@ main()
         TlbPrefetchPolicy::Drop, TlbPrefetchPolicy::Wait,
         TlbPrefetchPolicy::Fill};
 
-    Runner runner(kSweepWarmup, kSweepMeasure);
+    Runner runner = makeRunner(argc, argv, kSweepWarmup, kSweepMeasure);
+
+    for (const auto &name : largeFootprintNames()) {
+        runner.enqueue(name, PrefetchScheme::FdpRemove);
+        for (unsigned entries : {8u, 16u, 32u, 64u, 128u}) {
+            for (TlbPrefetchPolicy policy : policies) {
+                runner.enqueue(
+                    name, PrefetchScheme::FdpRemove,
+                    strprintf("itlb%u-%s", entries,
+                              tlbPolicyName(policy)),
+                    [entries, policy](SimConfig &cfg) {
+                        applyVmConfig(cfg, policy,
+                                      PageMapKind::Scrambled, entries);
+                    });
+            }
+        }
+    }
+    runner.runPending();
+    print(runner.sweepSummary());
+
     AsciiTable t({"itlb entries", "policy", "gmean ipc vs vm-off",
                   "itlb mpki", "walks/kinst", "pf dropped/kinst"});
 

@@ -50,6 +50,11 @@ Bpu::Bpu(TraceWindow &trace_window, const BpuConfig &config,
     } else {
         btb_ = std::make_unique<Btb>(cfg.btb);
     }
+    for (int i = 0; i <= static_cast<int>(InstClass::IndCall); ++i) {
+        stDivergeByClass[i] = stats.registerCounter(
+            strprintf("bpu.diverge_%s",
+                      instClassName(static_cast<InstClass>(i))));
+    }
     specPc = trace.at(0).pc;
 }
 
@@ -66,7 +71,7 @@ Bpu::formBlockFtb()
         // surface as a misfetch.
         blk.numInsts = cfg.maxBlockInsts;
         blk.nextFetchPc = specPc + Addr(blk.numInsts) * instBytes;
-        stats.inc("bpu.seq_blocks");
+        stSeqBlocks.inc();
         specPc = blk.nextFetchPc;
         return blk;
     }
@@ -92,7 +97,7 @@ Bpu::formBlockFtb()
     blk.predTaken = taken;
     blk.predTarget = target;
     blk.nextFetchPc = taken ? target : fallthrough;
-    stats.inc("bpu.ftb_blocks");
+    stFtbBlocks.inc();
     specPc = blk.nextFetchPc;
     return blk;
 }
@@ -140,9 +145,9 @@ Bpu::formBlockBtb()
 
     if (!blk.endsInCF) {
         blk.numInsts = cfg.maxBlockInsts;
-        stats.inc("bpu.seq_blocks");
+        stSeqBlocks.inc();
     } else {
-        stats.inc("bpu.btb_blocks");
+        stBtbBlocks.inc();
     }
     blk.nextFetchPc = blk.endsInCF && blk.predTaken
         ? blk.predTarget
@@ -162,11 +167,11 @@ Bpu::verify(FetchBlock &blk)
 
         // Architectural (correct-path) state advances with the truth.
         if (isControl(actual.cls))
-            stats.inc("bpu.cf_seen");
+            stCfSeen.inc();
         if (actual.cls == InstClass::CondBr) {
             dirPred->update(actual.pc, archHist, actual.taken);
             archHist = shiftHistory(archHist, actual.taken);
-            stats.inc("bpu.cond_seen");
+            stCondSeen.inc();
         }
         if (isCall(actual.cls))
             archRas.push(actual.pc + instBytes);
@@ -209,10 +214,10 @@ Bpu::verify(FetchBlock &blk)
         nextSeq += i + 1;
         correctPath = false;
 
-        stats.inc("bpu.divergences");
-        stats.inc(strprintf("bpu.diverge_%s", instClassName(actual.cls)));
+        stDivergences.inc();
+        stDivergeByClass[static_cast<int>(actual.cls)].inc();
         if (blk.decodeFixable)
-            stats.inc("bpu.decode_fixable");
+            stDecodeFixable.inc();
         return;
     }
 
@@ -231,14 +236,14 @@ FetchBlock
 Bpu::predictBlock()
 {
     FetchBlock blk = cfg.blockBased ? formBlockFtb() : formBlockBtb();
-    stats.inc("bpu.blocks");
+    stBlocks.inc();
     if (correctPath) {
         verify(blk);
     } else {
         blk.wrongPath = true;
         blk.validLen = 0;
-        stats.inc("bpu.wrong_path_blocks");
-        stats.inc("bpu.wrong_path_insts", blk.numInsts);
+        stWrongPathBlocks.inc();
+        stWrongPathInsts.inc(blk.numInsts);
     }
     return blk;
 }
@@ -251,7 +256,7 @@ Bpu::redirect()
     specPc = resumePc;
     specHist = archHist;
     specRas = archRas;
-    stats.inc("bpu.redirects");
+    stRedirects.inc();
 }
 
 std::uint64_t

@@ -136,6 +136,25 @@ class Bpu
     StatSet stats;
 
   private:
+    StatSet::Counter stSeqBlocks = stats.registerCounter("bpu.seq_blocks");
+    StatSet::Counter stFtbBlocks = stats.registerCounter("bpu.ftb_blocks");
+    StatSet::Counter stBtbBlocks = stats.registerCounter("bpu.btb_blocks");
+    StatSet::Counter stCfSeen = stats.registerCounter("bpu.cf_seen");
+    StatSet::Counter stCondSeen = stats.registerCounter("bpu.cond_seen");
+    StatSet::Counter stDivergences =
+        stats.registerCounter("bpu.divergences");
+    StatSet::Counter stDecodeFixable =
+        stats.registerCounter("bpu.decode_fixable");
+    StatSet::Counter stBlocks = stats.registerCounter("bpu.blocks");
+    StatSet::Counter stWrongPathBlocks =
+        stats.registerCounter("bpu.wrong_path_blocks");
+    StatSet::Counter stWrongPathInsts =
+        stats.registerCounter("bpu.wrong_path_insts");
+    StatSet::Counter stRedirects = stats.registerCounter("bpu.redirects");
+    /** Per-InstClass divergence counters, filled in the constructor. */
+    StatSet::Counter stDivergeByClass[
+        static_cast<int>(InstClass::IndCall) + 1];
+
     FetchBlock formBlockFtb();
     FetchBlock formBlockBtb();
     void verify(FetchBlock &blk);

@@ -49,18 +49,18 @@ Btb::tagOf(Addr pc) const
 std::optional<BtbHit>
 Btb::lookup(Addr pc)
 {
-    stats.inc("btb.lookups");
+    stLookups.inc();
     std::size_t base = setIndex(pc) * cfg.ways;
     std::uint64_t tag = tagOf(pc);
     for (unsigned w = 0; w < cfg.ways; ++w) {
         Entry &e = entries[base + w];
         if (e.valid && e.tag == tag) {
             e.lruStamp = ++lruClock;
-            stats.inc("btb.hits");
+            stHits.inc();
             return BtbHit{e.cls, e.target};
         }
     }
-    stats.inc("btb.misses");
+    stMisses.inc();
     return std::nullopt;
 }
 
@@ -88,7 +88,7 @@ void
 Btb::insert(Addr pc, InstClass cls, Addr target)
 {
     if (!canHold(pc, cls, target)) {
-        stats.inc("btb.insert_rejected");
+        stInsertRejected.inc();
         return;
     }
     std::size_t base = setIndex(pc) * cfg.ways;
@@ -101,7 +101,7 @@ Btb::insert(Addr pc, InstClass cls, Addr target)
             e.cls = cls;
             e.target = target;
             e.lruStamp = ++lruClock;
-            stats.inc("btb.updates");
+            stUpdates.inc();
             return;
         }
     }
@@ -117,13 +117,13 @@ Btb::insert(Addr pc, InstClass cls, Addr target)
             victim = &e;
     }
     if (victim->valid)
-        stats.inc("btb.evictions");
+        stEvictions.inc();
     victim->valid = true;
     victim->tag = tag;
     victim->cls = cls;
     victim->target = target;
     victim->lruStamp = ++lruClock;
-    stats.inc("btb.inserts");
+    stInserts.inc();
 }
 
 void
@@ -135,7 +135,7 @@ Btb::invalidate(Addr pc)
         Entry &e = entries[base + w];
         if (e.valid && e.tag == tag) {
             e.valid = false;
-            stats.inc("btb.invalidations");
+            stInvalidations.inc();
         }
     }
 }

@@ -98,6 +98,17 @@ class Btb : public BtbIface
     unsigned validEntries() const;
 
   private:
+    StatSet::Counter stLookups = stats.registerCounter("btb.lookups");
+    StatSet::Counter stHits = stats.registerCounter("btb.hits");
+    StatSet::Counter stMisses = stats.registerCounter("btb.misses");
+    StatSet::Counter stInsertRejected =
+        stats.registerCounter("btb.insert_rejected");
+    StatSet::Counter stUpdates = stats.registerCounter("btb.updates");
+    StatSet::Counter stEvictions = stats.registerCounter("btb.evictions");
+    StatSet::Counter stInserts = stats.registerCounter("btb.inserts");
+    StatSet::Counter stInvalidations =
+        stats.registerCounter("btb.invalidations");
+
     struct Entry
     {
         bool valid = false;

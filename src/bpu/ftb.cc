@@ -36,18 +36,18 @@ Ftb::fullTagBits() const
 std::optional<FtbBlock>
 Ftb::lookup(Addr start_pc)
 {
-    stats.inc("ftb.lookups");
+    stLookups.inc();
     std::size_t base = setIndex(start_pc) * cfg.ways;
     std::uint64_t tag = tagOf(start_pc);
     for (unsigned w = 0; w < cfg.ways; ++w) {
         Entry &e = entries[base + w];
         if (e.valid && e.tag == tag) {
             e.lruStamp = ++lruClock;
-            stats.inc("ftb.hits");
+            stHits.inc();
             return FtbBlock{e.numInsts, e.cls, e.target};
         }
     }
-    stats.inc("ftb.misses");
+    stMisses.inc();
     return std::nullopt;
 }
 
@@ -58,7 +58,7 @@ Ftb::insert(Addr start_pc, unsigned num_insts, InstClass cls, Addr target)
     if (num_insts > cfg.maxBlockInsts) {
         // Blocks longer than the size field are truncated by hardware;
         // the tail is rediscovered as a separate (sequential) region.
-        stats.inc("ftb.insert_truncated");
+        stInsertTruncated.inc();
         return;
     }
     std::size_t base = setIndex(start_pc) * cfg.ways;
@@ -71,7 +71,7 @@ Ftb::insert(Addr start_pc, unsigned num_insts, InstClass cls, Addr target)
             e.cls = cls;
             e.target = target;
             e.lruStamp = ++lruClock;
-            stats.inc("ftb.updates");
+            stUpdates.inc();
             return;
         }
     }
@@ -86,14 +86,14 @@ Ftb::insert(Addr start_pc, unsigned num_insts, InstClass cls, Addr target)
             victim = &e;
     }
     if (victim->valid)
-        stats.inc("ftb.evictions");
+        stEvictions.inc();
     victim->valid = true;
     victim->tag = tag;
     victim->numInsts = static_cast<std::uint8_t>(num_insts);
     victim->cls = cls;
     victim->target = target;
     victim->lruStamp = ++lruClock;
-    stats.inc("ftb.inserts");
+    stInserts.inc();
 }
 
 void
@@ -105,7 +105,7 @@ Ftb::invalidate(Addr start_pc)
         Entry &e = entries[base + w];
         if (e.valid && e.tag == tag) {
             e.valid = false;
-            stats.inc("ftb.invalidations");
+            stInvalidations.inc();
         }
     }
 }

@@ -64,6 +64,17 @@ class Ftb
     StatSet stats;
 
   private:
+    StatSet::Counter stLookups = stats.registerCounter("ftb.lookups");
+    StatSet::Counter stHits = stats.registerCounter("ftb.hits");
+    StatSet::Counter stMisses = stats.registerCounter("ftb.misses");
+    StatSet::Counter stInsertTruncated =
+        stats.registerCounter("ftb.insert_truncated");
+    StatSet::Counter stUpdates = stats.registerCounter("ftb.updates");
+    StatSet::Counter stEvictions = stats.registerCounter("ftb.evictions");
+    StatSet::Counter stInserts = stats.registerCounter("ftb.inserts");
+    StatSet::Counter stInvalidations =
+        stats.registerCounter("ftb.invalidations");
+
     struct Entry
     {
         bool valid = false;

@@ -30,6 +30,10 @@ PartitionedBtb::PartitionedBtb(const Config &config)
         bc.vaBits = cfg.vaBits;
         parts.push_back(std::make_unique<Btb>(bc));
     }
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        stInsertByPartition.push_back(stats.registerCounter(
+            strprintf("pbtb.insert_p%d", static_cast<int>(i))));
+    }
 }
 
 PartitionedBtb::Config
@@ -69,15 +73,15 @@ PartitionedBtb::partitionFor(Addr pc, InstClass cls, Addr target) const
 std::optional<BtbHit>
 PartitionedBtb::lookup(Addr pc)
 {
-    stats.inc("pbtb.lookups");
+    stLookups.inc();
     // All partitions are probed in parallel in hardware.
     for (auto &p : parts) {
         if (auto hit = p->lookup(pc)) {
-            stats.inc("pbtb.hits");
+            stHits.inc();
             return hit;
         }
     }
-    stats.inc("pbtb.misses");
+    stMisses.inc();
     return std::nullopt;
 }
 
@@ -86,7 +90,7 @@ PartitionedBtb::insert(Addr pc, InstClass cls, Addr target)
 {
     int pi = partitionFor(pc, cls, target);
     if (pi < 0) {
-        stats.inc("pbtb.insert_rejected");
+        stInsertRejected.inc();
         return;
     }
     // A branch whose target distance changed class must not linger in
@@ -96,7 +100,7 @@ PartitionedBtb::insert(Addr pc, InstClass cls, Addr target)
             parts[i]->invalidate(pc);
     }
     parts[pi]->insert(pc, cls, target);
-    stats.inc(strprintf("pbtb.insert_p%d", pi));
+    stInsertByPartition[static_cast<std::size_t>(pi)].inc();
 }
 
 void

@@ -66,6 +66,14 @@ class PartitionedBtb : public BtbIface
     unsigned numEntries() const;
 
   private:
+    StatSet::Counter stLookups = stats.registerCounter("pbtb.lookups");
+    StatSet::Counter stHits = stats.registerCounter("pbtb.hits");
+    StatSet::Counter stMisses = stats.registerCounter("pbtb.misses");
+    StatSet::Counter stInsertRejected =
+        stats.registerCounter("pbtb.insert_rejected");
+    /** Per-partition insert counters, filled in the constructor. */
+    std::vector<StatSet::Counter> stInsertByPartition;
+
     /** Smallest partition index whose offset field fits the branch. */
     int partitionFor(Addr pc, InstClass cls, Addr target) const;
 

@@ -6,6 +6,50 @@ namespace fdip
 {
 
 void
+StatSet::flush() const
+{
+    for (auto &slot : slots) {
+        if (!slot.touched)
+            continue;
+        values[slot.name] += slot.pending;
+        slot.pending = 0.0;
+    }
+}
+
+StatSet::StatSet(const StatSet &other)
+{
+    other.flush();
+    values = other.values;
+}
+
+StatSet &
+StatSet::operator=(const StatSet &other)
+{
+    if (this == &other)
+        return *this;
+    other.flush();
+    values = other.values;
+    // Keep this set's registrations alive (zeroed) so Counter handles
+    // handed out before the assignment never dangle.
+    for (auto &slot : slots) {
+        slot.pending = 0.0;
+        slot.touched = false;
+    }
+    return *this;
+}
+
+StatSet::Counter
+StatSet::registerCounter(const std::string &name)
+{
+    auto [it, inserted] = slotIndex.emplace(name, slots.size());
+    if (inserted) {
+        slots.emplace_back();
+        slots.back().name = name;
+    }
+    return Counter(&slots[it->second]);
+}
+
+void
 StatSet::inc(const std::string &name, std::uint64_t delta)
 {
     values[name] += static_cast<double>(delta);
@@ -14,12 +58,14 @@ StatSet::inc(const std::string &name, std::uint64_t delta)
 void
 StatSet::set(const std::string &name, double value)
 {
+    flush();
     values[name] = value;
 }
 
 std::uint64_t
 StatSet::counter(const std::string &name) const
 {
+    flush();
     auto it = values.find(name);
     if (it == values.end())
         return 0;
@@ -29,6 +75,7 @@ StatSet::counter(const std::string &name) const
 double
 StatSet::value(const std::string &name) const
 {
+    flush();
     auto it = values.find(name);
     return it == values.end() ? 0.0 : it->second;
 }
@@ -36,6 +83,7 @@ StatSet::value(const std::string &name) const
 bool
 StatSet::has(const std::string &name) const
 {
+    flush();
     return values.count(name) != 0;
 }
 
@@ -51,6 +99,7 @@ StatSet::ratio(const std::string &num, const std::string &den) const
 void
 StatSet::merge(const StatSet &other, const std::string &prefix)
 {
+    other.flush();
     for (const auto &[name, val] : other.values)
         values[prefix + name] += val;
 }
@@ -58,6 +107,8 @@ StatSet::merge(const StatSet &other, const std::string &prefix)
 StatSet
 StatSet::subtract(const StatSet &a, const StatSet &b)
 {
+    a.flush();
+    b.flush();
     StatSet out;
     out.values = a.values;
     for (const auto &[name, val] : b.values)
@@ -69,11 +120,23 @@ void
 StatSet::reset()
 {
     values.clear();
+    for (auto &slot : slots) {
+        slot.pending = 0.0;
+        slot.touched = false;
+    }
+}
+
+const std::map<std::string, double> &
+StatSet::entries() const
+{
+    flush();
+    return values;
 }
 
 std::string
 StatSet::dump() const
 {
+    flush();
     std::string out;
     for (const auto &[name, val] : values) {
         double rounded = static_cast<double>(

@@ -3,12 +3,20 @@
  * Lightweight named-statistics registry. Components register counters
  * into a StatSet; reports walk the registry. Formulas (rates, ratios)
  * are computed at dump time from the raw counters.
+ *
+ * Hot paths should resolve a name once via registerCounter() and bump
+ * the returned Counter handle: inc() is a single array add with no
+ * string construction and no map lookup. Handle increments are folded
+ * into the string-keyed registry lazily, the first time any reporting
+ * API (value, merge, dump, ...) needs them, so the string-keyed view
+ * stays byte-compatible with pre-handle behaviour.
  */
 
 #ifndef FDIP_COMMON_STATS_HH
 #define FDIP_COMMON_STATS_HH
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <string>
@@ -19,6 +27,59 @@ namespace fdip
 class StatSet
 {
   public:
+    /**
+     * Cheap pre-resolved handle to one counter. Obtained from
+     * registerCounter(); stays valid for the owning StatSet's lifetime
+     * (including across reset()). A handle is bound to the StatSet it
+     * was registered with — copies of that StatSet get a flattened,
+     * handle-free view.
+     */
+    class Counter
+    {
+      public:
+        Counter() = default;
+
+        /** Add @p delta; one add on contiguous storage, no lookup. */
+        void
+        inc(std::uint64_t delta = 1)
+        {
+            slot->pending += static_cast<double>(delta);
+            slot->touched = true;
+        }
+
+        explicit operator bool() const { return slot != nullptr; }
+
+      private:
+        friend class StatSet;
+
+        struct Slot
+        {
+            std::string name;
+            double pending = 0.0;
+            bool touched = false;
+        };
+
+        explicit Counter(Slot *s) : slot(s) {}
+
+        Slot *slot = nullptr;
+    };
+
+    StatSet() = default;
+
+    /** Copies flatten pending handle increments into the string view;
+     *  the copy carries no registrations (its handles are the
+     *  original's, still bound to the original). */
+    StatSet(const StatSet &other);
+    StatSet &operator=(const StatSet &other);
+
+    /**
+     * Resolve @p name once and return a handle for hot-path inc().
+     * Registering the same name twice returns a handle to the same
+     * counter. A registered counter that is never incremented does not
+     * appear in entries()/dump(), matching lazy string-API behaviour.
+     */
+    Counter registerCounter(const std::string &name);
+
     /** Add @p delta to the named counter (creating it at zero). */
     void inc(const std::string &name, std::uint64_t delta = 1);
 
@@ -42,15 +103,22 @@ class StatSet
     /** Element-wise a - b (for warmup-window deltas). */
     static StatSet subtract(const StatSet &a, const StatSet &b);
 
+    /** Zero everything. Registered handles stay valid (and empty). */
     void reset();
 
     /** All entries, sorted by name, formatted one per line. */
     std::string dump() const;
 
-    const std::map<std::string, double> &entries() const { return values; }
+    const std::map<std::string, double> &entries() const;
 
   private:
-    std::map<std::string, double> values;
+    /** Fold pending handle increments into the string-keyed view. */
+    void flush() const;
+
+    mutable std::map<std::string, double> values;
+    /** Handle storage; deque keeps slot addresses stable. */
+    mutable std::deque<Counter::Slot> slots;
+    std::map<std::string, std::size_t> slotIndex;
 };
 
 } // namespace fdip

@@ -16,9 +16,9 @@ Backend::deliver(const DeliveredInst &inst)
 {
     panic_if(q.full(), "deliver to full backend queue");
     q.push(inst);
-    stats.inc("backend.delivered");
+    stDelivered.inc();
     if (inst.wrongPath)
-        stats.inc("backend.delivered_wrong_path");
+        stDeliveredWrongPath.inc();
 }
 
 void
@@ -36,10 +36,10 @@ Backend::tick(Cycle now)
         ++numCommitted;
         ++retired;
     }
-    stats.inc("backend.cycles");
+    stCycles.inc();
     if (retired == 0)
-        stats.inc("backend.starved_cycles");
-    stats.inc("backend.retire_slots_lost", cfg.retireWidth - retired);
+        stStarvedCycles.inc();
+    stRetireSlotsLost.inc(cfg.retireWidth - retired);
 }
 
 void
@@ -50,7 +50,7 @@ Backend::squashWrongPath()
     std::size_t keep = 0;
     while (keep < q.size() && !q.at(keep).wrongPath)
         ++keep;
-    stats.inc("backend.squashed", q.size() - keep);
+    stSquashed.inc(q.size() - keep);
     q.truncate(keep);
 }
 

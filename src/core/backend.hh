@@ -53,6 +53,17 @@ class Backend
     StatSet stats;
 
   private:
+    StatSet::Counter stDelivered =
+        stats.registerCounter("backend.delivered");
+    StatSet::Counter stDeliveredWrongPath =
+        stats.registerCounter("backend.delivered_wrong_path");
+    StatSet::Counter stCycles = stats.registerCounter("backend.cycles");
+    StatSet::Counter stStarvedCycles =
+        stats.registerCounter("backend.starved_cycles");
+    StatSet::Counter stRetireSlotsLost =
+        stats.registerCounter("backend.retire_slots_lost");
+    StatSet::Counter stSquashed = stats.registerCounter("backend.squashed");
+
     Config cfg;
     CircularQueue<DeliveredInst> q;
     std::uint64_t numCommitted = 0;

@@ -19,17 +19,16 @@ void
 FetchEngine::tick(Cycle now)
 {
     if (now < stallUntil) {
-        stats.inc(stalledOnWalk ? "fetch.itlb_stall_cycles"
-                                : "fetch.miss_stall_cycles");
+        (stalledOnWalk ? stItlbStallCycles : stMissStallCycles).inc();
         return;
     }
     stalledOnWalk = false;
     if (ftq.empty()) {
-        stats.inc("fetch.ftq_empty_cycles");
+        stFtqEmptyCycles.inc();
         return;
     }
     if (backend.freeSlots() == 0) {
-        stats.inc("fetch.backend_full_cycles");
+        stBackendFullCycles.inc();
         return;
     }
 
@@ -46,7 +45,7 @@ FetchEngine::tick(Cycle now)
         if (!tr.hit) {
             stallUntil = tr.readyAt;
             stalledOnWalk = true;
-            stats.inc("fetch.itlb_misses");
+            stItlbMisses.inc();
             return;
         }
         fetch_pc = tr.paddr;
@@ -65,7 +64,7 @@ FetchEngine::tick(Cycle now)
         pf->onDemandAccess(block, acc, now);
 
     if (acc.retry) {
-        stats.inc("fetch.mshr_retry_cycles");
+        stMshrRetryCycles.inc();
         return;
     }
 
@@ -74,9 +73,9 @@ FetchEngine::tick(Cycle now)
     if (!ready_now) {
         panic_if(acc.readyAt == neverCycle, "miss without a fill time");
         stallUntil = acc.readyAt;
-        stats.inc("fetch.demand_misses");
+        stDemandMisses.inc();
         if (e.blk.wrongPath || e.fetchedInsts >= e.blk.validLen)
-            stats.inc("fetch.wrong_path_misses");
+            stWrongPathMisses.inc();
         return;
     }
 
@@ -97,7 +96,7 @@ FetchEngine::tick(Cycle now)
         di.seq = di.wrongPath ? 0 : e.blk.firstSeq + idx;
         backend.deliver(di);
         if (di.wrongPath)
-            stats.inc("fetch.wrong_path_delivered");
+            stWrongPathDelivered.inc();
 
         if (e.blk.diverges && idx == e.blk.culpritIdx) {
             panic_if(redirectPending(), "two outstanding redirects");
@@ -105,16 +104,16 @@ FetchEngine::tick(Cycle now)
                 ? cfg.decodeRedirectLatency
                 : cfg.resolveRedirectLatency;
             redirectAt = now + lat;
-            stats.inc("fetch.redirects_scheduled");
+            stRedirectsScheduled.inc();
             if (e.blk.decodeFixable)
-                stats.inc("fetch.decode_redirects");
+                stDecodeRedirects.inc();
             else
-                stats.inc("fetch.resolve_redirects");
+                stResolveRedirects.inc();
         }
     }
 
     e.fetchedInsts += n;
-    stats.inc("fetch.delivered", n);
+    stDelivered.inc(n);
     if (e.fetchedInsts == e.blk.numInsts)
         ftq.popHead();
 }
@@ -125,7 +124,7 @@ FetchEngine::squash()
     stallUntil = 0;
     stalledOnWalk = false;
     redirectAt = neverCycle;
-    stats.inc("fetch.squashes");
+    stSquashes.inc();
 }
 
 } // namespace fdip

@@ -52,6 +52,32 @@ class FetchEngine
     StatSet stats;
 
   private:
+    StatSet::Counter stItlbStallCycles =
+        stats.registerCounter("fetch.itlb_stall_cycles");
+    StatSet::Counter stMissStallCycles =
+        stats.registerCounter("fetch.miss_stall_cycles");
+    StatSet::Counter stFtqEmptyCycles =
+        stats.registerCounter("fetch.ftq_empty_cycles");
+    StatSet::Counter stBackendFullCycles =
+        stats.registerCounter("fetch.backend_full_cycles");
+    StatSet::Counter stItlbMisses = stats.registerCounter("fetch.itlb_misses");
+    StatSet::Counter stMshrRetryCycles =
+        stats.registerCounter("fetch.mshr_retry_cycles");
+    StatSet::Counter stDemandMisses =
+        stats.registerCounter("fetch.demand_misses");
+    StatSet::Counter stWrongPathMisses =
+        stats.registerCounter("fetch.wrong_path_misses");
+    StatSet::Counter stWrongPathDelivered =
+        stats.registerCounter("fetch.wrong_path_delivered");
+    StatSet::Counter stRedirectsScheduled =
+        stats.registerCounter("fetch.redirects_scheduled");
+    StatSet::Counter stDecodeRedirects =
+        stats.registerCounter("fetch.decode_redirects");
+    StatSet::Counter stResolveRedirects =
+        stats.registerCounter("fetch.resolve_redirects");
+    StatSet::Counter stDelivered = stats.registerCounter("fetch.delivered");
+    StatSet::Counter stSquashes = stats.registerCounter("fetch.squashes");
+
     Ftq &ftq;
     MemHierarchy &mem;
     Backend &backend;

@@ -19,22 +19,22 @@ Ftq::push(const FetchBlock &blk)
     FtqEntry e;
     e.blk = blk;
     q.push(e);
-    stats.inc("ftq.pushed_blocks");
-    stats.inc("ftq.pushed_insts", blk.numInsts);
+    stPushedBlocks.inc();
+    stPushedInsts.inc(blk.numInsts);
 }
 
 void
 Ftq::popHead()
 {
     q.pop();
-    stats.inc("ftq.popped_blocks");
+    stPoppedBlocks.inc();
 }
 
 void
 Ftq::flush()
 {
-    stats.inc("ftq.flushes");
-    stats.inc("ftq.flushed_blocks", q.size());
+    stFlushes.inc();
+    stFlushedBlocks.inc(q.size());
     q.clear();
 }
 

@@ -65,6 +65,15 @@ class Ftq
     StatSet stats;
 
   private:
+    StatSet::Counter stPushedBlocks =
+        stats.registerCounter("ftq.pushed_blocks");
+    StatSet::Counter stPushedInsts = stats.registerCounter("ftq.pushed_insts");
+    StatSet::Counter stPoppedBlocks =
+        stats.registerCounter("ftq.popped_blocks");
+    StatSet::Counter stFlushes = stats.registerCounter("ftq.flushes");
+    StatSet::Counter stFlushedBlocks =
+        stats.registerCounter("ftq.flushed_blocks");
+
     CircularQueue<FtqEntry> q;
     unsigned blockBytes;
     Histogram occupancy;

@@ -26,12 +26,12 @@ Bus::transfer(Cycle now, unsigned bytes)
     Cycle cycles = cyclesFor(bytes);
     busyUntil = start + cycles;
     totalBusy += cycles;
-    stats.inc("bus.busy_cycles", cycles);
-    stats.inc("bus.transfers");
-    stats.inc("bus.demand_transfers");
-    stats.inc("bus.bytes", bytes);
+    stBusyCycles.inc(cycles);
+    stTransfers.inc();
+    stDemandTransfers.inc();
+    stBytes.inc(bytes);
     if (start > now)
-        stats.inc("bus.demand_queue_cycles", start - now);
+        stDemandQueueCycles.inc(start - now);
     return busyUntil;
 }
 
@@ -39,16 +39,16 @@ std::optional<Cycle>
 Bus::tryTransfer(Cycle now, unsigned bytes)
 {
     if (busyUntil > now) {
-        stats.inc("bus.prefetch_denied");
+        stPrefetchDenied.inc();
         return std::nullopt;
     }
     Cycle cycles = cyclesFor(bytes);
     busyUntil = now + cycles;
     totalBusy += cycles;
-    stats.inc("bus.busy_cycles", cycles);
-    stats.inc("bus.transfers");
-    stats.inc("bus.prefetch_transfers");
-    stats.inc("bus.bytes", bytes);
+    stBusyCycles.inc(cycles);
+    stTransfers.inc();
+    stPrefetchTransfers.inc();
+    stBytes.inc(bytes);
     return busyUntil;
 }
 

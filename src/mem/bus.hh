@@ -48,6 +48,18 @@ class Bus
     StatSet stats;
 
   private:
+    StatSet::Counter stBusyCycles = stats.registerCounter("bus.busy_cycles");
+    StatSet::Counter stTransfers = stats.registerCounter("bus.transfers");
+    StatSet::Counter stDemandTransfers =
+        stats.registerCounter("bus.demand_transfers");
+    StatSet::Counter stPrefetchTransfers =
+        stats.registerCounter("bus.prefetch_transfers");
+    StatSet::Counter stBytes = stats.registerCounter("bus.bytes");
+    StatSet::Counter stDemandQueueCycles =
+        stats.registerCounter("bus.demand_queue_cycles");
+    StatSet::Counter stPrefetchDenied =
+        stats.registerCounter("bus.prefetch_denied");
+
     Cycle cyclesFor(unsigned bytes) const;
 
     std::string label;

@@ -75,15 +75,15 @@ replPolicyName(ReplPolicy policy)
 bool
 Cache::access(Addr addr)
 {
-    stats.inc("cache.accesses");
+    stAccesses.inc();
     if (Block *b = findBlock(addr)) {
         // FIFO ignores access recency: the stamp is fill time only.
         if (cfg.repl == ReplPolicy::Lru)
             b->lruStamp = ++lruClock;
-        stats.inc("cache.hits");
+        stHits.inc();
         return true;
     }
-    stats.inc("cache.misses");
+    stMisses.inc();
     return false;
 }
 
@@ -128,7 +128,7 @@ Cache::insert(Addr addr, bool first_use_tag)
 
     std::optional<Addr> evicted;
     if (victim->valid) {
-        stats.inc("cache.evictions");
+        stEvictions.inc();
         std::uint64_t set = setIndex(addr);
         evicted = ((victim->tag << floorLog2(sets)) | set) *
             cfg.blockBytes;
@@ -137,7 +137,7 @@ Cache::insert(Addr addr, bool first_use_tag)
     victim->tag = tag;
     victim->lruStamp = ++lruClock;
     victim->firstUseTag = first_use_tag;
-    stats.inc("cache.fills");
+    stFills.inc();
     return evicted;
 }
 
@@ -146,7 +146,7 @@ Cache::invalidate(Addr addr)
 {
     if (Block *b = findBlock(addr)) {
         b->valid = false;
-        stats.inc("cache.invalidations");
+        stInvalidations.inc();
         return true;
     }
     return false;

@@ -77,6 +77,14 @@ class Cache
     StatSet stats;
 
   private:
+    StatSet::Counter stAccesses = stats.registerCounter("cache.accesses");
+    StatSet::Counter stHits = stats.registerCounter("cache.hits");
+    StatSet::Counter stMisses = stats.registerCounter("cache.misses");
+    StatSet::Counter stEvictions = stats.registerCounter("cache.evictions");
+    StatSet::Counter stFills = stats.registerCounter("cache.fills");
+    StatSet::Counter stInvalidations =
+        stats.registerCounter("cache.invalidations");
+
     struct Block
     {
         bool valid = false;

@@ -14,9 +14,9 @@ Dram::Dram(Cycle access_latency)
 Cycle
 Dram::accessLatency(Cycle now, bool is_prefetch)
 {
-    stats.inc("dram.reads");
+    stReads.inc();
     if (is_prefetch)
-        stats.inc("dram.prefetch_reads");
+        stPrefetchReads.inc();
     return lat;
 }
 

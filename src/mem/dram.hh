@@ -25,6 +25,10 @@ class Dram
     StatSet stats;
 
   private:
+    StatSet::Counter stReads = stats.registerCounter("dram.reads");
+    StatSet::Counter stPrefetchReads =
+        stats.registerCounter("dram.prefetch_reads");
+
     Cycle lat;
 };
 

@@ -129,7 +129,7 @@ MemHierarchy::demandFetch(Addr addr, Cycle now)
 {
     FetchAccess res;
     Addr block = l1i_.blockAlign(addr);
-    stats.inc("mem.demand_accesses");
+    stDemandAccesses.inc();
 
     if (l1i_.access(block)) {
         res.hitL1 = true;
@@ -143,7 +143,7 @@ MemHierarchy::demandFetch(Addr addr, Cycle now)
         installL1(block, /*first_use_tag=*/false);
         res.hitL1 = true;
         res.readyAt = now + cfg.l1HitLatency + 1;
-        stats.inc("mem.victim_hits");
+        stVictimHits.inc();
         return res;
     }
 
@@ -152,7 +152,7 @@ MemHierarchy::demandFetch(Addr addr, Cycle now)
         installL1(block, /*first_use_tag=*/false);
         res.hitPrefetchBuffer = true;
         res.readyAt = now + cfg.l1HitLatency;
-        stats.inc("mem.pfbuf_hits");
+        stPfbufHits.inc();
         return res;
     }
 
@@ -161,11 +161,11 @@ MemHierarchy::demandFetch(Addr addr, Cycle now)
         installL1(block, /*first_use_tag=*/false);
         res.hitStreamBuffer = true;
         res.readyAt = now + cfg.l1HitLatency;
-        stats.inc("mem.streambuf_hits");
+        stStreambufHits.inc();
         return res;
     }
 
-    stats.inc("mem.demand_misses");
+    stDemandMisses.inc();
 
     // Merge with an in-flight fill: the demand inherits its timing.
     if (MshrEntry *e = mshrFile.find(block)) {
@@ -175,18 +175,18 @@ MemHierarchy::demandFetch(Addr addr, Cycle now)
         if (e->dest != FillDest::DemandL1) {
             // Retarget the fill straight into the L1.
             e->dest = FillDest::DemandL1;
-            stats.inc("mem.inflight_retargets");
+            stInflightRetargets.inc();
         }
-        stats.inc("mem.inflight_merges");
+        stInflightMerges.inc();
         if (e->isPrefetch)
-            stats.inc("mem.inflight_prefetch_merges");
+            stInflightPrefetchMerges.inc();
         return res;
     }
 
     if (mshrFile.full()) {
         // MSHR pressure: the fetch engine retries next cycle.
         res.retry = true;
-        stats.inc("mem.demand_mshr_stalls");
+        stDemandMshrStalls.inc();
         return res;
     }
 
@@ -209,15 +209,15 @@ MemHierarchy::issuePrefetch(Addr addr, Cycle now, FillDest dest,
                             std::uint32_t stream_id, std::uint32_t slot_id)
 {
     Addr block = l1i_.blockAlign(addr);
-    stats.inc("mem.prefetch_attempts");
+    stPrefetchAttempts.inc();
 
     if (prefetchRedundant(block)) {
-        stats.inc("mem.prefetch_redundant");
+        stPrefetchRedundant.inc();
         return PfIssue::Redundant;
     }
     if (mshrFile.prefetchesInFlight() >= maxPrefetches ||
         mshrFile.full()) {
-        stats.inc("mem.prefetch_mshr_stalls");
+        stPrefetchMshrStalls.inc();
         return PfIssue::NoResource;
     }
 
@@ -226,7 +226,7 @@ MemHierarchy::issuePrefetch(Addr addr, Cycle now, FillDest dest,
     Cycle ready = fillLatency(block, now, /*is_prefetch=*/true,
                               fills_l2, granted);
     if (!granted) {
-        stats.inc("mem.prefetch_bus_stalls");
+        stPrefetchBusStalls.inc();
         return PfIssue::NoResource;
     }
 
@@ -236,7 +236,7 @@ MemHierarchy::issuePrefetch(Addr addr, Cycle now, FillDest dest,
     e->fillL2 = fills_l2;
     e->streamId = stream_id;
     e->slotId = slot_id;
-    stats.inc("mem.prefetches_issued");
+    stPrefetchesIssued.inc();
     return PfIssue::Issued;
 }
 

@@ -155,6 +155,33 @@ class MemHierarchy
     StatSet stats;
 
   private:
+    StatSet::Counter stDemandAccesses =
+        stats.registerCounter("mem.demand_accesses");
+    StatSet::Counter stVictimHits = stats.registerCounter("mem.victim_hits");
+    StatSet::Counter stPfbufHits = stats.registerCounter("mem.pfbuf_hits");
+    StatSet::Counter stStreambufHits =
+        stats.registerCounter("mem.streambuf_hits");
+    StatSet::Counter stDemandMisses =
+        stats.registerCounter("mem.demand_misses");
+    StatSet::Counter stInflightRetargets =
+        stats.registerCounter("mem.inflight_retargets");
+    StatSet::Counter stInflightMerges =
+        stats.registerCounter("mem.inflight_merges");
+    StatSet::Counter stInflightPrefetchMerges =
+        stats.registerCounter("mem.inflight_prefetch_merges");
+    StatSet::Counter stDemandMshrStalls =
+        stats.registerCounter("mem.demand_mshr_stalls");
+    StatSet::Counter stPrefetchAttempts =
+        stats.registerCounter("mem.prefetch_attempts");
+    StatSet::Counter stPrefetchRedundant =
+        stats.registerCounter("mem.prefetch_redundant");
+    StatSet::Counter stPrefetchMshrStalls =
+        stats.registerCounter("mem.prefetch_mshr_stalls");
+    StatSet::Counter stPrefetchBusStalls =
+        stats.registerCounter("mem.prefetch_bus_stalls");
+    StatSet::Counter stPrefetchesIssued =
+        stats.registerCounter("mem.prefetches_issued");
+
     /** L2 lookup + bus/memory scheduling for a missing block. */
     Cycle fillLatency(Addr block_addr, Cycle now, bool is_prefetch,
                       bool &fills_l2, bool &granted);

@@ -44,11 +44,11 @@ MshrFile::allocate(Addr block_addr, Cycle ready_at, bool is_prefetch,
             e.dest = dest;
             e.streamId = 0;
             e.slotId = 0;
-            stats.inc("mshr.allocations");
+            stAllocations.inc();
             return &e;
         }
     }
-    stats.inc("mshr.alloc_failures");
+    stAllocFailures.inc();
     return nullptr;
 }
 

@@ -70,6 +70,11 @@ class MshrFile
     StatSet stats;
 
   private:
+    StatSet::Counter stAllocations =
+        stats.registerCounter("mshr.allocations");
+    StatSet::Counter stAllocFailures =
+        stats.registerCounter("mshr.alloc_failures");
+
     std::vector<MshrEntry> entries;
 };
 

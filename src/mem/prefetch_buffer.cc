@@ -26,7 +26,7 @@ PrefetchBuffer::consume(Addr block_addr)
     for (auto it = buf.begin(); it != buf.end(); ++it) {
         if (it->addr == block_addr) {
             buf.erase(it);
-            stats.inc("pfbuf.consumed");
+            stConsumed.inc();
             return true;
         }
     }
@@ -37,21 +37,21 @@ void
 PrefetchBuffer::insert(Addr block_addr)
 {
     if (probe(block_addr)) {
-        stats.inc("pfbuf.duplicate_fills");
+        stDuplicateFills.inc();
         return;
     }
     if (buf.size() == cap) {
         buf.pop_front();
-        stats.inc("pfbuf.unused_evictions");
+        stUnusedEvictions.inc();
     }
     buf.push_back({block_addr});
-    stats.inc("pfbuf.fills");
+    stFills.inc();
 }
 
 void
 PrefetchBuffer::clear()
 {
-    stats.inc("pfbuf.flushed_entries", buf.size());
+    stFlushedEntries.inc(buf.size());
     buf.clear();
 }
 

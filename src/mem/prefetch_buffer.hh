@@ -38,6 +38,15 @@ class PrefetchBuffer
     StatSet stats;
 
   private:
+    StatSet::Counter stConsumed = stats.registerCounter("pfbuf.consumed");
+    StatSet::Counter stDuplicateFills =
+        stats.registerCounter("pfbuf.duplicate_fills");
+    StatSet::Counter stUnusedEvictions =
+        stats.registerCounter("pfbuf.unused_evictions");
+    StatSet::Counter stFills = stats.registerCounter("pfbuf.fills");
+    StatSet::Counter stFlushedEntries =
+        stats.registerCounter("pfbuf.flushed_entries");
+
     struct Slot
     {
         Addr addr;

@@ -22,7 +22,7 @@ VictimCache::extract(Addr block_addr)
     if (it == buf.end())
         return false;
     buf.erase(it);
-    stats.inc("vc.hits");
+    stHits.inc();
     return true;
 }
 
@@ -40,10 +40,10 @@ VictimCache::insert(Addr block_addr)
     }
     if (buf.size() == cap) {
         buf.pop_front();
-        stats.inc("vc.evictions");
+        stEvictions.inc();
     }
     buf.push_back(block_addr);
-    stats.inc("vc.fills");
+    stFills.inc();
 }
 
 void

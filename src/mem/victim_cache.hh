@@ -42,6 +42,10 @@ class VictimCache
     StatSet stats;
 
   private:
+    StatSet::Counter stHits = stats.registerCounter("vc.hits");
+    StatSet::Counter stEvictions = stats.registerCounter("vc.evictions");
+    StatSet::Counter stFills = stats.registerCounter("vc.fills");
+
     std::deque<Addr> buf; ///< front = LRU, back = MRU
     unsigned cap;
 };

@@ -67,10 +67,10 @@ FdpPrefetcher::probeWaitingEntries(Cycle now)
         }
         if (!mem.reserveTagPort())
             return; // out of ports; try again next cycle
-        stats.inc("fdp.cpf_probes");
+        stCpfProbes.inc();
         if (mem.tagProbe(translateFunctional(e.blockAddr))) {
             piq_.removeAt(i);
-            stats.inc("fdp.cpf_filtered");
+            stCpfFiltered.inc();
             continue; // entry i replaced by its successor
         }
         e.probed = true;
@@ -87,11 +87,11 @@ FdpPrefetcher::issuePrefetches(Cycle now)
         switch (resolveTranslation(head.tr, head.blockAddr, now)) {
           case TrResolve::Dropped:
             piq_.popFront();
-            stats.inc("fdp.tlb_dropped");
+            stTlbDropped.inc();
             continue;
           case TrResolve::Waiting:
             // Head-of-line wait for the page walk (Wait/Fill).
-            stats.inc("fdp.tlb_wait_stalls");
+            stTlbWaitStalls.inc();
             return;
           case TrResolve::Ready:
             break;
@@ -101,15 +101,15 @@ FdpPrefetcher::issuePrefetches(Cycle now)
                                        : FillDest::PrefetchBuffer;
         auto result = mem.issuePrefetch(addr, now, dest);
         if (result == MemHierarchy::PfIssue::NoResource) {
-            stats.inc("fdp.issue_stalls");
+            stIssueStalls.inc();
             return; // bus/MSHR busy: keep the entry, retry next cycle
         }
         piq_.popFront();
         if (result == MemHierarchy::PfIssue::Issued) {
-            stats.inc("fdp.issued");
+            stIssued.inc();
             ++issued;
         } else {
-            stats.inc("fdp.issue_redundant");
+            stIssueRedundant.inc();
         }
     }
 }
@@ -131,11 +131,11 @@ FdpPrefetcher::scanFtq(Cycle now)
             // (L1 tags, MSHRs) peek the page table functionally.
             Addr pcand = translateFunctional(cand);
             ++examined;
-            stats.inc("fdp.candidates");
+            stCandidates.inc();
 
             if (recentlyRequested(cand) || piq_.contains(cand) ||
                 mem.prefetchRedundant(pcand)) {
-                stats.inc("fdp.dedup_dropped");
+                stDedupDropped.inc();
                 ++e.nextScanBlock;
                 continue;
             }
@@ -149,7 +149,7 @@ FdpPrefetcher::scanFtq(Cycle now)
               case CpfMode::Enqueue:
               case CpfMode::EnqueueAggressive:
                 if (!mem.reserveTagPort()) {
-                    stats.inc("fdp.enqueue_no_port");
+                    stEnqueueNoPort.inc();
                     if (cfg.mode == CpfMode::Enqueue) {
                         // Conservative: no idle port, no enqueue.
                         return;
@@ -159,18 +159,18 @@ FdpPrefetcher::scanFtq(Cycle now)
                     markRequested(cand);
                     break;
                 }
-                stats.inc("fdp.cpf_probes");
+                stCpfProbes.inc();
                 if (mem.tagProbe(pcand)) {
-                    stats.inc("fdp.cpf_filtered");
+                    stCpfFiltered.inc();
                 } else {
                     piq_.push(cand);
                     markRequested(cand);
                 }
                 break;
               case CpfMode::Ideal:
-                stats.inc("fdp.cpf_probes");
+                stCpfProbes.inc();
                 if (mem.tagProbe(pcand)) {
-                    stats.inc("fdp.cpf_filtered");
+                    stCpfFiltered.inc();
                 } else {
                     piq_.push(cand);
                     markRequested(cand);
@@ -195,7 +195,7 @@ FdpPrefetcher::onRedirect(Cycle now)
 {
     if (cfg.flushPiqOnRedirect)
         piq_.flush();
-    stats.inc("fdp.redirects");
+    stRedirects.inc();
 }
 
 } // namespace fdip

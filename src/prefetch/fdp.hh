@@ -73,6 +73,24 @@ class FdpPrefetcher : public Prefetcher
     const Config &config() const { return cfg; }
 
   private:
+    StatSet::Counter stCpfProbes = stats.registerCounter("fdp.cpf_probes");
+    StatSet::Counter stCpfFiltered =
+        stats.registerCounter("fdp.cpf_filtered");
+    StatSet::Counter stTlbDropped = stats.registerCounter("fdp.tlb_dropped");
+    StatSet::Counter stTlbWaitStalls =
+        stats.registerCounter("fdp.tlb_wait_stalls");
+    StatSet::Counter stIssueStalls =
+        stats.registerCounter("fdp.issue_stalls");
+    StatSet::Counter stIssued = stats.registerCounter("fdp.issued");
+    StatSet::Counter stIssueRedundant =
+        stats.registerCounter("fdp.issue_redundant");
+    StatSet::Counter stCandidates = stats.registerCounter("fdp.candidates");
+    StatSet::Counter stDedupDropped =
+        stats.registerCounter("fdp.dedup_dropped");
+    StatSet::Counter stEnqueueNoPort =
+        stats.registerCounter("fdp.enqueue_no_port");
+    StatSet::Counter stRedirects = stats.registerCounter("fdp.redirects");
+
     void probeWaitingEntries(Cycle now);
     void issuePrefetches(Cycle now);
     void scanFtq(Cycle now);

@@ -22,7 +22,7 @@ NlpPrefetcher::onDemandAccess(Addr block_addr, const FetchAccess &access,
     bool trigger = isTrueMiss(access) || access.hitPrefetchBuffer;
     if (!trigger)
         return;
-    stats.inc("nlp.triggers");
+    stTriggers.inc();
     unsigned bb = mem.l1i().config().blockBytes;
     for (unsigned d = 1; d <= cfg.degree; ++d) {
         Addr cand = block_addr + Addr(d) * bb;
@@ -47,10 +47,10 @@ NlpPrefetcher::tick(Cycle now)
         switch (resolveTranslation(c.tr, c.vaddr, now)) {
           case TrResolve::Dropped:
             pending.pop_front();
-            stats.inc("nlp.tlb_dropped");
+            stTlbDropped.inc();
             continue;
           case TrResolve::Waiting:
-            stats.inc("nlp.tlb_wait_stalls");
+            stTlbWaitStalls.inc();
             return; // head-of-line wait for the page walk
           case TrResolve::Ready:
             break;
@@ -60,21 +60,21 @@ NlpPrefetcher::tick(Cycle now)
         // this check nearly free in hardware (same row as the trigger).
         if (mem.tagProbe(c.tr.paddr)) {
             pending.pop_front();
-            stats.inc("nlp.already_cached");
+            stAlreadyCached.inc();
             continue;
         }
         FillDest dest = cfg.fillIntoL1 ? FillDest::DemandL1
                                        : FillDest::PrefetchBuffer;
         auto result = mem.issuePrefetch(c.tr.paddr, now, dest);
         if (result == MemHierarchy::PfIssue::NoResource) {
-            stats.inc("nlp.issue_stalls");
+            stIssueStalls.inc();
             return;
         }
         pending.pop_front();
         if (result == MemHierarchy::PfIssue::Issued)
-            stats.inc("nlp.issued");
+            stIssued.inc();
         else
-            stats.inc("nlp.redundant");
+            stRedundant.inc();
     }
 }
 

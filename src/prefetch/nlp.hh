@@ -43,6 +43,17 @@ class NlpPrefetcher : public Prefetcher
         PfTranslationState tr;
     };
 
+    StatSet::Counter stTriggers = stats.registerCounter("nlp.triggers");
+    StatSet::Counter stTlbDropped = stats.registerCounter("nlp.tlb_dropped");
+    StatSet::Counter stTlbWaitStalls =
+        stats.registerCounter("nlp.tlb_wait_stalls");
+    StatSet::Counter stAlreadyCached =
+        stats.registerCounter("nlp.already_cached");
+    StatSet::Counter stIssueStalls =
+        stats.registerCounter("nlp.issue_stalls");
+    StatSet::Counter stIssued = stats.registerCounter("nlp.issued");
+    StatSet::Counter stRedundant = stats.registerCounter("nlp.redundant");
+
     MemHierarchy &mem;
     Config cfg;
     std::deque<Cand> pending;

@@ -45,12 +45,12 @@ OraclePrefetcher::tick(Cycle now)
         auto result = mem.issuePrefetch(cand, now,
                                         FillDest::PrefetchBuffer);
         if (result == MemHierarchy::PfIssue::NoResource) {
-            stats.inc("oracle.issue_stalls");
+            stIssueStalls.inc();
             break;
         }
         pending.erase(pending.begin());
         if (result == MemHierarchy::PfIssue::Issued) {
-            stats.inc("oracle.issued");
+            stIssued.inc();
             ++issued;
         }
     }
@@ -74,7 +74,7 @@ OraclePrefetcher::tick(Cycle now)
         ++examined;
         pending.push_back(block);
         markRequested(block);
-        stats.inc("oracle.candidates");
+        stCandidates.inc();
     }
 }
 

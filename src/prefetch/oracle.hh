@@ -41,6 +41,12 @@ class OraclePrefetcher : public Prefetcher
     void tick(Cycle now) override;
 
   private:
+    StatSet::Counter stIssueStalls =
+        stats.registerCounter("oracle.issue_stalls");
+    StatSet::Counter stIssued = stats.registerCounter("oracle.issued");
+    StatSet::Counter stCandidates =
+        stats.registerCounter("oracle.candidates");
+
     bool recentlyRequested(Addr block) const;
     void markRequested(Addr block);
 

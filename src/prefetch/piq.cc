@@ -16,7 +16,7 @@ Piq::push(Addr block_addr)
     PiqEntry e;
     e.blockAddr = block_addr;
     q.push(e);
-    stats.inc("piq.enqueued");
+    stEnqueued.inc();
 }
 
 void
@@ -33,7 +33,7 @@ Piq::removeAt(std::size_t i)
     for (std::size_t k = i; k + 1 < q.size(); ++k)
         q.at(k) = q.at(k + 1);
     q.truncate(q.size() - 1);
-    stats.inc("piq.removed");
+    stRemoved.inc();
 }
 
 bool
@@ -49,7 +49,7 @@ Piq::contains(Addr block_addr) const
 void
 Piq::flush()
 {
-    stats.inc("piq.flushed_entries", q.size());
+    stFlushedEntries.inc(q.size());
     q.clear();
 }
 

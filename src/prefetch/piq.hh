@@ -51,6 +51,11 @@ class Piq
     StatSet stats;
 
   private:
+    StatSet::Counter stEnqueued = stats.registerCounter("piq.enqueued");
+    StatSet::Counter stRemoved = stats.registerCounter("piq.removed");
+    StatSet::Counter stFlushedEntries =
+        stats.registerCounter("piq.flushed_entries");
+
     CircularQueue<PiqEntry> q;
 };
 

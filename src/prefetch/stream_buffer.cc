@@ -59,14 +59,14 @@ StreamBufferPrefetcher::allocate(Addr miss_addr)
             victim = &b;
     }
     if (victim->active)
-        stats.inc("sb.reallocations");
+        stReallocations.inc();
     victim->active = true;
     victim->slots.clear();
     victim->nextAddr = miss_addr + bb;
     victim->tr = PfTranslationState{};
     victim->lruStamp = ++lruClock;
     victim->requestInFlight = false;
-    stats.inc("sb.allocations");
+    stAllocations.inc();
 }
 
 void
@@ -81,7 +81,7 @@ StreamBufferPrefetcher::onDemandAccess(Addr block_addr,
         bool sequential = recentlyMissed(block_addr - bb);
         recordMiss(block_addr);
         if (!sequential) {
-            stats.inc("sb.filtered_allocations");
+            stFilteredAllocations.inc();
             return;
         }
     }
@@ -104,9 +104,9 @@ StreamBufferPrefetcher::probeAndConsume(Addr block_addr, Cycle now)
             b.slots.erase(b.slots.begin(),
                           b.slots.begin() + static_cast<long>(si) + 1);
             b.lruStamp = ++lruClock;
-            stats.inc("sb.hits");
+            stHits.inc();
             if (si > 0)
-                stats.inc("sb.skipped_slots", si);
+                stSkippedSlots.inc(si);
             return true;
         }
     }
@@ -118,24 +118,24 @@ StreamBufferPrefetcher::streamFill(std::uint32_t stream_id,
                                    std::uint32_t slot_id, Addr block_addr)
 {
     if (stream_id >= buffers.size()) {
-        stats.inc("sb.orphan_fills");
+        stOrphanFills.inc();
         return;
     }
     Buffer &b = buffers[stream_id];
     b.requestInFlight = false;
     if (!b.active) {
-        stats.inc("sb.orphan_fills");
+        stOrphanFills.inc();
         return;
     }
     for (Slot &s : b.slots) {
         if (s.paddr == block_addr && !s.filled) {
             s.filled = true;
-            stats.inc("sb.fills");
+            stFills.inc();
             return;
         }
     }
     // The buffer was re-aimed while the request was in flight.
-    stats.inc("sb.orphan_fills");
+    stOrphanFills.inc();
 }
 
 void
@@ -171,10 +171,10 @@ StreamBufferPrefetcher::tick(Cycle now)
             // The stream crossed into an untranslated page: stop
             // streaming rather than prefetch blind.
             b.active = false;
-            stats.inc("sb.tlb_stopped");
+            stTlbStopped.inc();
             continue;
           case TrResolve::Waiting:
-            stats.inc("sb.tlb_wait_cycles");
+            stTlbWaitCycles.inc();
             continue; // this stream waits; others may proceed
           case TrResolve::Ready:
             break;
@@ -183,7 +183,7 @@ StreamBufferPrefetcher::tick(Cycle now)
         // buffer sits beside the L1 and can see its tags).
         if (mem.tagProbe(b.tr.paddr)) {
             advanceHead(b);
-            stats.inc("sb.skipped_redundant");
+            stSkippedRedundant.inc();
             continue;
         }
         auto result = mem.issuePrefetch(
@@ -194,15 +194,15 @@ StreamBufferPrefetcher::tick(Cycle now)
             b.slots.push_back({b.nextAddr, b.tr.paddr, false});
             advanceHead(b);
             b.requestInFlight = true;
-            stats.inc("sb.issued");
+            stIssued.inc();
             break;
           case MemHierarchy::PfIssue::Redundant:
             // Already cached or in flight elsewhere: stream past it.
             advanceHead(b);
-            stats.inc("sb.skipped_redundant");
+            stSkippedRedundant.inc();
             break;
           case MemHierarchy::PfIssue::NoResource:
-            stats.inc("sb.issue_stalls");
+            stIssueStalls.inc();
             return; // shared buses: no point trying other buffers
         }
     }

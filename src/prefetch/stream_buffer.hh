@@ -71,6 +71,24 @@ class StreamBufferPrefetcher : public Prefetcher,
         bool requestInFlight = false;
     };
 
+    StatSet::Counter stReallocations =
+        stats.registerCounter("sb.reallocations");
+    StatSet::Counter stAllocations = stats.registerCounter("sb.allocations");
+    StatSet::Counter stFilteredAllocations =
+        stats.registerCounter("sb.filtered_allocations");
+    StatSet::Counter stHits = stats.registerCounter("sb.hits");
+    StatSet::Counter stSkippedSlots =
+        stats.registerCounter("sb.skipped_slots");
+    StatSet::Counter stOrphanFills = stats.registerCounter("sb.orphan_fills");
+    StatSet::Counter stFills = stats.registerCounter("sb.fills");
+    StatSet::Counter stTlbStopped = stats.registerCounter("sb.tlb_stopped");
+    StatSet::Counter stTlbWaitCycles =
+        stats.registerCounter("sb.tlb_wait_cycles");
+    StatSet::Counter stSkippedRedundant =
+        stats.registerCounter("sb.skipped_redundant");
+    StatSet::Counter stIssued = stats.registerCounter("sb.issued");
+    StatSet::Counter stIssueStalls = stats.registerCounter("sb.issue_stalls");
+
     /** Advance the stream head one block, discarding its translation. */
     void advanceHead(Buffer &b);
 

@@ -19,10 +19,10 @@ summarizeRun(const SimResults &r)
 {
     return strprintf(
         "%-10s %-14s ipc=%.3f mpki=%6.2f l2bus=%5.1f%% acc=%5.1f%% "
-        "cov=%5.1f%%",
+        "cov=%5.1f%% host=%.2fs (%.0f kcyc/s)",
         r.workload.c_str(), r.scheme.c_str(), r.ipc, r.mpki,
         r.l2BusUtil * 100.0, r.prefetchAccuracy * 100.0,
-        r.prefetchCoverage * 100.0);
+        r.prefetchCoverage * 100.0, r.hostSeconds, r.hostKcyclesPerSec);
 }
 
 } // namespace fdip

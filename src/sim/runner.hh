@@ -2,6 +2,12 @@
  * @file runner.hh
  * Experiment runner: executes (workload x scheme) grids with memoized
  * baselines so a bench binary never simulates the same point twice.
+ *
+ * Grid points are independent simulations, so a bench can enqueue()
+ * its whole grid up front and runPending() executes the points on a
+ * thread pool (--jobs N / FDIP_JOBS, default: hardware concurrency).
+ * run() then serves every point from the memo cache, keeping table
+ * output deterministic regardless of execution order.
  */
 
 #ifndef FDIP_SIM_RUNNER_HH
@@ -10,6 +16,8 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <tuple>
+#include <vector>
 
 #include "sim/presets.hh"
 #include "sim/simulator.hh"
@@ -49,13 +57,82 @@ class Runner
                    const std::string &tweak_key = "",
                    const Tweak &tweak = nullptr);
 
+    /**
+     * Queue a grid point for runPending(). Points already memoized or
+     * already queued are ignored, mirroring run()'s memoization.
+     */
+    void enqueue(const std::string &workload, PrefetchScheme scheme,
+                 const std::string &tweak_key = "",
+                 const Tweak &tweak = nullptr);
+
+    /** enqueue() both the scheme point and its no-prefetch baseline,
+     *  as speedup() will request them. */
+    void enqueueSpeedup(const std::string &workload,
+                        PrefetchScheme scheme,
+                        const std::string &tweak_key = "",
+                        const Tweak &tweak = nullptr);
+
+    /**
+     * Execute all queued points and memoize their results. Points run
+     * concurrently on jobs() threads (in enqueue order when jobs()
+     * is 1). Simulations are deterministic and share no state, so the
+     * memo cache ends up identical to a serial sweep.
+     */
+    void runPending();
+
+    /** Thread count for runPending(); 0 is clamped to 1. */
+    void setJobs(unsigned n) { numJobs = n == 0 ? 1 : n; }
+    unsigned jobs() const { return numJobs; }
+
+    /** FDIP_JOBS env var if set, else hardware concurrency. */
+    static unsigned defaultJobs();
+
     std::uint64_t warmupInsts() const { return warmup; }
     std::uint64_t measureInsts() const { return measure; }
 
+    std::size_t cachedRuns() const { return cache.size(); }
+    std::size_t pendingRuns() const { return pending.size(); }
+
+    /**
+     * One-line footer for the last runPending() batch: points
+     * executed, wall seconds, jobs, and summed per-run host seconds
+     * (wall vs. summed shows parallel efficiency; either one drifting
+     * up across commits is a simulator perf regression).
+     */
+    std::string sweepSummary() const;
+
   private:
+    /**
+     * Memo key. A tuple (not a joined string) so workload or tweak
+     * names containing the old "/" separator cannot collide.
+     */
+    using Key = std::tuple<std::string, std::string, std::string>;
+
+    struct Point
+    {
+        Key key;
+        std::string workload;
+        PrefetchScheme scheme;
+        Tweak tweak;
+    };
+
+    static Key makeKey(const std::string &workload, PrefetchScheme scheme,
+                       const std::string &tweak_key);
+    SimConfig makeConfig(const Point &p) const;
+
     std::uint64_t warmup;
     std::uint64_t measure;
-    std::map<std::string, SimResults> cache;
+    unsigned numJobs = defaultJobs();
+    std::map<Key, SimResults> cache;
+    std::vector<Point> pending;
+
+    /** Last-batch bookkeeping for sweepSummary(). */
+    std::size_t sweepPoints = 0;
+    double sweepWallSeconds = 0.0;
+    double sweepHostSeconds = 0.0;
+    /** A sweep ran: run() misses afterwards indicate an incomplete
+     *  enqueue mirror in the bench (they de-parallelize silently). */
+    bool sweepDone = false;
 };
 
 /** Geometric-mean speedup: gmean over (1 + s_i), minus 1. */

@@ -1,5 +1,6 @@
 #include "sim/simulator.hh"
 
+#include <chrono>
 #include <limits>
 
 #include "common/logging.hh"
@@ -191,6 +192,7 @@ Simulator::finalize(const StatSet &delta, Cycle cycles_delta,
 SimResults
 Simulator::run()
 {
+    auto host_start = std::chrono::steady_clock::now();
     std::uint64_t total_insts = cfg.warmupInsts + cfg.measureInsts;
     Cycle cycle_cap = static_cast<Cycle>(
         cfg.cycleLimitPerInst * static_cast<double>(total_insts)) + 10000;
@@ -220,8 +222,17 @@ Simulator::run()
     StatSet at_end;
     collectAll(at_end);
     StatSet delta = StatSet::subtract(at_end, at_warmup);
-    return finalize(delta, curCycle - warmup_cycles,
-                    backend_->committed() - warmup_insts);
+    SimResults r = finalize(delta, curCycle - warmup_cycles,
+                            backend_->committed() - warmup_insts);
+
+    std::chrono::duration<double> host_elapsed =
+        std::chrono::steady_clock::now() - host_start;
+    r.hostSeconds = host_elapsed.count();
+    if (r.hostSeconds > 0.0) {
+        r.hostKcyclesPerSec = static_cast<double>(curCycle) /
+            r.hostSeconds / 1000.0;
+    }
+    return r;
 }
 
 } // namespace fdip

@@ -37,6 +37,15 @@ struct SimResults
     double prefetchCoverage = 0.0;
     double condMispredictPerKilo = 0.0;
 
+    /**
+     * Host-side throughput gauges (whole run, warmup included). Not
+     * part of the simulated results: they vary run to run and exist so
+     * perf regressions in the simulator itself are visible in every
+     * bench run.
+     */
+    double hostSeconds = 0.0;
+    double hostKcyclesPerSec = 0.0;
+
     Histogram ftqOccupancy{0};
 
     /** Raw measurement-window counter deltas from every component. */

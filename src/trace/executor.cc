@@ -87,7 +87,7 @@ SyntheticExecutor::next()
             enterBlock(curFn, curBb + 1);
         }
         ++count;
-        stats.inc("dyn.noncf");
+        stNoncf.inc();
         return ti;
     }
 
@@ -97,15 +97,15 @@ SyntheticExecutor::next()
         ti.target = fn.blocks[bb.targetBb].start;
         ti.taken = condOutcome(bb, ti.pc);
         enterBlock(curFn, ti.taken ? bb.targetBb : curBb + 1);
-        stats.inc("dyn.cond");
-        stats.inc(ti.taken ? "dyn.cond_taken" : "dyn.cond_nottaken");
+        stCond.inc();
+        (ti.taken ? stCondTaken : stCondNottaken).inc();
         break;
       }
       case InstClass::Jump:
         ti.target = fn.blocks[bb.targetBb].start;
         ti.taken = true;
         enterBlock(curFn, bb.targetBb);
-        stats.inc("dyn.jump");
+        stJump.inc();
         break;
       case InstClass::Call: {
         ti.target = prog.funcs[bb.targetFn].entry;
@@ -113,7 +113,7 @@ SyntheticExecutor::next()
         stack.push_back({curFn, curBb + 1});
         panic_if(stack.size() > 4096, "runaway call depth");
         enterBlock(bb.targetFn, 0);
-        stats.inc("dyn.call");
+        stCall.inc();
         break;
       }
       case InstClass::Return: {
@@ -128,7 +128,7 @@ SyntheticExecutor::next()
             ti.target = prog.funcs[f.fn].blocks[f.bb].start;
             enterBlock(f.fn, f.bb);
         }
-        stats.inc("dyn.ret");
+        stRet.inc();
         break;
       }
       case InstClass::IndCall: {
@@ -138,7 +138,7 @@ SyntheticExecutor::next()
         stack.push_back({curFn, curBb + 1});
         panic_if(stack.size() > 4096, "runaway call depth");
         enterBlock(callee, 0);
-        stats.inc("dyn.indcall");
+        stIndcall.inc();
         break;
       }
       case InstClass::IndJump: {
@@ -146,7 +146,7 @@ SyntheticExecutor::next()
         ti.target = prog.funcs[target].entry;
         ti.taken = true;
         enterBlock(target, 0);
-        stats.inc("dyn.indjump");
+        stIndjump.inc();
         break;
       }
       case InstClass::NonCF:

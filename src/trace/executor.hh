@@ -72,6 +72,17 @@ class SyntheticExecutor : public TraceSource
     std::uint64_t count = 0;
     StatSet stats;
 
+    StatSet::Counter stNoncf = stats.registerCounter("dyn.noncf");
+    StatSet::Counter stCond = stats.registerCounter("dyn.cond");
+    StatSet::Counter stCondTaken = stats.registerCounter("dyn.cond_taken");
+    StatSet::Counter stCondNottaken =
+        stats.registerCounter("dyn.cond_nottaken");
+    StatSet::Counter stJump = stats.registerCounter("dyn.jump");
+    StatSet::Counter stCall = stats.registerCounter("dyn.call");
+    StatSet::Counter stRet = stats.registerCounter("dyn.ret");
+    StatSet::Counter stIndcall = stats.registerCounter("dyn.indcall");
+    StatSet::Counter stIndjump = stats.registerCounter("dyn.indjump");
+
     bool condOutcome(const BasicBlock &bb, Addr pc);
     std::uint32_t pickIndirect(const BasicBlock &bb);
     void enterBlock(std::uint32_t fn, std::uint32_t bb);

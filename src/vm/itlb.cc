@@ -52,14 +52,14 @@ Itlb::lookup(Addr vpn) const
 bool
 Itlb::access(Addr vpn)
 {
-    stats.inc("itlb.accesses");
+    stAccesses.inc();
     Entry *e = find(vpn);
     if (e == nullptr) {
-        stats.inc("itlb.misses");
+        stMisses.inc();
         return false;
     }
     e->lruStamp = ++lruClock;
-    stats.inc("itlb.hits");
+    stHits.inc();
     return true;
 }
 
@@ -83,11 +83,11 @@ Itlb::insert(Addr vpn)
             victim = &e;
     }
     if (victim->valid)
-        stats.inc("itlb.evictions");
+        stEvictions.inc();
     victim->valid = true;
     victim->vpn = vpn;
     victim->lruStamp = ++lruClock;
-    stats.inc("itlb.fills");
+    stFills.inc();
 }
 
 bool

@@ -50,6 +50,12 @@ class Itlb
     StatSet stats;
 
   private:
+    StatSet::Counter stAccesses = stats.registerCounter("itlb.accesses");
+    StatSet::Counter stMisses = stats.registerCounter("itlb.misses");
+    StatSet::Counter stHits = stats.registerCounter("itlb.hits");
+    StatSet::Counter stEvictions = stats.registerCounter("itlb.evictions");
+    StatSet::Counter stFills = stats.registerCounter("itlb.fills");
+
     struct Entry
     {
         bool valid = false;

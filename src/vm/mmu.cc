@@ -54,13 +54,13 @@ Mmu::startWalk(Addr vpn, Cycle now, bool fill_tlb, bool &created)
         // A walk for this page is already in flight: join it. A demand
         // joining a non-filling prefetch walk upgrades it to fill.
         it->second.fillTlb |= fill_tlb;
-        stats.inc("mmu.walk_merges");
+        stWalkMerges.inc();
         created = false;
         return it->second.readyAt;
     }
     Cycle ready = now + cfg.walkLatency;
     walks.emplace(vpn, Walk{ready, fill_tlb});
-    stats.inc("mmu.walks");
+    stWalks.inc();
     created = true;
     return ready;
 }
@@ -83,7 +83,7 @@ Mmu::demandTranslate(Addr vaddr, Cycle now)
     bool created = false;
     res.readyAt = startWalk(vpn, now, /*fill_tlb=*/true, created);
     if (created)
-        stats.inc("mmu.demand_walks");
+        stDemandWalks.inc();
     return res;
 }
 
@@ -99,29 +99,29 @@ Mmu::prefetchTranslate(Addr vaddr, Cycle now)
     res.paddr = pt.translate(vaddr);
     Addr vpn = pt.vpn(vaddr);
     if (itlb_.lookup(vpn)) {
-        stats.inc("mmu.pf_tlb_hits");
+        stPfTlbHits.inc();
         return res;
     }
 
-    stats.inc("mmu.pf_tlb_misses");
+    stPfTlbMisses.inc();
     bool created = false;
     switch (cfg.prefetchPolicy) {
       case TlbPrefetchPolicy::Drop:
         res.status = PfTranslation::Status::Dropped;
-        stats.inc("mmu.pf_dropped");
+        stPfDropped.inc();
         break;
       case TlbPrefetchPolicy::Wait:
         res.status = PfTranslation::Status::Walking;
         res.readyAt = startWalk(vpn, now, /*fill_tlb=*/false, created);
         if (created)
-            stats.inc("mmu.pf_walks");
+            stPfWalks.inc();
         break;
       case TlbPrefetchPolicy::Fill:
         res.status = PfTranslation::Status::Walking;
         res.readyAt = startWalk(vpn, now, /*fill_tlb=*/true, created);
         if (created) {
-            stats.inc("mmu.pf_walks");
-            stats.inc("mmu.pf_fills");
+            stPfWalks.inc();
+            stPfFills.inc();
         }
         break;
     }

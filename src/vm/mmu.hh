@@ -132,6 +132,17 @@ class Mmu
     StatSet stats;
 
   private:
+    StatSet::Counter stWalkMerges = stats.registerCounter("mmu.walk_merges");
+    StatSet::Counter stWalks = stats.registerCounter("mmu.walks");
+    StatSet::Counter stDemandWalks =
+        stats.registerCounter("mmu.demand_walks");
+    StatSet::Counter stPfTlbHits = stats.registerCounter("mmu.pf_tlb_hits");
+    StatSet::Counter stPfTlbMisses =
+        stats.registerCounter("mmu.pf_tlb_misses");
+    StatSet::Counter stPfDropped = stats.registerCounter("mmu.pf_dropped");
+    StatSet::Counter stPfWalks = stats.registerCounter("mmu.pf_walks");
+    StatSet::Counter stPfFills = stats.registerCounter("mmu.pf_fills");
+
     struct Walk
     {
         Cycle readyAt = 0;

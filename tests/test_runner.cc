@@ -33,6 +33,61 @@ TEST(Runner, SpeedupAgainstBaseline)
     EXPECT_DOUBLE_EQ(r.speedup("gcc", PrefetchScheme::None), 0.0);
 }
 
+TEST(Runner, EnqueueThenRunPendingFillsMemo)
+{
+    Runner r(20 * 1000, 60 * 1000);
+    r.setJobs(2);
+    r.enqueue("li", PrefetchScheme::None);
+    r.enqueue("li", PrefetchScheme::None); // duplicate: ignored
+    EXPECT_EQ(r.pendingRuns(), 1u);
+    r.runPending();
+    EXPECT_EQ(r.pendingRuns(), 0u);
+    EXPECT_EQ(r.cachedRuns(), 1u);
+
+    // run() must serve the memoized object, not re-simulate.
+    const SimResults &a = r.run("li", PrefetchScheme::None);
+    const SimResults &b = r.run("li", PrefetchScheme::None);
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(r.cachedRuns(), 1u);
+
+    // Enqueueing an already-memoized point is a no-op.
+    r.enqueue("li", PrefetchScheme::None);
+    EXPECT_EQ(r.pendingRuns(), 0u);
+}
+
+TEST(Runner, EnqueueSpeedupQueuesBaseline)
+{
+    Runner r(20 * 1000, 60 * 1000);
+    r.enqueueSpeedup("li", PrefetchScheme::FdpRemove);
+    EXPECT_EQ(r.pendingRuns(), 2u); // scheme + no-prefetch baseline
+}
+
+TEST(Runner, SlashInTweakKeyCannotCollide)
+{
+    // Memo keys are (workload, scheme, tweak_key) tuples, so "/" in a
+    // tweak key is just a character, not a separator that could make
+    // two distinct points alias.
+    Runner r(20 * 1000, 60 * 1000);
+    const SimResults &plain = r.run("li", PrefetchScheme::None);
+    const SimResults &slashy = r.run(
+        "li", PrefetchScheme::None, "cache/64k",
+        [](SimConfig &cfg) { cfg.mem.l1i.sizeBytes = 64 * 1024; });
+    EXPECT_NE(&plain, &slashy);
+    EXPECT_EQ(r.cachedRuns(), 2u);
+    // Same slashy key memoizes to the same point.
+    EXPECT_EQ(&slashy, &r.run("li", PrefetchScheme::None, "cache/64k"));
+}
+
+TEST(Runner, JobsConfiguration)
+{
+    EXPECT_GE(Runner::defaultJobs(), 1u);
+    Runner r(20 * 1000, 60 * 1000);
+    r.setJobs(3);
+    EXPECT_EQ(r.jobs(), 3u);
+    r.setJobs(0); // clamped
+    EXPECT_EQ(r.jobs(), 1u);
+}
+
 TEST(Aggregates, GmeanSpeedup)
 {
     EXPECT_DOUBLE_EQ(gmeanSpeedup({}), 0.0);

@@ -90,3 +90,111 @@ TEST(StatSet, DumpSortedAndFormatted)
     EXPECT_LT(d.find("apple"), d.find("zebra"));
     EXPECT_NE(d.find("0.5"), std::string::npos);
 }
+
+TEST(StatSetHandles, RegisterAndInc)
+{
+    StatSet s;
+    StatSet::Counter c = s.registerCounter("hot");
+    c.inc();
+    c.inc(4);
+    EXPECT_EQ(s.counter("hot"), 5u);
+    EXPECT_TRUE(s.has("hot"));
+}
+
+TEST(StatSetHandles, DuplicateRegistrationSharesCounter)
+{
+    StatSet s;
+    StatSet::Counter a = s.registerCounter("x");
+    StatSet::Counter b = s.registerCounter("x");
+    a.inc(2);
+    b.inc(3);
+    EXPECT_EQ(s.counter("x"), 5u);
+}
+
+TEST(StatSetHandles, ParityWithStringInc)
+{
+    // The same increment sequence through handles and through the
+    // string API must produce byte-identical registries.
+    StatSet via_handle, via_string;
+    StatSet::Counter a = via_handle.registerCounter("a");
+    StatSet::Counter b = via_handle.registerCounter("b.sub");
+    a.inc();
+    b.inc(7);
+    a.inc(2);
+    via_string.inc("a");
+    via_string.inc("b.sub", 7);
+    via_string.inc("a", 2);
+    EXPECT_EQ(via_handle.dump(), via_string.dump());
+    EXPECT_EQ(via_handle.entries(), via_string.entries());
+}
+
+TEST(StatSetHandles, UnusedCounterStaysAbsent)
+{
+    // Matching the lazy string API: no inc, no entry.
+    StatSet s;
+    s.registerCounter("never");
+    EXPECT_FALSE(s.has("never"));
+    EXPECT_EQ(s.entries().size(), 0u);
+    EXPECT_EQ(s.dump(), "");
+}
+
+TEST(StatSetHandles, ZeroDeltaCreatesEntryLikeStringInc)
+{
+    StatSet s;
+    StatSet::Counter c = s.registerCounter("z");
+    c.inc(0);
+    EXPECT_TRUE(s.has("z"));
+    EXPECT_EQ(s.counter("z"), 0u);
+}
+
+TEST(StatSetHandles, MixedStringAndHandleSum)
+{
+    StatSet s;
+    StatSet::Counter c = s.registerCounter("m");
+    c.inc(10);
+    s.inc("m", 5);
+    c.inc(1);
+    EXPECT_EQ(s.counter("m"), 16u);
+}
+
+TEST(StatSetHandles, MergeAndSubtractSeeHandleIncrements)
+{
+    StatSet src;
+    StatSet::Counter c = src.registerCounter("hits");
+    c.inc(3);
+
+    StatSet dst;
+    dst.merge(src, "l1.");
+    EXPECT_EQ(dst.counter("l1.hits"), 3u);
+
+    c.inc(4);
+    StatSet delta = StatSet::subtract(src, dst);
+    // src is now 7; dst has no "hits" (only "l1.hits").
+    EXPECT_EQ(delta.counter("hits"), 7u);
+}
+
+TEST(StatSetHandles, ResetKeepsHandlesValid)
+{
+    StatSet s;
+    StatSet::Counter c = s.registerCounter("r");
+    c.inc(9);
+    s.reset();
+    EXPECT_FALSE(s.has("r"));
+    c.inc(2);
+    EXPECT_EQ(s.counter("r"), 2u);
+}
+
+TEST(StatSetHandles, CopyFlattensAndDetaches)
+{
+    StatSet orig;
+    StatSet::Counter c = orig.registerCounter("n");
+    c.inc(5);
+
+    StatSet copy = orig;
+    EXPECT_EQ(copy.counter("n"), 5u);
+
+    // The handle stays bound to the original only.
+    c.inc(1);
+    EXPECT_EQ(orig.counter("n"), 6u);
+    EXPECT_EQ(copy.counter("n"), 5u);
+}
