@@ -126,6 +126,13 @@ class Bpu
     /** Next correct-path sequence number the BPU will verify. */
     InstSeqNum nextVerifySeq() const { return nextSeq; }
 
+    /**
+     * Quiescence protocol: the BPU is passive — it only produces a
+     * block when the simulator asks it to (i.e. when the FTQ has
+     * room), so it never schedules an event of its own.
+     */
+    Cycle nextEventCycle(Cycle now) const { return kNever; }
+
     DirectionPredictor &predictor() { return *dirPred; }
     Ftb *ftb() { return ftb_.get(); }
     BtbIface *btb() { return btb_.get(); }

@@ -29,6 +29,13 @@ constexpr Addr invalidAddr = ~Addr(0);
 /** A cycle value meaning "never" / "not scheduled". */
 constexpr Cycle neverCycle = ~Cycle(0);
 
+/**
+ * Quiescence-protocol alias for @c neverCycle: a component whose
+ * nextEventCycle() returns @c kNever cannot change state on its own
+ * and only reacts to other components' events.
+ */
+constexpr Cycle kNever = neverCycle;
+
 } // namespace fdip
 
 #endif // FDIP_COMMON_TYPES_HH

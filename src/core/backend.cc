@@ -42,6 +42,24 @@ Backend::tick(Cycle now)
     stRetireSlotsLost.inc(cfg.retireWidth - retired);
 }
 
+Cycle
+Backend::nextEventCycle(Cycle now) const
+{
+    if (!q.empty() && !q.front().wrongPath)
+        return now + 1;
+    return kNever;
+}
+
+void
+Backend::chargeIdleCycles(Cycle now, Cycle cycles)
+{
+    panic_if(!q.empty() && !q.front().wrongPath,
+             "idle-charging a backend that can retire");
+    stCycles.inc(cycles);
+    stStarvedCycles.inc(cycles);
+    stRetireSlotsLost.inc(cycles * cfg.retireWidth);
+}
+
 void
 Backend::squashWrongPath()
 {

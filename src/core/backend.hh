@@ -43,6 +43,22 @@ class Backend
     /** Commit up to retireWidth correct-path instructions. */
     void tick(Cycle now);
 
+    /**
+     * Quiescence protocol: now + 1 when the backend can retire next
+     * cycle; kNever when it is drained or its head is wrong-path
+     * (only a delivery or redirect — someone else's event — can
+     * unblock it). Never returns a cycle <= @p now.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
+    /**
+     * Bulk-apply the per-cycle accounting of @p cycles ticks in which
+     * the backend provably retires nothing (cycles, starved cycles,
+     * lost retire slots). Callers may only charge ranges in which
+     * nextEventCycle() reported quiescence.
+     */
+    void chargeIdleCycles(Cycle now, Cycle cycles);
+
     /** Drop queued wrong-path instructions (mispredict recovery). */
     void squashWrongPath();
 

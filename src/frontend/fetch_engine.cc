@@ -118,6 +118,41 @@ FetchEngine::tick(Cycle now)
         ftq.popHead();
 }
 
+Cycle
+FetchEngine::nextEventCycle(Cycle now) const
+{
+    Cycle next = kNever;
+    if (redirectPending())
+        next = redirectAt > now ? redirectAt : now + 1;
+    if (now + 1 < stallUntil)
+        return stallUntil < next ? stallUntil : next;
+    // Not stalled next cycle: fetch acts unless the FTQ is empty or
+    // the backend queue is full.
+    if (!ftq.empty() && backend.freeSlots() > 0)
+        return now + 1;
+    return next;
+}
+
+void
+FetchEngine::chargeIdleCycles(Cycle now, Cycle cycles)
+{
+    if (now + 1 < stallUntil) {
+        panic_if(now + cycles >= stallUntil,
+                 "idle charge crosses a fetch stall expiry");
+        (stalledOnWalk ? stItlbStallCycles : stMissStallCycles)
+            .inc(cycles);
+        return;
+    }
+    stalledOnWalk = false;
+    if (ftq.empty()) {
+        stFtqEmptyCycles.inc(cycles);
+    } else if (backend.freeSlots() == 0) {
+        stBackendFullCycles.inc(cycles);
+    } else {
+        panic("idle-charging a fetch engine that would act");
+    }
+}
+
 void
 FetchEngine::squash()
 {

@@ -43,6 +43,23 @@ class FetchEngine
 
     void tick(Cycle now);
 
+    /**
+     * Quiescence protocol: the earliest future cycle fetch changes
+     * state on its own — stall expiry or the pending redirect. now + 1
+     * when fetch would act next cycle; kNever when it is blocked on an
+     * empty FTQ or a full backend (their refill/drain is another
+     * component's event). Never returns a cycle <= @p now.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
+    /**
+     * Bulk-apply the per-cycle stall accounting of @p cycles ticks in
+     * which fetch provably does nothing, mirroring tick()'s early-out
+     * branches. Callers may only charge ranges in which
+     * nextEventCycle() reported quiescence.
+     */
+    void chargeIdleCycles(Cycle now, Cycle cycles);
+
     bool redirectPending() const { return redirectAt != neverCycle; }
     Cycle redirectTime() const { return redirectAt; }
 

@@ -55,9 +55,9 @@ Ftq::cacheBlockAddr(std::size_t i, unsigned k) const
 }
 
 void
-Ftq::sampleOccupancy()
+Ftq::sampleOccupancy(std::uint64_t cycles)
 {
-    occupancy.sample(q.size());
+    occupancy.sample(q.size(), cycles);
 }
 
 } // namespace fdip

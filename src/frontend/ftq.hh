@@ -54,8 +54,16 @@ class Ftq
     /** Aligned address of cache block @p k of entry @p i. */
     Addr cacheBlockAddr(std::size_t i, unsigned k) const;
 
-    /** Record the current occupancy (call once per cycle). */
-    void sampleOccupancy();
+    /** Record the current occupancy (call once per cycle; idle-cycle
+     *  skipping passes the number of cycles being charged). */
+    void sampleOccupancy(std::uint64_t cycles = 1);
+
+    /**
+     * Quiescence protocol: the FTQ is passive — it only changes state
+     * when the BPU pushes or the fetch engine pops — so it never
+     * schedules an event of its own.
+     */
+    Cycle nextEventCycle(Cycle now) const { return kNever; }
 
     const Histogram &occupancyHist() const { return occupancy; }
 

@@ -37,6 +37,9 @@ class Bus
 
     bool idleAt(Cycle now) const { return busyUntil <= now; }
 
+    /** Completion time of the transfer in flight (0 when none ever). */
+    Cycle freeAtCycle() const { return busyUntil; }
+
     /** Cycles the bus spent transferring data so far. */
     Cycle busyCycles() const { return totalBusy; }
 

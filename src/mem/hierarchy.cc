@@ -43,6 +43,20 @@ MemHierarchy::tick(Cycle now)
     }
 }
 
+Cycle
+MemHierarchy::nextEventCycle(Cycle now) const
+{
+    Cycle next = mshrFile.nextReadyCycle();
+    // Bus releases are subsumed by the fills they belong to today, but
+    // fold them in so the protocol stays correct if that ever changes.
+    for (const Bus *bus : {&l2Bus_, &memBus_}) {
+        Cycle free_at = bus->freeAtCycle();
+        if (free_at > now && free_at < next)
+            next = free_at;
+    }
+    return next <= now ? now + 1 : next;
+}
+
 void
 MemHierarchy::installL1(Addr block_addr, bool first_use_tag)
 {

@@ -90,6 +90,14 @@ class MemHierarchy
     void tick(Cycle now);
 
     /**
+     * Quiescence protocol: the earliest future cycle at which this
+     * hierarchy changes state on its own — the next MSHR fill
+     * completion or bus-release time. kNever when nothing is in
+     * flight. Never returns a cycle <= @p now.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
+    /**
      * Demand fetch of the block containing @p addr. Probes L1, the
      * prefetch buffer, stream buffers, and in-flight fills, in that
      * order; allocates an MSHR and goes to L2/memory on a true miss.

@@ -102,6 +102,17 @@ MshrFile::ready(Cycle now)
     return out;
 }
 
+Cycle
+MshrFile::nextReadyCycle() const
+{
+    Cycle next = kNever;
+    for (const auto &e : entries) {
+        if (e.valid && e.readyAt < next)
+            next = e.readyAt;
+    }
+    return next;
+}
+
 void
 MshrFile::clear()
 {

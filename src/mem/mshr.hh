@@ -65,6 +65,9 @@ class MshrFile
      */
     std::vector<MshrEntry *> ready(Cycle now);
 
+    /** Earliest in-flight fill completion; kNever when idle. */
+    Cycle nextReadyCycle() const;
+
     void clear();
 
     StatSet stats;

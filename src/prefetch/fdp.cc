@@ -190,6 +190,46 @@ FdpPrefetcher::tick(Cycle now)
     scanFtq(now);
 }
 
+Cycle
+FdpPrefetcher::nextEventCycle(Cycle now) const
+{
+    // Remove-CPF: an unprobed PIQ entry is probed with next cycle's
+    // leftover tag ports.
+    if (cfg.mode == CpfMode::Remove) {
+        for (std::size_t i = 0; i < piq_.size(); ++i) {
+            if (!piq_.at(i).probed)
+                return now + 1;
+        }
+    }
+    Cycle next = kNever;
+    if (!piq_.empty()) {
+        const PiqEntry &head = piq_.front();
+        // An untranslated or ready head means a translate or an issue
+        // attempt next cycle; a waiting head wakes at walk completion.
+        if (!head.tr.translated || head.tr.readyAt <= now + 1)
+            return now + 1;
+        next = head.tr.readyAt;
+    }
+    if (!piq_.full()) {
+        for (std::size_t i = 1; i < ftq.size(); ++i) {
+            if (ftq.at(i).nextScanBlock < ftq.numCacheBlocks(i))
+                return now + 1; // unscanned candidates remain
+        }
+    }
+    return next;
+}
+
+void
+FdpPrefetcher::chargeIdleCycles(Cycle now, Cycle cycles)
+{
+    // The only per-cycle charge of a quiescent tick: the head-of-line
+    // candidate waiting on its page walk.
+    if (!piq_.empty() && piq_.front().tr.translated &&
+        piq_.front().tr.readyAt > now + cycles) {
+        stTlbWaitStalls.inc(cycles);
+    }
+}
+
 void
 FdpPrefetcher::onRedirect(Cycle now)
 {

@@ -67,6 +67,8 @@ class FdpPrefetcher : public Prefetcher
 
     std::string name() const override;
     void tick(Cycle now) override;
+    Cycle nextEventCycle(Cycle now) const override;
+    void chargeIdleCycles(Cycle now, Cycle cycles) override;
     void onRedirect(Cycle now) override;
 
     const Piq &piq() const { return piq_; }

@@ -39,6 +39,28 @@ NlpPrefetcher::onDemandAccess(Addr block_addr, const FetchAccess &access,
     }
 }
 
+Cycle
+NlpPrefetcher::nextEventCycle(Cycle now) const
+{
+    if (pending.empty())
+        return kNever;
+    const Cand &head = pending.front();
+    // An untranslated or ready head acts next cycle; a waiting head
+    // wakes at its page-walk completion.
+    if (!head.tr.translated || head.tr.readyAt <= now + 1)
+        return now + 1;
+    return head.tr.readyAt;
+}
+
+void
+NlpPrefetcher::chargeIdleCycles(Cycle now, Cycle cycles)
+{
+    if (!pending.empty() && pending.front().tr.translated &&
+        pending.front().tr.readyAt > now + cycles) {
+        stTlbWaitStalls.inc(cycles);
+    }
+}
+
 void
 NlpPrefetcher::tick(Cycle now)
 {

@@ -32,6 +32,8 @@ class NlpPrefetcher : public Prefetcher
 
     std::string name() const override { return "nlp"; }
     void tick(Cycle now) override;
+    Cycle nextEventCycle(Cycle now) const override;
+    void chargeIdleCycles(Cycle now, Cycle cycles) override;
     void onDemandAccess(Addr block_addr, const FetchAccess &access,
                         Cycle now) override;
 

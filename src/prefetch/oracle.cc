@@ -33,6 +33,22 @@ OraclePrefetcher::markRequested(Addr block)
     recentNext = (recentNext + 1) % recentFilter.size();
 }
 
+Cycle
+OraclePrefetcher::nextEventCycle(Cycle now) const
+{
+    // Pending candidates mean an issue attempt next cycle; otherwise
+    // the scan acts whenever the lookahead window is not exhausted.
+    // The oracle never waits on walks (perfect ITLB) and charges no
+    // per-cycle stall counters.
+    if (!pending.empty())
+        return now + 1;
+    InstSeqNum base = bpu.nextVerifySeq();
+    InstSeqNum from = scanSeq < base ? base : scanSeq;
+    if (from < base + cfg.lookaheadInsts)
+        return now + 1;
+    return kNever;
+}
+
 void
 OraclePrefetcher::tick(Cycle now)
 {

@@ -39,6 +39,7 @@ class OraclePrefetcher : public Prefetcher
 
     std::string name() const override { return "oracle"; }
     void tick(Cycle now) override;
+    Cycle nextEventCycle(Cycle now) const override;
 
   private:
     StatSet::Counter stIssueStalls =

@@ -38,7 +38,9 @@ class Piq
 
     void push(Addr block_addr);
     PiqEntry &at(std::size_t i) { return q.at(i); }
+    const PiqEntry &at(std::size_t i) const { return q.at(i); }
     PiqEntry &front() { return q.front(); }
+    const PiqEntry &front() const { return q.front(); }
     void popFront();
 
     /** Remove entry @p i (probe said the block is already cached). */

@@ -30,6 +30,24 @@ class Prefetcher
     virtual void tick(Cycle now) {}
 
     /**
+     * Quiescence protocol: the earliest future cycle at which tick()
+     * would do anything beyond the fixed per-cycle charges replayed by
+     * chargeIdleCycles() — now + 1 when it would act next cycle (scan,
+     * probe, translate, or issue), a head-of-line walk completion when
+     * it is waiting on the MMU, kNever when it is fully idle. Must
+     * never return a cycle <= @p now.
+     */
+    virtual Cycle nextEventCycle(Cycle now) const { return kNever; }
+
+    /**
+     * Bulk-apply the per-cycle stall accounting of @p cycles ticks in
+     * which this prefetcher provably does nothing (e.g. head-of-line
+     * TLB-wait counters). Callers may only charge ranges in which
+     * nextEventCycle() reported quiescence.
+     */
+    virtual void chargeIdleCycles(Cycle now, Cycle cycles) {}
+
+    /**
      * Demand access notification from the fetch engine.
      * @param block_addr aligned virtual block address accessed
      * @param access the hierarchy's verdict for this access

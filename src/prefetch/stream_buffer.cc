@@ -156,6 +156,40 @@ StreamBufferPrefetcher::advanceHead(Buffer &b)
     b.nextAddr = next;
 }
 
+Cycle
+StreamBufferPrefetcher::nextEventCycle(Cycle now) const
+{
+    Cycle next = kNever;
+    for (const Buffer &b : buffers) {
+        // Inactive, topped-up, or in-flight buffers do nothing; a
+        // stream with an untranslated or ready head tops up next
+        // cycle; a waiting one wakes at its page-walk completion.
+        if (!b.active || b.requestInFlight || b.slots.size() >= cfg.depth)
+            continue;
+        if (!b.tr.translated || b.tr.readyAt <= now + 1)
+            return now + 1;
+        if (b.tr.readyAt < next)
+            next = b.tr.readyAt;
+    }
+    return next;
+}
+
+void
+StreamBufferPrefetcher::chargeIdleCycles(Cycle now, Cycle cycles)
+{
+    // Every stream waiting on a page walk charges one wait cycle per
+    // tick (tick() continues past Waiting buffers).
+    std::uint64_t waiting = 0;
+    for (const Buffer &b : buffers) {
+        if (b.active && !b.requestInFlight && b.slots.size() < cfg.depth &&
+            b.tr.translated && b.tr.readyAt > now + cycles) {
+            ++waiting;
+        }
+    }
+    if (waiting > 0)
+        stTlbWaitCycles.inc(waiting * cycles);
+}
+
 void
 StreamBufferPrefetcher::tick(Cycle now)
 {

@@ -37,6 +37,8 @@ class StreamBufferPrefetcher : public Prefetcher,
 
     std::string name() const override { return "stream"; }
     void tick(Cycle now) override;
+    Cycle nextEventCycle(Cycle now) const override;
+    void chargeIdleCycles(Cycle now, Cycle cycles) override;
     void onDemandAccess(Addr block_addr, const FetchAccess &access,
                         Cycle now) override;
 

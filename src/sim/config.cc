@@ -1,10 +1,85 @@
 #include "sim/config.hh"
 
+#include <cstring>
+
 #include "common/intmath.hh"
 #include "common/logging.hh"
 
 namespace fdip
 {
+
+namespace
+{
+
+/** FNV-1a accumulator for SimConfig::fingerprint(). */
+struct Fnv1a
+{
+    std::uint64_t h = 14695981039346656037ull;
+
+    void
+    bytes(const void *data, std::size_t n)
+    {
+        const auto *p = static_cast<const unsigned char *>(data);
+        for (std::size_t i = 0; i < n; ++i) {
+            h ^= p[i];
+            h *= 1099511628211ull;
+        }
+    }
+
+    void u64(std::uint64_t v) { bytes(&v, sizeof(v)); }
+    void b(bool v) { u64(v ? 1 : 0); }
+
+    void
+    d(double v)
+    {
+        std::uint64_t bits = 0;
+        std::memcpy(&bits, &v, sizeof(bits));
+        u64(bits);
+    }
+
+    void
+    s(const std::string &v)
+    {
+        u64(v.size());
+        bytes(v.data(), v.size());
+    }
+};
+
+void
+hashCache(Fnv1a &f, const Cache::Config &c)
+{
+    f.s(c.name);
+    f.u64(c.sizeBytes);
+    f.u64(c.assoc);
+    f.u64(c.blockBytes);
+    f.u64(static_cast<std::uint64_t>(c.repl));
+}
+
+void
+hashProfile(Fnv1a &f, const WorkloadProfile &p)
+{
+    f.s(p.name);
+    f.u64(p.seed);
+    f.u64(p.codeFootprintBytes);
+    f.d(p.meanBlockInsts);
+    f.d(p.meanBlocksPerFn);
+    f.u64(p.callLevels);
+    f.d(p.calleeZipf);
+    f.d(p.wCond);
+    f.d(p.wJump);
+    f.d(p.wCall);
+    f.d(p.wIndCall);
+    f.d(p.wFallthrough);
+    f.d(p.loopFraction);
+    f.d(p.meanTripCount);
+    f.d(p.patternFraction);
+    f.d(p.biasLo);
+    f.d(p.biasHi);
+    f.u64(p.phaseLen);
+    f.u64(p.dispatcherSites);
+}
+
+} // namespace
 
 const char *
 schemeName(PrefetchScheme scheme)
@@ -32,6 +107,104 @@ schemeIsFdp(PrefetchScheme scheme)
         scheme == PrefetchScheme::FdpEnqueueAggressive ||
         scheme == PrefetchScheme::FdpRemove ||
         scheme == PrefetchScheme::FdpIdeal;
+}
+
+std::uint64_t
+SimConfig::fingerprint() const
+{
+    Fnv1a f;
+    f.s(workload);
+    f.b(customProfile.has_value());
+    if (customProfile)
+        hashProfile(f, *customProfile);
+    f.u64(warmupInsts);
+    f.u64(measureInsts);
+    f.u64(seedOffset);
+    f.u64(ftqEntries);
+
+    f.u64(fetch.fetchWidth);
+    f.u64(fetch.decodeRedirectLatency);
+    f.u64(fetch.resolveRedirectLatency);
+
+    f.b(bpu.blockBased);
+    f.u64(static_cast<std::uint64_t>(bpu.predictor));
+    f.u64(bpu.maxBlockInsts);
+    f.u64(bpu.rasDepth);
+    f.u64(bpu.ftb.sets);
+    f.u64(bpu.ftb.ways);
+    f.u64(bpu.ftb.vaBits);
+    f.u64(bpu.ftb.maxBlockInsts);
+    f.u64(bpu.btb.sets);
+    f.u64(bpu.btb.ways);
+    f.u64(bpu.btb.tagBits);
+    f.u64(bpu.btb.offsetBits);
+    f.u64(bpu.btb.vaBits);
+    f.u64(bpu.gshareEntries);
+    f.u64(bpu.historyBits);
+    f.u64(bpu.bimodalEntries);
+    f.u64(bpu.chooserEntries);
+
+    f.u64(backend.retireWidth);
+    f.u64(backend.queueDepth);
+
+    hashCache(f, mem.l1i);
+    f.u64(mem.l1TagPorts);
+    f.u64(mem.l1HitLatency);
+    hashCache(f, mem.l2);
+    f.u64(mem.l2HitLatency);
+    f.u64(mem.dramLatency);
+    f.u64(mem.l2BusBytesPerCycle);
+    f.u64(mem.memBusBytesPerCycle);
+    f.u64(mem.mshrs);
+    f.u64(mem.prefetchBufferEntries);
+    f.u64(mem.victimCacheEntries);
+    f.b(mem.prefetchMayQueueOnBus);
+    f.u64(maxOutstandingPrefetches);
+
+    f.b(vm.enable);
+    f.u64(vm.pageBytes);
+    f.u64(vm.itlbEntries);
+    f.u64(vm.itlbAssoc);
+    f.u64(vm.walkLatency);
+    f.u64(static_cast<std::uint64_t>(vm.prefetchPolicy));
+    f.u64(static_cast<std::uint64_t>(vm.mapping));
+    f.u64(vm.mapSeed);
+
+    f.u64(static_cast<std::uint64_t>(scheme));
+    f.u64(static_cast<std::uint64_t>(fdp.mode));
+    f.u64(fdp.piqEntries);
+    f.u64(fdp.scanWidth);
+    f.u64(fdp.issueWidth);
+    f.u64(fdp.recentFilterEntries);
+    f.b(fdp.flushPiqOnRedirect);
+    f.b(fdp.fillIntoL1);
+    f.u64(nlp.degree);
+    f.u64(nlp.queueEntries);
+    f.b(nlp.fillIntoL1);
+    f.u64(sb.numBuffers);
+    f.u64(sb.depth);
+    f.b(sb.allocationFilter);
+    f.u64(sb.missHistoryEntries);
+    f.u64(oracle.lookaheadInsts);
+    f.u64(oracle.scanWidth);
+    f.u64(oracle.issueWidth);
+    f.u64(oracle.recentFilterEntries);
+    f.b(combineNlp);
+
+    f.b(usePartitionedBtb);
+    f.u64(pbtb.partitions.size());
+    for (const auto &part : pbtb.partitions) {
+        f.u64(part.offsetBits);
+        f.u64(part.sets);
+        f.u64(part.ways);
+    }
+    f.u64(pbtb.tagBits);
+    f.u64(pbtb.vaBits);
+
+    f.d(cycleLimitPerInst);
+    // forceTick is excluded: it changes host behaviour only, never
+    // simulated results (enforced by the tick-skip parity tests).
+    return f.h;
 }
 
 void

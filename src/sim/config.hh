@@ -79,6 +79,24 @@ struct SimConfig
     /** Abort if a run exceeds this many cycles per instruction. */
     double cycleLimitPerInst = 300.0;
 
+    /**
+     * Escape hatch for differential testing: tick every cycle even
+     * when the whole machine is quiescent, instead of jumping to the
+     * next event. The FDIP_NO_SKIP=1 environment variable forces this
+     * process-wide. Skipping is bit-identical to forced ticking by
+     * contract (see tests/test_tick_skip.cc), so this only trades
+     * host time.
+     */
+    bool forceTick = false;
+
+    /**
+     * Order-independent hash of every knob that affects simulated
+     * behaviour. Two configs with equal fingerprints simulate
+     * identically; the Runner uses this to refuse memo-key reuse
+     * across different configs.
+     */
+    std::uint64_t fingerprint() const;
+
     void validate() const;
 };
 

@@ -15,6 +15,40 @@ experimentBanner(const std::string &id, const std::string &title,
 }
 
 std::string
+serializeResults(const SimResults &r)
+{
+    // %.17g round-trips IEEE doubles exactly, so equal strings mean
+    // bit-equal values (modulo -0.0/0.0, which no counter produces).
+    std::string out;
+    out += strprintf("workload %s\n", r.workload.c_str());
+    out += strprintf("scheme %s\n", r.scheme.c_str());
+    out += strprintf("cycles %llu\n",
+                     static_cast<unsigned long long>(r.cycles));
+    out += strprintf("instructions %llu\n",
+                     static_cast<unsigned long long>(r.instructions));
+    out += strprintf("ipc %.17g\n", r.ipc);
+    out += strprintf("mpki %.17g\n", r.mpki);
+    out += strprintf("l2_bus_util %.17g\n", r.l2BusUtil);
+    out += strprintf("mem_bus_util %.17g\n", r.memBusUtil);
+    out += strprintf("prefetch_accuracy %.17g\n", r.prefetchAccuracy);
+    out += strprintf("prefetch_coverage %.17g\n", r.prefetchCoverage);
+    out += strprintf("cond_mispredict_per_kilo %.17g\n",
+                     r.condMispredictPerKilo);
+    out += strprintf("ftq_occupancy %llu buckets,",
+                     static_cast<unsigned long long>(
+                         r.ftqOccupancy.numBuckets()));
+    for (std::size_t v = 0; v < r.ftqOccupancy.numBuckets(); ++v) {
+        out += strprintf(" %llu",
+                         static_cast<unsigned long long>(
+                             r.ftqOccupancy.bucket(v)));
+    }
+    out += "\n";
+    for (const auto &[name, val] : r.stats.entries())
+        out += strprintf("stat %s %.17g\n", name.c_str(), val);
+    return out;
+}
+
+std::string
 summarizeRun(const SimResults &r)
 {
     return strprintf(

@@ -23,6 +23,19 @@ std::string experimentBanner(const std::string &id,
 /** One-line summary of a run (workload, scheme, ipc, mpki, util). */
 std::string summarizeRun(const SimResults &r);
 
+/**
+ * Canonical, bit-exact serialization of every *simulated* field of a
+ * SimResults — scalars (doubles rendered with full round-trip
+ * precision), the FTQ occupancy histogram, and the complete StatSet.
+ * Host-side gauges (hostSeconds, hostKcyclesPerSec, skippedCycles,
+ * totalCycles) are excluded: they vary with the machine and with the
+ * idle-skip path, not with the simulated machine. Two runs of the
+ * same config must serialize identically regardless of SimConfig::
+ * forceTick — this is the comparison key of the differential parity
+ * and golden-file regression tests.
+ */
+std::string serializeResults(const SimResults &r);
+
 } // namespace fdip
 
 #endif // FDIP_SIM_REPORT_HH

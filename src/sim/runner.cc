@@ -54,11 +54,29 @@ Runner::makeConfig(const Point &p) const
     return cfg;
 }
 
+void
+Runner::checkFingerprint(const Key &key, const Point &p)
+{
+    std::uint64_t fp = makeConfig(p).fingerprint();
+    auto [it, inserted] = fingerprints.emplace(key, fp);
+    panic_if(!inserted && it->second != fp,
+             "memo-key collision: (%s, %s, '%s') used with two "
+             "different configs; give each tweak a distinct tweak_key",
+             std::get<0>(key).c_str(), std::get<1>(key).c_str(),
+             std::get<2>(key).c_str());
+}
+
 const SimResults &
 Runner::run(const std::string &workload, PrefetchScheme scheme,
             const std::string &tweak_key, const Tweak &tweak)
 {
     Key key = makeKey(workload, scheme, tweak_key);
+    // Checked on cache hits too. A tweak-less call with a named key
+    // looks the memoized point up by name and claims nothing; with
+    // the anonymous "" key it claims the un-tweaked baseline, which
+    // must never be served a tweaked point's results.
+    if (tweak || tweak_key.empty())
+        checkFingerprint(key, Point{key, workload, scheme, tweak});
     auto it = cache.find(key);
     if (it != cache.end())
         return it->second;
@@ -72,6 +90,10 @@ Runner::run(const std::string &workload, PrefetchScheme scheme,
     }
 
     Point p{key, workload, scheme, tweak};
+    // This simulate defines what the key names: record its
+    // fingerprint so any later conflicting claim on the name is
+    // fatal rather than silently served these results.
+    checkFingerprint(key, p);
     auto [pos, inserted] = cache.emplace(std::move(key),
                                          simulate(makeConfig(p)));
     return pos->second;
@@ -93,6 +115,7 @@ Runner::enqueue(const std::string &workload, PrefetchScheme scheme,
                 const std::string &tweak_key, const Tweak &tweak)
 {
     Key key = makeKey(workload, scheme, tweak_key);
+    checkFingerprint(key, Point{key, workload, scheme, tweak});
     if (cache.count(key))
         return;
     for (const auto &p : pending) {
@@ -119,6 +142,9 @@ Runner::runPending()
 
     auto wall_start = std::chrono::steady_clock::now();
     sweepPoints = pending.size();
+    sweepHostSeconds = 0.0;
+    sweepSkippedCycles = 0;
+    sweepTotalCycles = 0;
 
     unsigned workers = numJobs;
     if (workers > pending.size())
@@ -129,6 +155,8 @@ Runner::runPending()
             auto [pos, inserted] =
                 cache.emplace(p.key, simulate(makeConfig(p)));
             sweepHostSeconds += pos->second.hostSeconds;
+            sweepSkippedCycles += pos->second.skippedCycles;
+            sweepTotalCycles += pos->second.totalCycles;
         }
         pending.clear();
         std::chrono::duration<double> wall =
@@ -161,6 +189,8 @@ Runner::runPending()
     // them) match a serial sweep exactly.
     for (std::size_t i = 0; i < pending.size(); ++i) {
         sweepHostSeconds += results[i].hostSeconds;
+        sweepSkippedCycles += results[i].skippedCycles;
+        sweepTotalCycles += results[i].totalCycles;
         cache.emplace(std::move(pending[i].key), std::move(results[i]));
     }
     pending.clear();
@@ -172,10 +202,14 @@ Runner::runPending()
 std::string
 Runner::sweepSummary() const
 {
+    double skip_pct = sweepTotalCycles == 0 ? 0.0
+        : 100.0 * static_cast<double>(sweepSkippedCycles) /
+          static_cast<double>(sweepTotalCycles);
     return strprintf(
         "sweep: %zu points in %.1fs wall (%u jobs, %.1fs summed "
-        "host time)\n",
-        sweepPoints, sweepWallSeconds, numJobs, sweepHostSeconds);
+        "host time, %.1f%% of simulated cycles skipped)\n",
+        sweepPoints, sweepWallSeconds, numJobs, sweepHostSeconds,
+        skip_pct);
 }
 
 double

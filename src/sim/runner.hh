@@ -120,16 +120,30 @@ class Runner
                        const std::string &tweak_key);
     SimConfig makeConfig(const Point &p) const;
 
+    /**
+     * Record the materialized config's fingerprint for @p key;
+     * panics when the same (workload, scheme, tweak-name) key was
+     * previously seen with a *different* config — i.e. two distinct
+     * tweak closures sharing a name — so a memoized result can never
+     * be served for a config it was not produced by.
+     */
+    void checkFingerprint(const Key &key, const Point &p);
+
     std::uint64_t warmup;
     std::uint64_t measure;
     unsigned numJobs = defaultJobs();
     std::map<Key, SimResults> cache;
     std::vector<Point> pending;
+    /** Config identity behind every memo key ever enqueued or run. */
+    std::map<Key, std::uint64_t> fingerprints;
 
     /** Last-batch bookkeeping for sweepSummary(). */
     std::size_t sweepPoints = 0;
     double sweepWallSeconds = 0.0;
     double sweepHostSeconds = 0.0;
+    /** Idle-skip totals over the batch (simulated cycles). */
+    std::uint64_t sweepSkippedCycles = 0;
+    std::uint64_t sweepTotalCycles = 0;
     /** A sweep ran: run() misses afterwards indicate an incomplete
      *  enqueue mirror in the bench (they de-parallelize silently). */
     bool sweepDone = false;

@@ -1,6 +1,7 @@
 #include "sim/simulator.hh"
 
 #include <chrono>
+#include <cstdlib>
 #include <limits>
 
 #include "common/logging.hh"
@@ -8,6 +9,21 @@
 
 namespace fdip
 {
+
+namespace
+{
+
+/** FDIP_NO_SKIP=1 (anything but "" / "0") forces per-cycle ticking. */
+bool
+envForceTick()
+{
+    const char *env = std::getenv("FDIP_NO_SKIP");
+    if (env == nullptr || env[0] == '\0')
+        return false;
+    return !(env[0] == '0' && env[1] == '\0');
+}
+
+} // namespace
 
 double
 speedupOver(const SimResults &baseline, const SimResults &other)
@@ -93,13 +109,63 @@ Simulator::Simulator(const SimConfig &config)
         pf->setMmu(mmu_.get());
         fetch_->addPrefetcher(pf.get());
     }
+
+    forceTick = cfg.forceTick || envForceTick();
 }
 
 Simulator::~Simulator() = default;
 
 void
+Simulator::skipIdleCycles()
+{
+    // The BPU delivers a prediction every cycle the FTQ has room, so
+    // the frontier only freezes once the FTQ is full.
+    if (!ftq_->full())
+        return;
+
+    // Gather the minimum next-event cycle, cheapest components first;
+    // anything due next cycle ends the attempt immediately.
+    Cycle now = curCycle;
+    Cycle next = fetch_->nextEventCycle(now);
+    auto consider = [&next, now](Cycle ev) {
+        if (ev < next)
+            next = ev;
+        return next > now + 1;
+    };
+    if (next <= now + 1 ||
+        !consider(backend_->nextEventCycle(now)) ||
+        !consider(bpu_->nextEventCycle(now)) ||
+        !consider(ftq_->nextEventCycle(now)) ||
+        !consider(mmu_->nextEventCycle(now)) ||
+        !consider(mem_->nextEventCycle(now))) {
+        return;
+    }
+    for (auto &pf : prefetchers) {
+        if (!consider(pf->nextEventCycle(now)))
+            return;
+    }
+    // kNever across the board is a wedged machine: fall back to
+    // per-cycle ticking so the cycle-cap diagnostics fire exactly as
+    // they would without skipping.
+    if (next == kNever)
+        return;
+
+    // Jump to just before the event; the normal step executes it.
+    Cycle idle = next - now - 1;
+    backend_->chargeIdleCycles(now, idle);
+    fetch_->chargeIdleCycles(now, idle);
+    for (auto &pf : prefetchers)
+        pf->chargeIdleCycles(now, idle);
+    ftq_->sampleOccupancy(idle);
+    curCycle += idle;
+    numSkipped += idle;
+}
+
+void
 Simulator::step()
 {
+    if (!forceTick)
+        skipIdleCycles();
     ++curCycle;
     mem_->tick(curCycle);
     mmu_->tick(curCycle);
@@ -232,6 +298,8 @@ Simulator::run()
         r.hostKcyclesPerSec = static_cast<double>(curCycle) /
             r.hostSeconds / 1000.0;
     }
+    r.skippedCycles = numSkipped;
+    r.totalCycles = curCycle;
     return r;
 }
 

@@ -46,6 +46,15 @@ struct SimResults
     double hostSeconds = 0.0;
     double hostKcyclesPerSec = 0.0;
 
+    /**
+     * Idle-cycle-skipping gauges (whole run, warmup included).
+     * Deterministic for a given config and build, but zero under
+     * SimConfig::forceTick / FDIP_NO_SKIP, so — like the host gauges —
+     * they are excluded from serializeResults() parity comparisons.
+     */
+    Cycle skippedCycles = 0;
+    Cycle totalCycles = 0;
+
     Histogram ftqOccupancy{0};
 
     /** Raw measurement-window counter deltas from every component. */
@@ -70,14 +79,36 @@ class Simulator
     MemHierarchy &mem() { return *mem_; }
     Backend &backend() { return *backend_; }
     Mmu &mmu() { return *mmu_; }
+    FetchEngine &fetchEngine() { return *fetch_; }
+    std::size_t numPrefetchers() const { return prefetchers.size(); }
+    Prefetcher &prefetcher(std::size_t i) { return *prefetchers[i]; }
     const Program &program() const { return *prog; }
     const CodeImage &codeImage() const { return *image; }
     Cycle now() const { return curCycle; }
 
-    /** Advance one cycle (exposed for fine-grained tests). */
+    /** Cycles fast-forwarded by the idle-skip path so far. */
+    Cycle skippedCycles() const { return numSkipped; }
+
+    /** True when this simulator may skip idle cycles (config knob and
+     *  FDIP_NO_SKIP both clear). */
+    bool skippingEnabled() const { return !forceTick; }
+
+    /**
+     * Advance one cycle (exposed for fine-grained tests). When idle
+     * skipping is enabled and the whole machine is quiescent, one
+     * step() jumps curCycle to the next event, charging the skipped
+     * cycles exactly as per-cycle ticking would.
+     */
     void step();
 
   private:
+    /**
+     * The event-driven fast path: when every component is quiescent
+     * and the FTQ cannot accept a prediction, jump curCycle to just
+     * before the minimum next-event cycle, bulk-charging the per-cycle
+     * counters and the occupancy histogram for the skipped range.
+     */
+    void skipIdleCycles();
     void collectAll(StatSet &out) const;
     SimResults finalize(const StatSet &delta, Cycle cycles_delta,
                         std::uint64_t insts_delta) const;
@@ -96,6 +127,9 @@ class Simulator
     std::vector<std::unique_ptr<Prefetcher>> prefetchers;
 
     Cycle curCycle = 0;
+    /** Tick every cycle (config forceTick or FDIP_NO_SKIP=1). */
+    bool forceTick = false;
+    Cycle numSkipped = 0;
 };
 
 } // namespace fdip

@@ -47,6 +47,17 @@ Mmu::tick(Cycle now)
 }
 
 Cycle
+Mmu::nextEventCycle(Cycle now) const
+{
+    Cycle next = kNever;
+    for (const auto &[vpn, walk] : walks) {
+        if (walk.readyAt < next)
+            next = walk.readyAt;
+    }
+    return next <= now ? now + 1 : next;
+}
+
+Cycle
 Mmu::startWalk(Addr vpn, Cycle now, bool fill_tlb, bool &created)
 {
     auto it = walks.find(vpn);

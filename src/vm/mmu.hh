@@ -100,6 +100,13 @@ class Mmu
     void tick(Cycle now);
 
     /**
+     * Quiescence protocol: the earliest in-flight page-walk completion
+     * (walks are the MMU's only self-driven state change); kNever when
+     * no walk is in flight. Never returns a cycle <= @p now.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
+    /**
      * Translate a demand fetch. On an ITLB miss a walk is started (or
      * joined) and @c readyAt reports its completion; the walk always
      * fills the ITLB, so a retry at @c readyAt hits.

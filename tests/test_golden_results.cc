@@ -1,0 +1,113 @@
+/**
+ * Golden-file regression test: full SimResults serializations for a
+ * small fixed (workload x scheme) grid, compared against the baseline
+ * checked in at tests/golden/sim_results.golden. Any change that
+ * shifts *simulated* numbers — cycle counts, stat counters, histogram
+ * bins — fails this test loudly instead of drifting silently.
+ *
+ * If a simulator change is *supposed* to move the numbers, regenerate
+ * the baseline and commit it together with the change:
+ *
+ *     FDIP_UPDATE_GOLDEN=1 ./build/test_golden_results
+ *
+ * The grid runs identically with and without idle-cycle skipping
+ * (enforced by tests/test_tick_skip.cc), so the baseline is valid for
+ * both paths.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "sim/presets.hh"
+#include "sim/report.hh"
+#include "sim/runner.hh"
+
+using namespace fdip;
+
+namespace
+{
+
+const char *kGoldenPath = FDIP_TESTS_DIR "/golden/sim_results.golden";
+
+/** The fixed grid: small/large workloads x representative schemes,
+ *  plus one translated-fetch point to pin the VM subsystem. */
+std::string
+renderGrid()
+{
+    std::string out;
+    for (const char *wl : {"li", "gcc"}) {
+        for (PrefetchScheme scheme : {PrefetchScheme::None,
+                                      PrefetchScheme::FdpRemove,
+                                      PrefetchScheme::StreamBuffer}) {
+            SimConfig cfg = makeBaselineConfig(wl, scheme);
+            cfg.warmupInsts = 10 * 1000;
+            cfg.measureInsts = 40 * 1000;
+            out += "==== " + std::string(wl) + " / " +
+                schemeName(scheme) + " ====\n";
+            out += serializeResults(simulate(cfg));
+        }
+    }
+    SimConfig vm = makeBaselineConfig("gcc", PrefetchScheme::FdpRemove);
+    vm.warmupInsts = 10 * 1000;
+    vm.measureInsts = 40 * 1000;
+    applyVmConfig(vm, TlbPrefetchPolicy::Wait, PageMapKind::Scrambled,
+                  /*itlb_entries=*/16);
+    out += "==== gcc / fdp-remove / vm-wait ====\n";
+    out += serializeResults(simulate(vm));
+    return out;
+}
+
+} // namespace
+
+TEST(GoldenResults, GridMatchesCheckedInBaseline)
+{
+    std::string got = renderGrid();
+
+    const char *update = std::getenv("FDIP_UPDATE_GOLDEN");
+    if (update != nullptr && update[0] != '\0' &&
+        !(update[0] == '0' && update[1] == '\0')) {
+        std::ofstream out(kGoldenPath, std::ios::binary);
+        ASSERT_TRUE(out.good()) << "cannot write " << kGoldenPath;
+        out << got;
+        GTEST_SKIP() << "golden baseline rewritten: " << kGoldenPath;
+    }
+
+    std::ifstream in(kGoldenPath, std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << "missing golden baseline " << kGoldenPath
+        << " — generate it with FDIP_UPDATE_GOLDEN=1";
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string want = buf.str();
+
+    if (got != want) {
+        // Locate the first diverging line for a readable failure.
+        std::istringstream ga(got), wa(want);
+        std::string gl, wl, section;
+        std::size_t line = 0;
+        while (true) {
+            bool g_ok = static_cast<bool>(std::getline(ga, gl));
+            bool w_ok = static_cast<bool>(std::getline(wa, wl));
+            ++line;
+            if (!g_ok && !w_ok)
+                break;
+            if (g_ok && gl.rfind("====", 0) == 0)
+                section = gl;
+            if (!g_ok || !w_ok || gl != wl) {
+                FAIL() << "simulated results drifted from the golden "
+                       << "baseline at line " << line << " (" << section
+                       << ")\n  golden: " << (w_ok ? wl : "<eof>")
+                       << "\n  got:    " << (g_ok ? gl : "<eof>")
+                       << "\nIf intentional, regenerate with "
+                       << "FDIP_UPDATE_GOLDEN=1 and commit the new "
+                       << "baseline.";
+            }
+        }
+    }
+    SUCCEED();
+}

@@ -78,6 +78,89 @@ TEST(Runner, SlashInTweakKeyCannotCollide)
     EXPECT_EQ(&slashy, &r.run("li", PrefetchScheme::None, "cache/64k"));
 }
 
+TEST(Runner, SameKeySameConfigDistinctClosuresAccepted)
+{
+    // Two textually distinct closures that materialize the same config
+    // are the same grid point (the enqueue-mirror/table-loop pattern
+    // every bench uses); the fingerprint must not reject them.
+    Runner r(20 * 1000, 60 * 1000);
+    auto grow = [](SimConfig &cfg) { cfg.mem.l1i.sizeBytes = 64 * 1024; };
+    auto grow2 = [](SimConfig &cfg) { cfg.mem.l1i.sizeBytes = 64 * 1024; };
+    r.enqueue("li", PrefetchScheme::None, "bigcache", grow);
+    r.runPending();
+    const SimResults &a =
+        r.run("li", PrefetchScheme::None, "bigcache", grow2);
+    const SimResults &b =
+        r.run("li", PrefetchScheme::None, "bigcache", grow);
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(r.cachedRuns(), 1u);
+}
+
+TEST(RunnerDeath, StaleConfigServeIsImpossible)
+{
+    // The ROADMAP hazard: the memo key used to ignore the tweak
+    // closure, so a second tweak reusing a key name was silently
+    // served the first tweak's results. The config fingerprint now
+    // makes that fatal, in every order the drift can happen.
+
+    // run() after run() with a drifted tweak under the same key.
+    EXPECT_DEATH(
+        {
+            Runner r(10 * 1000, 20 * 1000);
+            r.run("li", PrefetchScheme::None, "tweaked",
+                  [](SimConfig &cfg) { cfg.ftqEntries = 8; });
+            r.run("li", PrefetchScheme::None, "tweaked",
+                  [](SimConfig &cfg) { cfg.ftqEntries = 16; });
+        },
+        "memo-key collision");
+
+    // enqueue() drifting from an earlier enqueue of the same key.
+    EXPECT_DEATH(
+        {
+            Runner r(10 * 1000, 20 * 1000);
+            r.enqueue("li", PrefetchScheme::None, "tweaked",
+                      [](SimConfig &cfg) { cfg.ftqEntries = 8; });
+            r.enqueue("li", PrefetchScheme::None, "tweaked",
+                      [](SimConfig &cfg) { cfg.ftqEntries = 16; });
+        },
+        "memo-key collision");
+
+    // A tweak reusing the un-tweaked baseline's empty key.
+    EXPECT_DEATH(
+        {
+            Runner r(10 * 1000, 20 * 1000);
+            r.enqueue("li", PrefetchScheme::None);
+            r.enqueue("li", PrefetchScheme::None, "",
+                      [](SimConfig &cfg) { cfg.ftqEntries = 8; });
+        },
+        "memo-key collision");
+
+    // A tweak-less run() under the anonymous "" key claims the
+    // un-tweaked baseline even on a cache hit, so a tweak memoized
+    // under "" must not be served to it silently.
+    EXPECT_DEATH(
+        {
+            Runner r(10 * 1000, 20 * 1000);
+            r.enqueue("li", PrefetchScheme::None, "",
+                      [](SimConfig &cfg) { cfg.ftqEntries = 8; });
+            r.runPending();
+            r.run("li", PrefetchScheme::None);
+        },
+        "memo-key collision");
+
+    // A tweak-less run() that *simulates* under a named key defines
+    // that key as the un-tweaked config; a later tweaked claim on the
+    // same name must not be served the memoized baseline.
+    EXPECT_DEATH(
+        {
+            Runner r(10 * 1000, 20 * 1000);
+            r.run("li", PrefetchScheme::None, "tweaked");
+            r.run("li", PrefetchScheme::None, "tweaked",
+                  [](SimConfig &cfg) { cfg.mem.dramLatency = 400; });
+        },
+        "memo-key collision");
+}
+
 TEST(Runner, JobsConfiguration)
 {
     EXPECT_GE(Runner::defaultJobs(), 1u);
