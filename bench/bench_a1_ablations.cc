@@ -11,23 +11,35 @@
  */
 
 #include "bench_util.hh"
+#include "sim/experiment.hh"
 
 using namespace fdip;
 using namespace fdip::bench;
 
-int
-main(int argc, char **argv)
+namespace
 {
-    print(experimentBanner(
-        "R-A1", "design ablations (FDP remove-CPF unless noted)",
-        "buffer fills save bandwidth vs direct L1 fills; letting "
-        "prefetches queue on the bus trades bandwidth for timeliness "
-        "(it can help when, as here, no data traffic shares the bus — "
-        "the paper's demand-priority argument assumes a shared bus); "
-        "oracle bounds all"));
 
-    Runner runner = makeRunner(argc, argv, kSweepWarmup, kSweepMeasure);
+void
+l1fillTweak(SimConfig &c)
+{
+    c.fdp.fillIntoL1 = true;
+}
 
+void
+busqTweak(SimConfig &c)
+{
+    c.mem.prefetchMayQueueOnBus = true;
+}
+
+void
+onePortTweak(SimConfig &c)
+{
+    c.mem.l1TagPorts = 1;
+}
+
+void
+render(Runner &runner)
+{
     // (a) + (b) + (d): per-workload gmean table.
     AsciiTable t({"variant", "gmean speedup", "mean L2-bus util"});
 
@@ -43,32 +55,14 @@ main(int argc, char **argv)
         {"FDP -> prefetch buffer (default)", PrefetchScheme::FdpRemove,
          nullptr, ""},
         {"FDP -> straight into L1-I", PrefetchScheme::FdpRemove,
-         [](SimConfig &c) { c.fdp.fillIntoL1 = true; }, "l1fill"},
+         l1fillTweak, "l1fill"},
         {"FDP, prefetch may queue on bus", PrefetchScheme::FdpRemove,
-         [](SimConfig &c) { c.mem.prefetchMayQueueOnBus = true; },
-         "busq"},
+         busqTweak, "busq"},
         {"FDP no-filter, may queue on bus", PrefetchScheme::FdpNone,
-         [](SimConfig &c) { c.mem.prefetchMayQueueOnBus = true; },
-         "busq"},
+         busqTweak, "busq"},
         {"oracle (perfect addresses)", PrefetchScheme::Oracle,
          nullptr, ""},
     };
-
-    for (const auto &v : variants) {
-        for (const auto &name : largeFootprintNames())
-            runner.enqueueSpeedup(name, v.scheme, v.key, v.tweak);
-    }
-    for (auto scheme : {PrefetchScheme::FdpEnqueue,
-                        PrefetchScheme::FdpEnqueueAggressive}) {
-        for (const auto &name : largeFootprintNames()) {
-            runner.enqueueSpeedup(name, scheme, "1port",
-                                  [](SimConfig &c) {
-                                      c.mem.l1TagPorts = 1;
-                                  });
-        }
-    }
-    runner.runPending();
-    print(runner.sweepSummary());
 
     for (const auto &v : variants) {
         std::vector<double> speedups, utils;
@@ -96,11 +90,49 @@ main(int argc, char **argv)
         std::vector<double> speedups;
         for (const auto &name : largeFootprintNames()) {
             speedups.push_back(runner.speedup(
-                name, scheme, "1port",
-                [](SimConfig &c) { c.mem.l1TagPorts = 1; }));
+                name, scheme, "1port", onePortTweak));
         }
         p.addRow({label, AsciiTable::pct(gmeanSpeedup(speedups))});
     }
     print(p.render());
-    return 0;
 }
+
+ExperimentSpec
+makeSpec()
+{
+    ExperimentSpec s;
+    s.id = "R-A1";
+    s.binary = "bench_a1_ablations";
+    s.title = "design ablations (FDP remove-CPF unless noted)";
+    s.shape =
+        "buffer fills save bandwidth vs direct L1 fills; letting "
+        "prefetches queue on the bus trades bandwidth for timeliness "
+        "(it can help when, as here, no data traffic shares the bus — "
+        "the paper's demand-priority argument assumes a shared bus); "
+        "oracle bounds all";
+    s.paperRef = "DESIGN.md sec. 6 ablations + oracle bound "
+                 "(not a paper figure)";
+    s.warmup = kSweepWarmup;
+    s.measure = kSweepMeasure;
+    s.grids = {
+        {largeFootprintNames(), {PrefetchScheme::FdpRemove},
+         {{"", "prefetch buffer, idle-bus transfers (default)",
+           nullptr},
+          {"l1fill", "fill straight into L1-I", l1fillTweak},
+          {"busq", "prefetch may queue on the bus", busqTweak}},
+         true},
+        {largeFootprintNames(), {PrefetchScheme::FdpNone},
+         {{"busq", "prefetch may queue on the bus", busqTweak}}, true},
+        {largeFootprintNames(), {PrefetchScheme::Oracle}, {}, true},
+        {largeFootprintNames(),
+         {PrefetchScheme::FdpEnqueue,
+          PrefetchScheme::FdpEnqueueAggressive},
+         {{"1port", "single L1-I tag port", onePortTweak}}, true},
+    };
+    s.render = render;
+    return s;
+}
+
+FDIP_REGISTER_EXPERIMENT(makeSpec);
+
+} // namespace

@@ -5,44 +5,53 @@
  */
 
 #include "bench_util.hh"
+#include "sim/experiment.hh"
 
 using namespace fdip;
 using namespace fdip::bench;
 
-int
-main(int argc, char **argv)
+namespace
 {
-    print(experimentBanner(
-        "R-A2", "L1-I replacement policy x {baseline, FDP remove}",
-        "LRU is the best baseline; FDP's relative gain is largely "
-        "policy-insensitive because it attacks compulsory/capacity "
-        "misses ahead of time"));
 
-    Runner runner = makeRunner(argc, argv, kSweepWarmup, kSweepMeasure);
+constexpr ReplPolicy kPolicies[] = {ReplPolicy::Lru, ReplPolicy::Fifo,
+                                    ReplPolicy::Random};
 
-    for (auto policy : {ReplPolicy::Lru, ReplPolicy::Fifo,
-                        ReplPolicy::Random}) {
-        for (const auto &name : largeFootprintNames()) {
-            runner.enqueueSpeedup(
-                name, PrefetchScheme::FdpRemove,
-                std::string("repl-") + replPolicyName(policy),
-                [policy](SimConfig &cfg) {
-                    cfg.mem.l1i.repl = policy;
-                });
-        }
+Runner::Tweak
+replTweak(ReplPolicy policy)
+{
+    return [policy](SimConfig &cfg) {
+        cfg.mem.l1i.repl = policy;
+    };
+}
+
+std::string
+replKey(ReplPolicy policy)
+{
+    return std::string("repl-") + replPolicyName(policy);
+}
+
+std::vector<TweakVariant>
+replVariants()
+{
+    std::vector<TweakVariant> out;
+    for (ReplPolicy policy : kPolicies) {
+        out.push_back({replKey(policy),
+                       std::string(replPolicyName(policy)) +
+                           " L1-I replacement",
+                       replTweak(policy)});
     }
-    runner.runPending();
-    print(runner.sweepSummary());
+    return out;
+}
 
+void
+render(Runner &runner)
+{
     AsciiTable t({"policy", "gmean base IPC", "mean base MPKI",
                   "gmean FDP speedup"});
 
-    for (auto policy : {ReplPolicy::Lru, ReplPolicy::Fifo,
-                        ReplPolicy::Random}) {
-        auto tweak = [policy](SimConfig &cfg) {
-            cfg.mem.l1i.repl = policy;
-        };
-        std::string key = std::string("repl-") + replPolicyName(policy);
+    for (ReplPolicy policy : kPolicies) {
+        auto tweak = replTweak(policy);
+        std::string key = replKey(policy);
         std::vector<double> ipcs, mpkis, speedups;
         for (const auto &name : largeFootprintNames()) {
             const SimResults &base = runner.run(
@@ -62,5 +71,28 @@ main(int argc, char **argv)
     }
 
     print(t.render());
-    return 0;
 }
+
+ExperimentSpec
+makeSpec()
+{
+    ExperimentSpec s;
+    s.id = "R-A2";
+    s.binary = "bench_a2_replacement";
+    s.title = "L1-I replacement policy x {baseline, FDP remove}";
+    s.shape =
+        "LRU is the best baseline; FDP's relative gain is largely "
+        "policy-insensitive because it attacks compulsory/capacity "
+        "misses ahead of time";
+    s.paperRef = "replacement-policy ablation (not a paper figure)";
+    s.warmup = kSweepWarmup;
+    s.measure = kSweepMeasure;
+    s.grids = {{largeFootprintNames(), {PrefetchScheme::FdpRemove},
+                replVariants(), true}};
+    s.render = render;
+    return s;
+}
+
+FDIP_REGISTER_EXPERIMENT(makeSpec);
+
+} // namespace

@@ -6,56 +6,85 @@
  */
 
 #include "bench_util.hh"
+#include "sim/experiment.hh"
 
 using namespace fdip;
 using namespace fdip::bench;
 
-int
-main(int argc, char **argv)
+namespace
 {
-    print(experimentBanner(
-        "R-A3", "direction predictor x {baseline, FDP remove}",
-        "better prediction -> fewer wrong-path fetches -> higher "
-        "baseline IPC and better FDP candidate quality; the hybrid "
-        "matches or beats its components"));
 
-    Runner runner = makeRunner(argc, argv, kSweepWarmup, kSweepMeasure);
+constexpr PredictorKind kPredictors[] = {
+    PredictorKind::Bimodal, PredictorKind::Gshare,
+    PredictorKind::Local2Level, PredictorKind::Hybrid};
 
-    for (auto kind : {PredictorKind::Bimodal, PredictorKind::Gshare,
-                      PredictorKind::Local2Level,
-                      PredictorKind::Hybrid}) {
-        for (const auto &name : largeFootprintNames()) {
-            runner.enqueueSpeedup(
-                name, PrefetchScheme::FdpRemove,
-                std::string("pred-") + predictorKindName(kind),
-                [kind](SimConfig &cfg) {
-                    cfg.bpu.predictor = kind;
-                });
-        }
+constexpr unsigned kVictimEntries[] = {0u, 16u};
+
+Runner::Tweak
+predTweak(PredictorKind kind)
+{
+    return [kind](SimConfig &cfg) {
+        cfg.bpu.predictor = kind;
+    };
+}
+
+std::string
+predKey(PredictorKind kind)
+{
+    return std::string("pred-") + predictorKindName(kind);
+}
+
+Runner::Tweak
+vcTweak(unsigned entries)
+{
+    return [entries](SimConfig &cfg) {
+        cfg.mem.victimCacheEntries = entries;
+    };
+}
+
+std::string
+vcKey(unsigned entries)
+{
+    return "vc" + std::to_string(entries);
+}
+
+std::vector<TweakVariant>
+predVariants()
+{
+    std::vector<TweakVariant> out;
+    for (PredictorKind kind : kPredictors) {
+        out.push_back({predKey(kind),
+                       std::string(predictorKindName(kind)) +
+                           " direction predictor",
+                       predTweak(kind)});
     }
-    for (unsigned entries : {0u, 16u}) {
-        for (const auto &name : largeFootprintNames()) {
-            runner.enqueueSpeedup(
-                name, PrefetchScheme::FdpRemove,
-                "vc" + std::to_string(entries),
-                [entries](SimConfig &cfg) {
-                    cfg.mem.victimCacheEntries = entries;
-                });
-        }
-    }
-    runner.runPending();
-    print(runner.sweepSummary());
+    return out;
+}
 
+std::vector<TweakVariant>
+vcVariants()
+{
+    std::vector<TweakVariant> out;
+    for (unsigned entries : kVictimEntries) {
+        out.push_back({vcKey(entries),
+                       entries == 0
+                           ? std::string("no victim cache")
+                           : strprintf("%u-entry victim cache",
+                                       entries),
+                       vcTweak(entries)});
+    }
+    return out;
+}
+
+void
+render(Runner &runner)
+{
     AsciiTable t({"predictor", "gmean base IPC", "cond misp/KI",
                   "gmean FDP speedup"});
 
-    for (auto kind : {PredictorKind::Bimodal, PredictorKind::Gshare,
-                      PredictorKind::Local2Level,
-                      PredictorKind::Hybrid}) {
-        auto tweak = [kind](SimConfig &cfg) {
-            cfg.bpu.predictor = kind;
-        };
-        std::string key = std::string("pred-") + predictorKindName(kind);
+    for (PredictorKind kind : kPredictors) {
+        auto tweak = predTweak(kind);
+        std::string key = predKey(kind);
         std::vector<double> ipcs, misps, speedups;
         for (const auto &name : largeFootprintNames()) {
             const SimResults &base = runner.run(
@@ -82,10 +111,8 @@ main(int argc, char **argv)
          {std::pair<const char *, unsigned>{"no victim cache", 0u},
           std::pair<const char *, unsigned>{"16-entry victim cache",
                                             16u}}) {
-        auto tweak = [entries](SimConfig &cfg) {
-            cfg.mem.victimCacheEntries = entries;
-        };
-        std::string key = "vc" + std::to_string(entries);
+        auto tweak = vcTweak(entries);
+        std::string key = vcKey(entries);
         std::vector<double> ipcs, speedups;
         for (const auto &name : largeFootprintNames()) {
             const SimResults &base = runner.run(
@@ -102,5 +129,33 @@ main(int argc, char **argv)
                   AsciiTable::pct(gmeanSpeedup(speedups))});
     }
     print(v.render());
-    return 0;
 }
+
+ExperimentSpec
+makeSpec()
+{
+    ExperimentSpec s;
+    s.id = "R-A3";
+    s.binary = "bench_a3_predictors";
+    s.title = "direction predictor x {baseline, FDP remove}";
+    s.shape =
+        "better prediction -> fewer wrong-path fetches -> higher "
+        "baseline IPC and better FDP candidate quality; the hybrid "
+        "matches or beats its components";
+    s.paperRef = "direction-predictor + victim-cache ablation "
+                 "(not a paper figure)";
+    s.warmup = kSweepWarmup;
+    s.measure = kSweepMeasure;
+    s.grids = {
+        {largeFootprintNames(), {PrefetchScheme::FdpRemove},
+         predVariants(), true},
+        {largeFootprintNames(), {PrefetchScheme::FdpRemove},
+         vcVariants(), true},
+    };
+    s.render = render;
+    return s;
+}
+
+FDIP_REGISTER_EXPERIMENT(makeSpec);
+
+} // namespace

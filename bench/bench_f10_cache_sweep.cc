@@ -5,40 +5,50 @@
  */
 
 #include "bench_util.hh"
+#include "sim/experiment.hh"
 
 using namespace fdip;
 using namespace fdip::bench;
 
-int
-main(int argc, char **argv)
+namespace
 {
-    print(experimentBanner(
-        "R-F10", "L1-I capacity sweep (8..64KB) x {none, FDP remove}",
-        "baseline MPKI and FDP's speedup both collapse as the cache "
-        "approaches the working-set size"));
 
-    Runner runner = makeRunner(argc, argv, kSweepWarmup, kSweepMeasure);
+constexpr unsigned kL1SizesKB[] = {8u, 16u, 32u, 64u};
 
-    for (unsigned kb : {8u, 16u, 32u, 64u}) {
-        for (const auto &name : allWorkloadNames()) {
-            runner.enqueueSpeedup(
-                name, PrefetchScheme::FdpRemove,
-                "l1i" + std::to_string(kb), [kb](SimConfig &cfg) {
-                    cfg.mem.l1i.sizeBytes = std::uint64_t(kb) * 1024;
-                });
-        }
+Runner::Tweak
+l1iTweak(unsigned kb)
+{
+    return [kb](SimConfig &cfg) {
+        cfg.mem.l1i.sizeBytes = std::uint64_t(kb) * 1024;
+    };
+}
+
+std::string
+l1iKey(unsigned kb)
+{
+    return "l1i" + std::to_string(kb);
+}
+
+std::vector<TweakVariant>
+l1iVariants()
+{
+    std::vector<TweakVariant> out;
+    for (unsigned kb : kL1SizesKB) {
+        out.push_back({l1iKey(kb), strprintf("%uKB L1-I", kb),
+                       l1iTweak(kb)});
     }
-    runner.runPending();
-    print(runner.sweepSummary());
+    return out;
+}
 
+void
+render(Runner &runner)
+{
     AsciiTable t({"L1-I KB", "gmean base IPC", "mean base MPKI",
                   "gmean FDP speedup"});
 
-    for (unsigned kb : {8u, 16u, 32u, 64u}) {
-        auto tweak = [kb](SimConfig &cfg) {
-            cfg.mem.l1i.sizeBytes = std::uint64_t(kb) * 1024;
-        };
-        std::string key = "l1i" + std::to_string(kb);
+    for (unsigned kb : kL1SizesKB) {
+        auto tweak = l1iTweak(kb);
+        std::string key = l1iKey(kb);
         std::vector<double> ipcs, mpkis, speedups;
         for (const auto &name : allWorkloadNames()) {
             const SimResults &base = runner.run(
@@ -59,5 +69,27 @@ main(int argc, char **argv)
     }
 
     print(t.render());
-    return 0;
 }
+
+ExperimentSpec
+makeSpec()
+{
+    ExperimentSpec s;
+    s.id = "R-F10";
+    s.binary = "bench_f10_cache_sweep";
+    s.title = "L1-I capacity sweep (8..64KB) x {none, FDP remove}";
+    s.shape =
+        "baseline MPKI and FDP's speedup both collapse as the cache "
+        "approaches the working-set size";
+    s.paperRef = "MICRO-32, Fig. 10 (L1-I capacity sensitivity)";
+    s.warmup = kSweepWarmup;
+    s.measure = kSweepMeasure;
+    s.grids = {{allWorkloadNames(), {PrefetchScheme::FdpRemove},
+                l1iVariants(), true}};
+    s.render = render;
+    return s;
+}
+
+FDIP_REGISTER_EXPERIMENT(makeSpec);
+
+} // namespace

@@ -5,47 +5,62 @@
  */
 
 #include "bench_util.hh"
+#include "sim/experiment.hh"
 
 using namespace fdip;
 using namespace fdip::bench;
 
-int
-main(int argc, char **argv)
+namespace
 {
-    print(experimentBanner(
-        "R-F11", "memory latency sweep (FDP remove-CPF, large set)",
-        "FDP's gmean speedup grows monotonically with miss latency"));
 
-    Runner runner = makeRunner(argc, argv, kSweepWarmup, kSweepMeasure);
+struct LatencyPoint
+{
+    Cycle l2;
+    Cycle dram;
+};
 
-    {
-        struct Point { Cycle l2; Cycle dram; };
-        for (Point p : {Point{6, 35}, Point{12, 70}, Point{24, 140},
-                        Point{48, 280}}) {
-            for (const auto &name : largeFootprintNames()) {
-                runner.enqueueSpeedup(
-                    name, PrefetchScheme::FdpRemove,
-                    "lat" + std::to_string(p.l2), [p](SimConfig &cfg) {
-                        cfg.mem.l2HitLatency = p.l2;
-                        cfg.mem.dramLatency = p.dram;
-                    });
-            }
-        }
-        runner.runPending();
-    print(runner.sweepSummary());
+constexpr LatencyPoint kLatencies[] = {
+    {6, 35}, {12, 70}, {24, 140}, {48, 280}};
+
+Runner::Tweak
+latTweak(LatencyPoint p)
+{
+    return [p](SimConfig &cfg) {
+        cfg.mem.l2HitLatency = p.l2;
+        cfg.mem.dramLatency = p.dram;
+    };
+}
+
+std::string
+latKey(LatencyPoint p)
+{
+    return "lat" + std::to_string(p.l2);
+}
+
+std::vector<TweakVariant>
+latVariants()
+{
+    std::vector<TweakVariant> out;
+    for (LatencyPoint p : kLatencies) {
+        out.push_back({latKey(p),
+                       strprintf("L2 %llu / DRAM %llu cycles",
+                                 static_cast<unsigned long long>(p.l2),
+                                 static_cast<unsigned long long>(
+                                     p.dram)),
+                       latTweak(p)});
     }
+    return out;
+}
 
+void
+render(Runner &runner)
+{
     AsciiTable t({"L2 lat", "DRAM lat", "gmean base IPC",
                   "gmean FDP speedup"});
 
-    struct Point { Cycle l2; Cycle dram; };
-    for (Point p : {Point{6, 35}, Point{12, 70}, Point{24, 140},
-                    Point{48, 280}}) {
-        auto tweak = [p](SimConfig &cfg) {
-            cfg.mem.l2HitLatency = p.l2;
-            cfg.mem.dramLatency = p.dram;
-        };
-        std::string key = "lat" + std::to_string(p.l2);
+    for (LatencyPoint p : kLatencies) {
+        auto tweak = latTweak(p);
+        std::string key = latKey(p);
         std::vector<double> ipcs, speedups;
         for (const auto &name : largeFootprintNames()) {
             const SimResults &base = runner.run(
@@ -64,5 +79,26 @@ main(int argc, char **argv)
     }
 
     print(t.render());
-    return 0;
 }
+
+ExperimentSpec
+makeSpec()
+{
+    ExperimentSpec s;
+    s.id = "R-F11";
+    s.binary = "bench_f11_latency_sweep";
+    s.title = "memory latency sweep (FDP remove-CPF, large set)";
+    s.shape =
+        "FDP's gmean speedup grows monotonically with miss latency";
+    s.paperRef = "MICRO-32, Fig. 11 (memory latency sensitivity)";
+    s.warmup = kSweepWarmup;
+    s.measure = kSweepMeasure;
+    s.grids = {{largeFootprintNames(), {PrefetchScheme::FdpRemove},
+                latVariants(), true}};
+    s.render = render;
+    return s;
+}
+
+FDIP_REGISTER_EXPERIMENT(makeSpec);
+
+} // namespace

@@ -4,45 +4,51 @@
  */
 
 #include "bench_util.hh"
+#include "sim/experiment.hh"
 
 using namespace fdip;
 using namespace fdip::bench;
 
-int
-main(int argc, char **argv)
+namespace
 {
-    print(experimentBanner(
-        "R-F12", "CPF tag-port sweep (enqueue and remove vs ideal)",
-        "with a single port (fully consumed by demand fetch) the "
-        "realistic variants degrade; two ports recover nearly all of "
-        "ideal CPF's benefit"));
 
-    Runner runner = makeRunner(argc, argv, kSweepWarmup, kSweepMeasure);
+constexpr unsigned kPortCounts[] = {1u, 2u, 3u, 4u};
 
-    for (unsigned ports : {1u, 2u, 3u, 4u}) {
-        for (const auto &name : largeFootprintNames()) {
-            for (auto scheme :
-                 {PrefetchScheme::FdpEnqueue, PrefetchScheme::FdpRemove,
-                  PrefetchScheme::FdpIdeal}) {
-                runner.enqueueSpeedup(
-                    name, scheme, "ports" + std::to_string(ports),
-                    [ports](SimConfig &cfg) {
-                        cfg.mem.l1TagPorts = ports;
-                    });
-            }
-        }
+Runner::Tweak
+portTweak(unsigned ports)
+{
+    return [ports](SimConfig &cfg) {
+        cfg.mem.l1TagPorts = ports;
+    };
+}
+
+std::string
+portKey(unsigned ports)
+{
+    return "ports" + std::to_string(ports);
+}
+
+std::vector<TweakVariant>
+portVariants()
+{
+    std::vector<TweakVariant> out;
+    for (unsigned ports : kPortCounts) {
+        out.push_back({portKey(ports),
+                       strprintf("%u L1-I tag ports", ports),
+                       portTweak(ports)});
     }
-    runner.runPending();
-    print(runner.sweepSummary());
+    return out;
+}
 
+void
+render(Runner &runner)
+{
     AsciiTable t({"tag ports", "FDP enqueue", "FDP remove",
                   "FDP ideal"});
 
-    for (unsigned ports : {1u, 2u, 3u, 4u}) {
-        auto tweak = [ports](SimConfig &cfg) {
-            cfg.mem.l1TagPorts = ports;
-        };
-        std::string key = "ports" + std::to_string(ports);
+    for (unsigned ports : kPortCounts) {
+        auto tweak = portTweak(ports);
+        std::string key = portKey(ports);
         std::vector<double> enq, rem, ideal;
         for (const auto &name : largeFootprintNames()) {
             enq.push_back(runner.speedup(
@@ -59,5 +65,30 @@ main(int argc, char **argv)
     }
 
     print(t.render());
-    return 0;
 }
+
+ExperimentSpec
+makeSpec()
+{
+    ExperimentSpec s;
+    s.id = "R-F12";
+    s.binary = "bench_f12_port_sweep";
+    s.title = "CPF tag-port sweep (enqueue and remove vs ideal)";
+    s.shape =
+        "with a single port (fully consumed by demand fetch) the "
+        "realistic variants degrade; two ports recover nearly all of "
+        "ideal CPF's benefit";
+    s.paperRef = "MICRO-32, Fig. 12 (CPF tag-port sensitivity)";
+    s.warmup = kSweepWarmup;
+    s.measure = kSweepMeasure;
+    s.grids = {{largeFootprintNames(),
+                {PrefetchScheme::FdpEnqueue, PrefetchScheme::FdpRemove,
+                 PrefetchScheme::FdpIdeal},
+                portVariants(), true}};
+    s.render = render;
+    return s;
+}
+
+FDIP_REGISTER_EXPERIMENT(makeSpec);
+
+} // namespace

@@ -5,26 +5,17 @@
  */
 
 #include "bench_util.hh"
+#include "sim/experiment.hh"
 
 using namespace fdip;
 using namespace fdip::bench;
 
-int
-main(int argc, char **argv)
+namespace
 {
-    print(experimentBanner(
-        "R-F2", "FTQ occupancy distribution (32-entry FTQ, no prefetch)",
-        "the FTQ is rarely empty; occupancy piles up high whenever the "
-        "fetch engine stalls on L1-I misses, i.e. on large-footprint "
-        "workloads"));
 
-    Runner runner = makeRunner(argc, argv, kWarmup, kMeasure);
-
-    for (const auto &name : allWorkloadNames())
-        runner.enqueue(name, PrefetchScheme::None);
-    runner.runPending();
-    print(runner.sweepSummary());
-
+void
+render(Runner &runner)
+{
     AsciiTable t({"workload", "mean occ", "% empty", "% full",
                   "p50", "p90"});
 
@@ -44,5 +35,28 @@ main(int argc, char **argv)
     // One full rendered distribution for a representative workload.
     const SimResults &gcc = runner.run("gcc", PrefetchScheme::None);
     print("\n" + gcc.ftqOccupancy.render("gcc FTQ occupancy"));
-    return 0;
 }
+
+ExperimentSpec
+makeSpec()
+{
+    ExperimentSpec s;
+    s.id = "R-F2";
+    s.binary = "bench_f2_ftq_occupancy";
+    s.title = "FTQ occupancy distribution (32-entry FTQ, no prefetch)";
+    s.shape =
+        "the FTQ is rarely empty; occupancy piles up high whenever the "
+        "fetch engine stalls on L1-I misses, i.e. on large-footprint "
+        "workloads";
+    s.paperRef = "MICRO-32, Fig. 2 (FTQ occupancy)";
+    s.warmup = kWarmup;
+    s.measure = kMeasure;
+    s.grids = {{allWorkloadNames(), {PrefetchScheme::None}, {},
+                /*withBaseline=*/false}};
+    s.render = render;
+    return s;
+}
+
+FDIP_REGISTER_EXPERIMENT(makeSpec);
+
+} // namespace

@@ -5,56 +5,62 @@
  */
 
 #include "bench_util.hh"
+#include "sim/experiment.hh"
 
 using namespace fdip;
 using namespace fdip::bench;
 
-int
-main(int argc, char **argv)
+namespace
 {
-    print(experimentBanner(
-        "R-F4", "NLP and stream-buffer speedup over no-prefetch",
-        "both help on large-footprint workloads; more stream buffers "
-        "help up to a point; neither approaches FDP (see R-F5)"));
 
-    Runner runner = makeRunner(argc, argv, kWarmup, kMeasure);
+constexpr unsigned kBufferCounts[] = {1u, 2u, 4u, 8u};
 
-    for (const auto &name : allWorkloadNames()) {
-        runner.enqueueSpeedup(name, PrefetchScheme::Nlp);
-        for (unsigned n : {1u, 2u, 4u, 8u}) {
-            runner.enqueueSpeedup(
-                name, PrefetchScheme::StreamBuffer,
-                "sb" + std::to_string(n), [n](SimConfig &cfg) {
-                    cfg.sb.numBuffers = n;
-                    cfg.sb.allocationFilter = false;
-                });
-        }
+Runner::Tweak
+sbTweak(unsigned n)
+{
+    return [n](SimConfig &cfg) {
+        cfg.sb.numBuffers = n;
+        cfg.sb.allocationFilter = false;
+    };
+}
+
+std::string
+sbKey(unsigned n)
+{
+    return "sb" + std::to_string(n);
+}
+
+std::vector<TweakVariant>
+sbVariants()
+{
+    std::vector<TweakVariant> out;
+    for (unsigned n : kBufferCounts) {
+        out.push_back({sbKey(n),
+                       strprintf("%u stream buffers, no allocation "
+                                 "filter", n),
+                       sbTweak(n)});
     }
-    runner.runPending();
-    print(runner.sweepSummary());
+    return out;
+}
 
+void
+render(Runner &runner)
+{
     AsciiTable t({"workload", "NLP", "SB x1", "SB x2", "SB x4",
                   "SB x8"});
 
     std::vector<double> nlp_s, sb1_s, sb2_s, sb4_s, sb8_s;
 
-    auto sb_tweak = [](unsigned n) {
-        return [n](SimConfig &cfg) {
-            cfg.sb.numBuffers = n;
-            cfg.sb.allocationFilter = false;
-        };
-    };
-
     for (const auto &name : allWorkloadNames()) {
         double nlp = runner.speedup(name, PrefetchScheme::Nlp);
         double sb1 = runner.speedup(name, PrefetchScheme::StreamBuffer,
-                                    "sb1", sb_tweak(1));
+                                    sbKey(1), sbTweak(1));
         double sb2 = runner.speedup(name, PrefetchScheme::StreamBuffer,
-                                    "sb2", sb_tweak(2));
+                                    sbKey(2), sbTweak(2));
         double sb4 = runner.speedup(name, PrefetchScheme::StreamBuffer,
-                                    "sb4", sb_tweak(4));
+                                    sbKey(4), sbTweak(4));
         double sb8 = runner.speedup(name, PrefetchScheme::StreamBuffer,
-                                    "sb8", sb_tweak(8));
+                                    sbKey(8), sbTweak(8));
         nlp_s.push_back(nlp);
         sb1_s.push_back(sb1);
         sb2_s.push_back(sb2);
@@ -71,5 +77,30 @@ main(int argc, char **argv)
               AsciiTable::pct(gmeanSpeedup(sb4_s)),
               AsciiTable::pct(gmeanSpeedup(sb8_s))});
     print(t.render());
-    return 0;
 }
+
+ExperimentSpec
+makeSpec()
+{
+    ExperimentSpec s;
+    s.id = "R-F4";
+    s.binary = "bench_f4_nlp_sb";
+    s.title = "NLP and stream-buffer speedup over no-prefetch";
+    s.shape =
+        "both help on large-footprint workloads; more stream buffers "
+        "help up to a point; neither approaches FDP (see R-F5)";
+    s.paperRef = "MICRO-32, Fig. 4 (non-FDP prefetcher speedups)";
+    s.warmup = kWarmup;
+    s.measure = kMeasure;
+    s.grids = {
+        {allWorkloadNames(), {PrefetchScheme::Nlp}, {}, true},
+        {allWorkloadNames(), {PrefetchScheme::StreamBuffer},
+         sbVariants(), true},
+    };
+    s.render = render;
+    return s;
+}
+
+FDIP_REGISTER_EXPERIMENT(makeSpec);
+
+} // namespace

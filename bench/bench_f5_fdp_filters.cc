@@ -5,28 +5,17 @@
  */
 
 #include "bench_util.hh"
+#include "sim/experiment.hh"
 
 using namespace fdip;
 using namespace fdip::bench;
 
-int
-main(int argc, char **argv)
+namespace
 {
-    print(experimentBanner(
-        "R-F5", "FDP speedup by CPF variant vs NLP",
-        "every FDP variant beats NLP; CPF variants match or beat "
-        "no-filter FDP while using far less bus bandwidth (see R-F6); "
-        "remove-CPF is the best realistic variant"));
 
-    Runner runner = makeRunner(argc, argv, kWarmup, kMeasure);
-
-    enqueueGrid(runner, allWorkloadNames(),
-                {PrefetchScheme::Nlp, PrefetchScheme::FdpNone,
-                 PrefetchScheme::FdpEnqueue, PrefetchScheme::FdpRemove,
-                 PrefetchScheme::FdpIdeal});
-    runner.runPending();
-    print(runner.sweepSummary());
-
+void
+render(Runner &runner)
+{
     AsciiTable t({"workload", "NLP", "FDP nofilter", "FDP enqueue",
                   "FDP remove", "FDP ideal"});
 
@@ -50,5 +39,31 @@ main(int argc, char **argv)
         row.push_back(AsciiTable::pct(gmeanSpeedup(cols[i])));
     t.addRow(row);
     print(t.render());
-    return 0;
 }
+
+ExperimentSpec
+makeSpec()
+{
+    ExperimentSpec s;
+    s.id = "R-F5";
+    s.binary = "bench_f5_fdp_filters";
+    s.title = "FDP speedup by CPF variant vs NLP";
+    s.shape =
+        "every FDP variant beats NLP; CPF variants match or beat "
+        "no-filter FDP while using far less bus bandwidth (see R-F6); "
+        "remove-CPF is the best realistic variant";
+    s.paperRef = "MICRO-32, Fig. 5 (FDP speedup by CPF variant)";
+    s.warmup = kWarmup;
+    s.measure = kMeasure;
+    s.grids = {{allWorkloadNames(),
+                {PrefetchScheme::Nlp, PrefetchScheme::FdpNone,
+                 PrefetchScheme::FdpEnqueue, PrefetchScheme::FdpRemove,
+                 PrefetchScheme::FdpIdeal},
+                {}, true}};
+    s.render = render;
+    return s;
+}
+
+FDIP_REGISTER_EXPERIMENT(makeSpec);
+
+} // namespace

@@ -5,40 +5,30 @@
  */
 
 #include "bench_util.hh"
+#include "sim/experiment.hh"
 
 using namespace fdip;
 using namespace fdip::bench;
 
-int
-main(int argc, char **argv)
+namespace
 {
-    print(experimentBanner(
-        "R-F6", "L2-bus utilization per scheme",
-        "no-filter FDP burns by far the most bandwidth; CPF variants "
-        "cut it to near the filtered-prefetcher level; the no-prefetch "
-        "baseline is the floor"));
 
-    Runner runner = makeRunner(argc, argv, kWarmup, kMeasure);
+std::vector<PrefetchScheme>
+f6Schemes()
+{
+    return {PrefetchScheme::None, PrefetchScheme::Nlp,
+            PrefetchScheme::StreamBuffer, PrefetchScheme::FdpNone,
+            PrefetchScheme::FdpEnqueue, PrefetchScheme::FdpRemove,
+            PrefetchScheme::FdpIdeal};
+}
 
-    for (const auto &name : allWorkloadNames()) {
-        for (auto scheme :
-             {PrefetchScheme::None, PrefetchScheme::Nlp,
-              PrefetchScheme::StreamBuffer, PrefetchScheme::FdpNone,
-              PrefetchScheme::FdpEnqueue, PrefetchScheme::FdpRemove,
-              PrefetchScheme::FdpIdeal})
-            runner.enqueue(name, scheme);
-    }
-    runner.runPending();
-    print(runner.sweepSummary());
-
+void
+render(Runner &runner)
+{
     AsciiTable t({"workload", "none", "NLP", "SB", "FDP nofil",
                   "FDP enq", "FDP rem", "FDP ideal"});
 
-    std::vector<PrefetchScheme> schemes = {
-        PrefetchScheme::None, PrefetchScheme::Nlp,
-        PrefetchScheme::StreamBuffer, PrefetchScheme::FdpNone,
-        PrefetchScheme::FdpEnqueue, PrefetchScheme::FdpRemove,
-        PrefetchScheme::FdpIdeal};
+    std::vector<PrefetchScheme> schemes = f6Schemes();
 
     std::vector<std::vector<double>> cols(schemes.size());
     for (const auto &name : allWorkloadNames()) {
@@ -56,5 +46,28 @@ main(int argc, char **argv)
         avg.push_back(AsciiTable::pct(mean(c)));
     t.addRow(avg);
     print(t.render());
-    return 0;
 }
+
+ExperimentSpec
+makeSpec()
+{
+    ExperimentSpec s;
+    s.id = "R-F6";
+    s.binary = "bench_f6_bus_util";
+    s.title = "L2-bus utilization per scheme";
+    s.shape =
+        "no-filter FDP burns by far the most bandwidth; CPF variants "
+        "cut it to near the filtered-prefetcher level; the no-prefetch "
+        "baseline is the floor";
+    s.paperRef = "MICRO-32, Fig. 6 (L2 bus utilization)";
+    s.warmup = kWarmup;
+    s.measure = kMeasure;
+    s.grids = {{allWorkloadNames(), f6Schemes(), {},
+                /*withBaseline=*/false}};
+    s.render = render;
+    return s;
+}
+
+FDIP_REGISTER_EXPERIMENT(makeSpec);
+
+} // namespace

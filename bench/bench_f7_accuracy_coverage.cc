@@ -4,28 +4,17 @@
  */
 
 #include "bench_util.hh"
+#include "sim/experiment.hh"
 
 using namespace fdip;
 using namespace fdip::bench;
 
-int
-main(int argc, char **argv)
+namespace
 {
-    print(experimentBanner(
-        "R-F7", "prefetch accuracy and coverage per scheme",
-        "CPF lifts FDP accuracy far above the no-filter variant while "
-        "keeping the best coverage of all schemes; NLP is accurate but "
-        "covers only sequential misses; SB sits between"));
 
-    Runner runner = makeRunner(argc, argv, kWarmup, kMeasure);
-
-    for (const auto &name : allWorkloadNames()) {
-        for (auto scheme : allSchemes())
-            runner.enqueue(name, scheme);
-    }
-    runner.runPending();
-    print(runner.sweepSummary());
-
+void
+render(Runner &runner)
+{
     AsciiTable t({"workload", "scheme", "accuracy", "coverage",
                   "issued/KI"});
 
@@ -43,5 +32,28 @@ main(int argc, char **argv)
     }
 
     print(t.render());
-    return 0;
 }
+
+ExperimentSpec
+makeSpec()
+{
+    ExperimentSpec s;
+    s.id = "R-F7";
+    s.binary = "bench_f7_accuracy_coverage";
+    s.title = "prefetch accuracy and coverage per scheme";
+    s.shape =
+        "CPF lifts FDP accuracy far above the no-filter variant while "
+        "keeping the best coverage of all schemes; NLP is accurate but "
+        "covers only sequential misses; SB sits between";
+    s.paperRef = "MICRO-32, Fig. 7 (accuracy and coverage)";
+    s.warmup = kWarmup;
+    s.measure = kMeasure;
+    s.grids = {{allWorkloadNames(), allSchemes(), {},
+                /*withBaseline=*/false}};
+    s.render = render;
+    return s;
+}
+
+FDIP_REGISTER_EXPERIMENT(makeSpec);
+
+} // namespace

@@ -5,41 +5,51 @@
  */
 
 #include "bench_util.hh"
+#include "sim/experiment.hh"
 
 using namespace fdip;
 using namespace fdip::bench;
 
-int
-main(int argc, char **argv)
+namespace
 {
-    print(experimentBanner(
-        "R-F8", "prefetch buffer size sweep (FDP remove-CPF)",
-        "speedup grows with buffer size and saturates around 32 "
-        "entries — the paper's chosen design point"));
 
-    Runner runner = makeRunner(argc, argv, kSweepWarmup, kSweepMeasure);
+constexpr unsigned kBufferSizes[] = {8u, 16u, 32u, 64u};
 
-    for (unsigned entries : {8u, 16u, 32u, 64u}) {
-        for (const auto &name : largeFootprintNames()) {
-            runner.enqueueSpeedup(
-                name, PrefetchScheme::FdpRemove,
-                "pfbuf" + std::to_string(entries),
-                [entries](SimConfig &cfg) {
-                    cfg.mem.prefetchBufferEntries = entries;
-                });
-        }
+Runner::Tweak
+pfbufTweak(unsigned entries)
+{
+    return [entries](SimConfig &cfg) {
+        cfg.mem.prefetchBufferEntries = entries;
+    };
+}
+
+std::string
+pfbufKey(unsigned entries)
+{
+    return "pfbuf" + std::to_string(entries);
+}
+
+std::vector<TweakVariant>
+pfbufVariants()
+{
+    std::vector<TweakVariant> out;
+    for (unsigned entries : kBufferSizes) {
+        out.push_back({pfbufKey(entries),
+                       strprintf("%u-entry prefetch buffer", entries),
+                       pfbufTweak(entries)});
     }
-    runner.runPending();
-    print(runner.sweepSummary());
+    return out;
+}
 
+void
+render(Runner &runner)
+{
     AsciiTable t({"entries", "gmean speedup", "gmean accuracy",
                   "unused evictions/KI"});
 
-    for (unsigned entries : {8u, 16u, 32u, 64u}) {
-        auto tweak = [entries](SimConfig &cfg) {
-            cfg.mem.prefetchBufferEntries = entries;
-        };
-        std::string key = "pfbuf" + std::to_string(entries);
+    for (unsigned entries : kBufferSizes) {
+        auto tweak = pfbufTweak(entries);
+        std::string key = pfbufKey(entries);
         std::vector<double> speedups, accs, evics;
         for (const auto &name : largeFootprintNames()) {
             speedups.push_back(runner.speedup(
@@ -57,5 +67,27 @@ main(int argc, char **argv)
     }
 
     print(t.render());
-    return 0;
 }
+
+ExperimentSpec
+makeSpec()
+{
+    ExperimentSpec s;
+    s.id = "R-F8";
+    s.binary = "bench_f8_pfbuf_sweep";
+    s.title = "prefetch buffer size sweep (FDP remove-CPF)";
+    s.shape =
+        "speedup grows with buffer size and saturates around 32 "
+        "entries — the paper's chosen design point";
+    s.paperRef = "MICRO-32, Fig. 8 (prefetch buffer size)";
+    s.warmup = kSweepWarmup;
+    s.measure = kSweepMeasure;
+    s.grids = {{largeFootprintNames(), {PrefetchScheme::FdpRemove},
+                pfbufVariants(), true}};
+    s.render = render;
+    return s;
+}
+
+FDIP_REGISTER_EXPERIMENT(makeSpec);
+
+} // namespace

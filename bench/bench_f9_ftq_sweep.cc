@@ -5,41 +5,51 @@
  */
 
 #include "bench_util.hh"
+#include "sim/experiment.hh"
 
 using namespace fdip;
 using namespace fdip::bench;
 
-int
-main(int argc, char **argv)
+namespace
 {
-    print(experimentBanner(
-        "R-F9", "FTQ depth sweep (FDP remove-CPF vs baseline FTQ=32)",
-        "tiny FTQs cripple FDP (no lookahead); gains saturate by a "
-        "few tens of entries"));
 
-    Runner runner = makeRunner(argc, argv, kSweepWarmup, kSweepMeasure);
+constexpr unsigned kFtqSizes[] = {2u, 4u, 8u, 16u, 32u, 64u};
 
-    for (unsigned entries : {2u, 4u, 8u, 16u, 32u, 64u}) {
-        for (const auto &name : largeFootprintNames()) {
-            runner.enqueueSpeedup(
-                name, PrefetchScheme::FdpRemove,
-                "ftq" + std::to_string(entries),
-                [entries](SimConfig &cfg) {
-                    cfg.ftqEntries = entries;
-                });
-        }
+Runner::Tweak
+ftqTweak(unsigned entries)
+{
+    return [entries](SimConfig &cfg) {
+        cfg.ftqEntries = entries;
+    };
+}
+
+std::string
+ftqKey(unsigned entries)
+{
+    return "ftq" + std::to_string(entries);
+}
+
+std::vector<TweakVariant>
+ftqVariants()
+{
+    std::vector<TweakVariant> out;
+    for (unsigned entries : kFtqSizes) {
+        out.push_back({ftqKey(entries),
+                       strprintf("%u-entry FTQ", entries),
+                       ftqTweak(entries)});
     }
-    runner.runPending();
-    print(runner.sweepSummary());
+    return out;
+}
 
+void
+render(Runner &runner)
+{
     AsciiTable t({"ftq entries", "gmean FDP speedup",
                   "gmean prefetch coverage", "mean occupancy"});
 
-    for (unsigned entries : {2u, 4u, 8u, 16u, 32u, 64u}) {
-        auto tweak = [entries](SimConfig &cfg) {
-            cfg.ftqEntries = entries;
-        };
-        std::string key = "ftq" + std::to_string(entries);
+    for (unsigned entries : kFtqSizes) {
+        auto tweak = ftqTweak(entries);
+        std::string key = ftqKey(entries);
         std::vector<double> speedups, covs, occs;
         for (const auto &name : largeFootprintNames()) {
             speedups.push_back(runner.speedup(
@@ -56,5 +66,27 @@ main(int argc, char **argv)
     }
 
     print(t.render());
-    return 0;
 }
+
+ExperimentSpec
+makeSpec()
+{
+    ExperimentSpec s;
+    s.id = "R-F9";
+    s.binary = "bench_f9_ftq_sweep";
+    s.title = "FTQ depth sweep (FDP remove-CPF vs baseline FTQ=32)";
+    s.shape =
+        "tiny FTQs cripple FDP (no lookahead); gains saturate by a "
+        "few tens of entries";
+    s.paperRef = "MICRO-32, Fig. 9 (FTQ size sensitivity)";
+    s.warmup = kSweepWarmup;
+    s.measure = kSweepMeasure;
+    s.grids = {{largeFootprintNames(), {PrefetchScheme::FdpRemove},
+                ftqVariants(), true}};
+    s.render = render;
+    return s;
+}
+
+FDIP_REGISTER_EXPERIMENT(makeSpec);
+
+} // namespace

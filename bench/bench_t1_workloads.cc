@@ -6,26 +6,18 @@
  */
 
 #include "bench_util.hh"
+#include "sim/experiment.hh"
 #include "trace/synth_builder.hh"
 
 using namespace fdip;
 using namespace fdip::bench;
 
-int
-main(int argc, char **argv)
+namespace
 {
-    print(experimentBanner(
-        "R-T1", "workload characterization (no-prefetch baseline)",
-        "large-footprint workloads (burg..vortex) show high L1-I MPKI; "
-        "small ones (li..deltablue) are nearly cache-resident"));
 
-    Runner runner = makeRunner(argc, argv, kWarmup, kMeasure);
-
-    for (const auto &name : allWorkloadNames())
-        runner.enqueue(name, PrefetchScheme::None);
-    runner.runPending();
-    print(runner.sweepSummary());
-
+void
+render(Runner &runner)
+{
     AsciiTable t({"workload", "code KB", "dyn branch%", "base IPC",
                   "L1-I MPKI", "cond misp/KI"});
 
@@ -46,5 +38,27 @@ main(int argc, char **argv)
     }
 
     print(t.render());
-    return 0;
 }
+
+ExperimentSpec
+makeSpec()
+{
+    ExperimentSpec s;
+    s.id = "R-T1";
+    s.binary = "bench_t1_workloads";
+    s.title = "workload characterization (no-prefetch baseline)";
+    s.shape =
+        "large-footprint workloads (burg..vortex) show high L1-I MPKI; "
+        "small ones (li..deltablue) are nearly cache-resident";
+    s.paperRef = "MICRO-32, Table 1 (benchmark characterization)";
+    s.warmup = kWarmup;
+    s.measure = kMeasure;
+    s.grids = {{allWorkloadNames(), {PrefetchScheme::None}, {},
+                /*withBaseline=*/false}};
+    s.render = render;
+    return s;
+}
+
+FDIP_REGISTER_EXPERIMENT(makeSpec);
+
+} // namespace

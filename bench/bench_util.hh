@@ -1,15 +1,19 @@
 /**
  * @file bench_util.hh
  * Shared plumbing for the experiment-reproduction binaries: run
- * lengths, the workload lists, and the scheme sets each figure uses.
+ * lengths, the scheme sets each figure uses, and output helpers.
+ *
+ * Each bench declares its sweep as an ExperimentSpec
+ * (sim/experiment.hh) and registers it with
+ * FDIP_REGISTER_EXPERIMENT; the shared driver in experiment_main.cc
+ * parses arguments, expands the grid, runs the sweep, and calls the
+ * bench's render callback.
  */
 
 #ifndef FDIP_BENCH_BENCH_UTIL_HH
 #define FDIP_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <string>
 #include <vector>
 
@@ -51,61 +55,6 @@ print(const std::string &s)
 {
     std::fputs(s.c_str(), stdout);
     std::fflush(stdout);
-}
-
-/**
- * Construct the bench's Runner from the command line:
- *   --jobs N     worker threads for runPending() (default: FDIP_JOBS
- *                env var, else hardware concurrency)
- *   --warmup N   warmup instructions per run (default: bench-specific)
- *   --measure N  measured instructions per run (default: bench-specific)
- * The run-length overrides let CI smoke-sweep every bench quickly.
- */
-inline Runner
-makeRunner(int argc, char **argv, std::uint64_t warmup,
-           std::uint64_t measure)
-{
-    unsigned jobs = Runner::defaultJobs();
-    for (int i = 1; i < argc; ++i) {
-        auto needsValue = [&](const char *flag) {
-            fatal_if(i + 1 >= argc, "%s requires a value", flag);
-            return argv[++i];
-        };
-        if (std::strcmp(argv[i], "--jobs") == 0) {
-            jobs = static_cast<unsigned>(
-                std::strtoul(needsValue("--jobs"), nullptr, 10));
-            fatal_if(jobs == 0, "--jobs must be >= 1");
-        } else if (std::strcmp(argv[i], "--warmup") == 0) {
-            warmup = std::strtoull(needsValue("--warmup"), nullptr, 10);
-        } else if (std::strcmp(argv[i], "--measure") == 0) {
-            measure = std::strtoull(needsValue("--measure"), nullptr, 10);
-            fatal_if(measure == 0, "--measure must be >= 1");
-        } else {
-            fatal("unknown argument '%s' (expected --jobs/--warmup/"
-                  "--measure)", argv[i]);
-        }
-    }
-    Runner runner(warmup, measure);
-    runner.setJobs(jobs);
-    return runner;
-}
-
-/**
- * Queue the (workload x scheme) grid — plus the no-prefetch baselines
- * speedup() needs — without executing anything. Call
- * Runner::runPending() once all grids are queued so the whole bench
- * parallelizes as one batch.
- */
-inline void
-enqueueGrid(Runner &runner, const std::vector<std::string> &workloads,
-            const std::vector<PrefetchScheme> &schemes,
-            const std::string &tweak_key = "",
-            const Runner::Tweak &tweak = nullptr)
-{
-    for (const auto &w : workloads) {
-        for (auto s : schemes)
-            runner.enqueueSpeedup(w, s, tweak_key, tweak);
-    }
 }
 
 } // namespace fdip::bench

@@ -7,55 +7,79 @@
  */
 
 #include "bench_util.hh"
+#include "sim/experiment.hh"
 
 using namespace fdip;
 using namespace fdip::bench;
 
-int
-main(int argc, char **argv)
+namespace
 {
-    print(experimentBanner(
-        "X-F13", "FDIP gain vs BTB budget: unified FTB vs partitioned",
-        "the partitioned 16-bit-tag design wins clearly at small "
-        "budgets (more branches tracked per KB) and the two converge "
-        "once the branch working set fits either way"));
 
-    Runner runner = makeRunner(argc, argv, kSweepWarmup, kSweepMeasure);
-    AsciiTable t({"budget", "unified FTB gmean", "partitioned gmean"});
-
-    // The largest rungs change nothing for our branch working sets;
-    // sweep the interesting lower half of the ladder.
+/** The largest rungs change nothing for our branch working sets;
+ *  sweep the interesting lower half of the ladder. */
+std::vector<BtbBudgetPoint>
+sweptLadder()
+{
     auto ladder = btbBudgetLadder();
     ladder.resize(4); // 11.5K .. 89K
+    return ladder;
+}
 
-    for (const auto &pt : ladder) {
-        for (const auto &name : allWorkloadNames()) {
-            runner.enqueueSpeedup(
-                name, PrefetchScheme::FdpRemove,
-                "uni" + std::to_string(pt.ftbEntries),
-                [pt](SimConfig &cfg) {
-                    applyFtbBudget(cfg, pt.ftbEntries);
-                });
-            runner.enqueueSpeedup(
-                name, PrefetchScheme::FdpRemove,
-                "part" + std::to_string(pt.ftbEntries),
-                [pt](SimConfig &cfg) {
-                    applyPartitionedBudget(cfg, pt.ftbEntries);
-                });
-        }
+Runner::Tweak
+uniTweak(BtbBudgetPoint pt)
+{
+    return [pt](SimConfig &cfg) {
+        applyFtbBudget(cfg, pt.ftbEntries);
+    };
+}
+
+Runner::Tweak
+partTweak(BtbBudgetPoint pt)
+{
+    return [pt](SimConfig &cfg) {
+        applyPartitionedBudget(cfg, pt.ftbEntries);
+    };
+}
+
+std::string
+uniKey(BtbBudgetPoint pt)
+{
+    return "uni" + std::to_string(pt.ftbEntries);
+}
+
+std::string
+partKey(BtbBudgetPoint pt)
+{
+    return "part" + std::to_string(pt.ftbEntries);
+}
+
+std::vector<TweakVariant>
+budgetVariants()
+{
+    std::vector<TweakVariant> out;
+    for (const auto &pt : sweptLadder()) {
+        out.push_back({uniKey(pt),
+                       strprintf("unified FTB, %u entries",
+                                 pt.ftbEntries),
+                       uniTweak(pt)});
+        out.push_back({partKey(pt),
+                       strprintf("partitioned BTB at the %u-entry "
+                                 "unified budget", pt.ftbEntries),
+                       partTweak(pt)});
     }
-    runner.runPending();
-    print(runner.sweepSummary());
+    return out;
+}
 
-    for (const auto &pt : ladder) {
-        auto uni_tweak = [&pt](SimConfig &cfg) {
-            applyFtbBudget(cfg, pt.ftbEntries);
-        };
-        auto part_tweak = [&pt](SimConfig &cfg) {
-            applyPartitionedBudget(cfg, pt.ftbEntries);
-        };
-        std::string ukey = "uni" + std::to_string(pt.ftbEntries);
-        std::string pkey = "part" + std::to_string(pt.ftbEntries);
+void
+render(Runner &runner)
+{
+    AsciiTable t({"budget", "unified FTB gmean", "partitioned gmean"});
+
+    for (const auto &pt : sweptLadder()) {
+        auto uni_tweak = uniTweak(pt);
+        auto part_tweak = partTweak(pt);
+        std::string ukey = uniKey(pt);
+        std::string pkey = partKey(pt);
 
         std::vector<double> uni, part;
         for (const auto &name : allWorkloadNames()) {
@@ -69,5 +93,29 @@ main(int argc, char **argv)
                   AsciiTable::pct(gmeanSpeedup(part))});
     }
     print(t.render());
-    return 0;
 }
+
+ExperimentSpec
+makeSpec()
+{
+    ExperimentSpec s;
+    s.id = "X-F13";
+    s.binary = "bench_x13_fdipx";
+    s.title = "FDIP gain vs BTB budget: unified FTB vs partitioned";
+    s.shape =
+        "the partitioned 16-bit-tag design wins clearly at small "
+        "budgets (more branches tracked per KB) and the two converge "
+        "once the branch working set fits either way";
+    s.paperRef = "FDIP-Revisited (2020), Figs. 5/6 (gain vs BTB "
+                 "storage)";
+    s.warmup = kSweepWarmup;
+    s.measure = kSweepMeasure;
+    s.grids = {{allWorkloadNames(), {PrefetchScheme::FdpRemove},
+                budgetVariants(), true}};
+    s.render = render;
+    return s;
+}
+
+FDIP_REGISTER_EXPERIMENT(makeSpec);
+
+} // namespace

@@ -5,45 +5,39 @@
  */
 
 #include "bench_util.hh"
+#include "sim/experiment.hh"
 
 using namespace fdip;
 using namespace fdip::bench;
 
-int
-main(int argc, char **argv)
+namespace
 {
-    print(experimentBanner(
-        "X-F14", "16-bit folded-XOR tags vs full tags (smallest BTB)",
-        "the compressed tag costs almost nothing: the folded XOR "
-        "preserves the high-order entropy"));
 
-    Runner runner = makeRunner(argc, argv, kSweepWarmup, kSweepMeasure);
+void
+tag16Tweak(SimConfig &cfg)
+{
+    applyPartitionedBudget(cfg, 1024);
+    cfg.pbtb.tagBits = 16;
+}
+
+void
+tagfullTweak(SimConfig &cfg)
+{
+    applyPartitionedBudget(cfg, 1024);
+    cfg.pbtb.tagBits = 0; // full tags
+}
+
+void
+render(Runner &runner)
+{
     AsciiTable t({"workload", "16-bit tag", "full tag", "delta"});
-
-    auto tag16 = [](SimConfig &cfg) {
-        applyPartitionedBudget(cfg, 1024);
-        cfg.pbtb.tagBits = 16;
-    };
-    auto tagfull = [](SimConfig &cfg) {
-        applyPartitionedBudget(cfg, 1024);
-        cfg.pbtb.tagBits = 0; // full tags
-    };
-
-    for (const auto &name : allWorkloadNames()) {
-        runner.enqueueSpeedup(name, PrefetchScheme::FdpRemove, "tag16",
-                              tag16);
-        runner.enqueueSpeedup(name, PrefetchScheme::FdpRemove,
-                              "tagfull", tagfull);
-    }
-    runner.runPending();
-    print(runner.sweepSummary());
 
     std::vector<double> s16, sfull;
     for (const auto &name : allWorkloadNames()) {
         double a = runner.speedup(name, PrefetchScheme::FdpRemove,
-                                  "tag16", tag16);
+                                  "tag16", tag16Tweak);
         double b = runner.speedup(name, PrefetchScheme::FdpRemove,
-                                  "tagfull", tagfull);
+                                  "tagfull", tagfullTweak);
         s16.push_back(a);
         sfull.push_back(b);
         t.addRow({name, AsciiTable::pct(a), AsciiTable::pct(b),
@@ -53,5 +47,31 @@ main(int argc, char **argv)
               AsciiTable::pct(gmeanSpeedup(sfull)),
               AsciiTable::pct(gmeanSpeedup(sfull) - gmeanSpeedup(s16), 2)});
     print(t.render());
-    return 0;
 }
+
+ExperimentSpec
+makeSpec()
+{
+    ExperimentSpec s;
+    s.id = "X-F14";
+    s.binary = "bench_x14_tag_compression";
+    s.title = "16-bit folded-XOR tags vs full tags (smallest BTB)";
+    s.shape =
+        "the compressed tag costs almost nothing: the folded XOR "
+        "preserves the high-order entropy";
+    s.paperRef = "FDIP-Revisited (2020), Fig. 7 (tag compression)";
+    s.warmup = kSweepWarmup;
+    s.measure = kSweepMeasure;
+    s.grids = {{allWorkloadNames(), {PrefetchScheme::FdpRemove},
+                {{"tag16", "16-bit folded-XOR tags, 1024-entry "
+                  "unified budget", tag16Tweak},
+                 {"tagfull", "full tags, 1024-entry unified budget",
+                  tagfullTweak}},
+                true}};
+    s.render = render;
+    return s;
+}
+
+FDIP_REGISTER_EXPERIMENT(makeSpec);
+
+} // namespace

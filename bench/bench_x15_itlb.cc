@@ -8,57 +8,69 @@
  */
 
 #include "bench_util.hh"
+#include "sim/experiment.hh"
 
 #include "vm/mmu.hh"
 
 using namespace fdip;
 using namespace fdip::bench;
 
-int
-main(int argc, char **argv)
+namespace
 {
-    print(experimentBanner(
-        "R-X15",
-        "ITLB sweep (FDP remove-CPF, scrambled pages, 30-cycle walks)",
-        "small ITLBs punish drop hardest; prefetch-triggered fills "
-        "recover most of the loss; a large ITLB converges to the "
-        "VM-off machine"));
 
-    const std::vector<TlbPrefetchPolicy> policies = {
+constexpr unsigned kItlbSizes[] = {8u, 16u, 32u, 64u, 128u};
+
+const std::vector<TlbPrefetchPolicy> &
+policies()
+{
+    static const std::vector<TlbPrefetchPolicy> p = {
         TlbPrefetchPolicy::Drop, TlbPrefetchPolicy::Wait,
         TlbPrefetchPolicy::Fill};
+    return p;
+}
 
-    Runner runner = makeRunner(argc, argv, kSweepWarmup, kSweepMeasure);
+Runner::Tweak
+vmTweak(unsigned entries, TlbPrefetchPolicy policy)
+{
+    return [entries, policy](SimConfig &cfg) {
+        applyVmConfig(cfg, policy, PageMapKind::Scrambled, entries);
+    };
+}
 
-    for (const auto &name : largeFootprintNames()) {
-        runner.enqueue(name, PrefetchScheme::FdpRemove);
-        for (unsigned entries : {8u, 16u, 32u, 64u, 128u}) {
-            for (TlbPrefetchPolicy policy : policies) {
-                runner.enqueue(
-                    name, PrefetchScheme::FdpRemove,
-                    strprintf("itlb%u-%s", entries,
-                              tlbPolicyName(policy)),
-                    [entries, policy](SimConfig &cfg) {
-                        applyVmConfig(cfg, policy,
-                                      PageMapKind::Scrambled, entries);
-                    });
-            }
+std::string
+vmKey(unsigned entries, TlbPrefetchPolicy policy)
+{
+    return strprintf("itlb%u-%s", entries, tlbPolicyName(policy));
+}
+
+std::vector<TweakVariant>
+vmVariants()
+{
+    // The "" variant is the VM-off reference machine every row is
+    // normalized against.
+    std::vector<TweakVariant> out;
+    out.push_back({"", "VM off (reference)", nullptr});
+    for (unsigned entries : kItlbSizes) {
+        for (TlbPrefetchPolicy policy : policies()) {
+            out.push_back({vmKey(entries, policy),
+                           strprintf("%u-entry ITLB, %s policy",
+                                     entries, tlbPolicyName(policy)),
+                           vmTweak(entries, policy)});
         }
     }
-    runner.runPending();
-    print(runner.sweepSummary());
+    return out;
+}
 
+void
+render(Runner &runner)
+{
     AsciiTable t({"itlb entries", "policy", "gmean ipc vs vm-off",
                   "itlb mpki", "walks/kinst", "pf dropped/kinst"});
 
-    for (unsigned entries : {8u, 16u, 32u, 64u, 128u}) {
-        for (TlbPrefetchPolicy policy : policies) {
-            auto tweak = [entries, policy](SimConfig &cfg) {
-                applyVmConfig(cfg, policy, PageMapKind::Scrambled,
-                              entries);
-            };
-            std::string key = strprintf("itlb%u-%s", entries,
-                                        tlbPolicyName(policy));
+    for (unsigned entries : kItlbSizes) {
+        for (TlbPrefetchPolicy policy : policies()) {
+            auto tweak = vmTweak(entries, policy);
+            std::string key = vmKey(entries, policy);
             std::vector<double> rel_ipc, tlb_mpki, walks, dropped;
             for (const auto &name : largeFootprintNames()) {
                 const SimResults &off = runner.run(
@@ -89,12 +101,9 @@ main(int argc, char **argv)
     AsciiTable o({"workload", "drop ipc", "wait ipc", "fill ipc"});
     for (const auto &name : largeFootprintNames()) {
         std::vector<double> ipc;
-        for (TlbPrefetchPolicy policy : policies) {
-            auto tweak = [policy](SimConfig &cfg) {
-                applyVmConfig(cfg, policy, PageMapKind::Scrambled, 8);
-            };
-            std::string key = strprintf("itlb8-%s",
-                                        tlbPolicyName(policy));
+        for (TlbPrefetchPolicy policy : policies()) {
+            auto tweak = vmTweak(8, policy);
+            std::string key = vmKey(8, policy);
             ipc.push_back(runner.run(name, PrefetchScheme::FdpRemove,
                                      key, tweak).ipc);
         }
@@ -104,5 +113,30 @@ main(int argc, char **argv)
     }
     print("\npolicy ordering at 8 ITLB entries:\n");
     print(o.render());
-    return 0;
 }
+
+ExperimentSpec
+makeSpec()
+{
+    ExperimentSpec s;
+    s.id = "R-X15";
+    s.binary = "bench_x15_itlb";
+    s.title =
+        "ITLB sweep (FDP remove-CPF, scrambled pages, 30-cycle walks)";
+    s.shape =
+        "small ITLBs punish drop hardest; prefetch-triggered fills "
+        "recover most of the loss; a large ITLB converges to the "
+        "VM-off machine";
+    s.paperRef = "VM/ITLB extension (beyond the paper; follow-on "
+                 "literature methodology)";
+    s.warmup = kSweepWarmup;
+    s.measure = kSweepMeasure;
+    s.grids = {{largeFootprintNames(), {PrefetchScheme::FdpRemove},
+                vmVariants(), /*withBaseline=*/false}};
+    s.render = render;
+    return s;
+}
+
+FDIP_REGISTER_EXPERIMENT(makeSpec);
+
+} // namespace

@@ -7,18 +7,17 @@
 #include "bpu/ftb.hh"
 #include "bpu/partitioned_btb.hh"
 #include "bench_util.hh"
+#include "sim/experiment.hh"
 
 using namespace fdip;
 using namespace fdip::bench;
 
-int
-main()
+namespace
 {
-    print(experimentBanner(
-        "X-T2", "unified block-based BTB vs partitioned-BTB storage",
-        "the partitioned ensemble fits ~2.4x the entries of the "
-        "unified design in the same (or less) storage"));
 
+void
+render(Runner &)
+{
     AsciiTable t({"budget", "unified entries", "unified KB",
                   "partitioned entries", "partitioned KB",
                   "entry ratio"});
@@ -57,5 +56,25 @@ main()
                   AsciiTable::num(double(p.storageBits()) / 8 / 1024, 2)});
     }
     print(d.render());
-    return 0;
 }
+
+ExperimentSpec
+makeSpec()
+{
+    ExperimentSpec s;
+    s.id = "X-T2";
+    s.binary = "bench_x2_btb_storage";
+    s.title = "unified block-based BTB vs partitioned-BTB storage";
+    s.shape =
+        "the partitioned ensemble fits ~2.4x the entries of the "
+        "unified design in the same (or less) storage";
+    s.paperRef = "FDIP-Revisited (2020), Tables I & II (storage "
+                 "breakdown)";
+    // Pure storage accounting: no grids, no simulation.
+    s.render = render;
+    return s;
+}
+
+FDIP_REGISTER_EXPERIMENT(makeSpec);
+
+} // namespace

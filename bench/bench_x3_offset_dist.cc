@@ -8,19 +8,18 @@
 
 #include "common/intmath.hh"
 #include "bench_util.hh"
+#include "sim/experiment.hh"
 #include "trace/synth_builder.hh"
 
 using namespace fdip;
 using namespace fdip::bench;
 
-int
-main()
+namespace
 {
-    print(experimentBanner(
-        "X-F3", "dynamic branch target offset-width distribution",
-        "short offsets dominate; returns and indirect branches form "
-        "the full-width tail — this drives the partition sizing"));
 
+void
+render(Runner &)
+{
     constexpr int kInstsPerWorkload = 300 * 1000;
     std::map<unsigned, std::uint64_t> hist;
     std::uint64_t returns = 0, indirects = 0, total = 0;
@@ -82,5 +81,25 @@ main()
         "%.1f%%, 14-23b %.1f%%, full %.1f%%\n",
         p8 * 100, 100.0 * double(returns) / double(total), p13 * 100,
         p23 * 100, 100.0 * double(indirects) / double(total)));
-    return 0;
 }
+
+ExperimentSpec
+makeSpec()
+{
+    ExperimentSpec s;
+    s.id = "X-F3";
+    s.binary = "bench_x3_offset_dist";
+    s.title = "dynamic branch target offset-width distribution";
+    s.shape =
+        "short offsets dominate; returns and indirect branches form "
+        "the full-width tail — this drives the partition sizing";
+    s.paperRef = "FDIP-Revisited (2020) partition-sizing input "
+                 "(trace analysis, no simulation)";
+    // Walks the traces directly; no Runner grid.
+    s.render = render;
+    return s;
+}
+
+FDIP_REGISTER_EXPERIMENT(makeSpec);
+
+} // namespace

@@ -1,0 +1,20 @@
+/**
+ * @file experiment_main.cc
+ * Shared main() for every figure-reproduction binary: each bench
+ * translation unit registers exactly one ExperimentSpec; this driver
+ * runs it. Linked into each bench executable by CMake (the catalog
+ * generator links the same spec TUs with its own main instead).
+ */
+
+#include "common/logging.hh"
+#include "sim/experiment.hh"
+
+int
+main(int argc, char **argv)
+{
+    auto specs = fdip::ExperimentRegistry::instance().all();
+    fatal_if(specs.size() != 1,
+             "expected exactly one registered experiment in this "
+             "binary, found %zu", specs.size());
+    return fdip::experimentMain(*specs[0], argc, argv);
+}

@@ -1,0 +1,65 @@
+/**
+ * @file fnv.hh
+ * Shared 64-bit FNV-1a hashing. Used by SimConfig::fingerprint()
+ * (sim/config.cc) and the result-cache entry self-check
+ * (sim/result_cache.cc); keeping one implementation means the two
+ * cache-validity mechanisms cannot drift apart.
+ */
+
+#ifndef FDIP_COMMON_FNV_HH
+#define FDIP_COMMON_FNV_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace fdip
+{
+
+/** Incremental FNV-1a accumulator with typed feeders. */
+struct Fnv1a
+{
+    std::uint64_t h = 14695981039346656037ull;
+
+    void
+    bytes(const void *data, std::size_t n)
+    {
+        const auto *p = static_cast<const unsigned char *>(data);
+        for (std::size_t i = 0; i < n; ++i) {
+            h ^= p[i];
+            h *= 1099511628211ull;
+        }
+    }
+
+    void u64(std::uint64_t v) { bytes(&v, sizeof(v)); }
+    void b(bool v) { u64(v ? 1 : 0); }
+
+    void
+    d(double v)
+    {
+        std::uint64_t bits = 0;
+        std::memcpy(&bits, &v, sizeof(bits));
+        u64(bits);
+    }
+
+    /** Length-prefixed, so "ab"+"c" cannot alias "a"+"bc". */
+    void
+    s(const std::string &v)
+    {
+        u64(v.size());
+        bytes(v.data(), v.size());
+    }
+};
+
+/** One-shot hash of a string's raw bytes. */
+inline std::uint64_t
+fnv1aHash(const std::string &s)
+{
+    Fnv1a f;
+    f.bytes(s.data(), s.size());
+    return f.h;
+}
+
+} // namespace fdip
+
+#endif // FDIP_COMMON_FNV_HH

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "common/fnv.hh"
 #include "common/intmath.hh"
 #include "common/logging.hh"
 
@@ -10,40 +11,6 @@ namespace fdip
 
 namespace
 {
-
-/** FNV-1a accumulator for SimConfig::fingerprint(). */
-struct Fnv1a
-{
-    std::uint64_t h = 14695981039346656037ull;
-
-    void
-    bytes(const void *data, std::size_t n)
-    {
-        const auto *p = static_cast<const unsigned char *>(data);
-        for (std::size_t i = 0; i < n; ++i) {
-            h ^= p[i];
-            h *= 1099511628211ull;
-        }
-    }
-
-    void u64(std::uint64_t v) { bytes(&v, sizeof(v)); }
-    void b(bool v) { u64(v ? 1 : 0); }
-
-    void
-    d(double v)
-    {
-        std::uint64_t bits = 0;
-        std::memcpy(&bits, &v, sizeof(bits));
-        u64(bits);
-    }
-
-    void
-    s(const std::string &v)
-    {
-        u64(v.size());
-        bytes(v.data(), v.size());
-    }
-};
 
 void
 hashCache(Fnv1a &f, const Cache::Config &c)

@@ -1,0 +1,382 @@
+#include "sim/experiment.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <tuple>
+
+#include "common/logging.hh"
+#include "sim/report.hh"
+
+namespace fdip
+{
+
+namespace
+{
+
+/** "R-F2" < "R-F10": digit runs compare numerically. */
+bool
+naturalLess(const std::string &a, const std::string &b)
+{
+    std::size_t i = 0, j = 0;
+    while (i < a.size() && j < b.size()) {
+        if (std::isdigit(static_cast<unsigned char>(a[i])) &&
+            std::isdigit(static_cast<unsigned char>(b[j]))) {
+            std::size_t ie = i, je = j;
+            while (ie < a.size() &&
+                   std::isdigit(static_cast<unsigned char>(a[ie])))
+                ++ie;
+            while (je < b.size() &&
+                   std::isdigit(static_cast<unsigned char>(b[je])))
+                ++je;
+            unsigned long an = std::stoul(a.substr(i, ie - i));
+            unsigned long bn = std::stoul(b.substr(j, je - j));
+            if (an != bn)
+                return an < bn;
+            i = ie;
+            j = je;
+            continue;
+        }
+        if (a[i] != b[j])
+            return a[i] < b[j];
+        ++i;
+        ++j;
+    }
+    return a.size() < b.size();
+}
+
+void
+put(const std::string &s)
+{
+    std::fputs(s.c_str(), stdout);
+    std::fflush(stdout);
+}
+
+std::string
+join(const std::vector<std::string> &items, const char *sep)
+{
+    std::string out;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i)
+            out += sep;
+        out += items[i];
+    }
+    return out;
+}
+
+std::vector<std::string>
+schemeNames(const std::vector<PrefetchScheme> &schemes)
+{
+    std::vector<std::string> out;
+    for (auto s : schemes)
+        out.push_back(schemeName(s));
+    return out;
+}
+
+std::string
+variantSummary(const TweakVariant &v)
+{
+    std::string key = v.key.empty() ? "(default)" : v.key;
+    if (v.label.empty())
+        return key;
+    return key + " = " + v.label;
+}
+
+std::string
+runLengthLine(const ExperimentSpec &spec)
+{
+    if (spec.measure == 0)
+        return "no timed simulation (static analysis)";
+    return strprintf("%llu warmup + %llu measured instructions per "
+                     "point",
+                     static_cast<unsigned long long>(spec.warmup),
+                     static_cast<unsigned long long>(spec.measure));
+}
+
+} // namespace
+
+ExperimentRegistry &
+ExperimentRegistry::instance()
+{
+    static ExperimentRegistry registry;
+    return registry;
+}
+
+void
+ExperimentRegistry::add(ExperimentSpec spec)
+{
+    fatal_if(spec.id.empty() || spec.binary.empty(),
+             "experiment spec needs an id and a binary name");
+    fatal_if(find(spec.id) != nullptr,
+             "duplicate experiment id '%s'", spec.id.c_str());
+    specs.push_back(std::move(spec));
+}
+
+const ExperimentSpec *
+ExperimentRegistry::find(const std::string &id) const
+{
+    for (const auto &s : specs) {
+        if (s.id == id)
+            return &s;
+    }
+    return nullptr;
+}
+
+std::vector<const ExperimentSpec *>
+ExperimentRegistry::all() const
+{
+    std::vector<const ExperimentSpec *> out;
+    for (const auto &s : specs)
+        out.push_back(&s);
+    std::sort(out.begin(), out.end(),
+              [](const ExperimentSpec *a, const ExperimentSpec *b) {
+                  return naturalLess(a->id, b->id);
+              });
+    return out;
+}
+
+ExperimentRegistrar::ExperimentRegistrar(ExperimentSpec (*maker)())
+{
+    ExperimentRegistry::instance().add(maker());
+}
+
+void
+forEachGridPoint(
+    const ExperimentSpec &spec,
+    const std::function<void(const std::string &, PrefetchScheme,
+                             const TweakVariant &)> &fn)
+{
+    static const TweakVariant untweaked{};
+    for (const auto &grid : spec.grids) {
+        std::size_t nvariants =
+            grid.variants.empty() ? 1 : grid.variants.size();
+        for (std::size_t vi = 0; vi < nvariants; ++vi) {
+            const TweakVariant &v =
+                grid.variants.empty() ? untweaked : grid.variants[vi];
+            for (const auto &w : grid.workloads) {
+                for (auto s : grid.schemes) {
+                    if (grid.withBaseline)
+                        fn(w, PrefetchScheme::None, v);
+                    fn(w, s, v);
+                }
+            }
+        }
+    }
+}
+
+void
+enqueueExperiment(Runner &runner, const ExperimentSpec &spec)
+{
+    forEachGridPoint(spec,
+                     [&runner](const std::string &w, PrefetchScheme s,
+                               const TweakVariant &v) {
+                         runner.enqueue(w, s, v.key, v.tweak);
+                     });
+}
+
+std::size_t
+countDistinctPoints(const ExperimentSpec &spec)
+{
+    // Mirrors the Runner's memo dedup: shared baselines and
+    // overlapping grids collapse onto one simulation.
+    std::set<std::tuple<std::string, std::string, std::string>> seen;
+    forEachGridPoint(spec,
+                     [&seen](const std::string &w, PrefetchScheme s,
+                             const TweakVariant &v) {
+                         seen.emplace(w, schemeName(s), v.key);
+                     });
+    return seen.size();
+}
+
+std::string
+describeExperiment(const ExperimentSpec &spec)
+{
+    std::string out;
+    out += spec.id + ": " + spec.title + "\n";
+    out += "  binary:     " + spec.binary + "\n";
+    out += "  reproduces: " + spec.paperRef + "\n";
+    out += "  expected:   " + spec.shape + "\n";
+    out += "  run:        " + runLengthLine(spec) + "\n";
+    for (std::size_t g = 0; g < spec.grids.size(); ++g) {
+        const ExperimentGrid &grid = spec.grids[g];
+        out += strprintf(
+            "  grid %zu:     %zu workloads x %zu schemes", g + 1,
+            grid.workloads.size(), grid.schemes.size());
+        if (!grid.variants.empty())
+            out += strprintf(" x %zu variants", grid.variants.size());
+        out += grid.withBaseline ? " (+ no-prefetch baselines)\n"
+                                 : " (direct runs)\n";
+        out += "    workloads: " + join(grid.workloads, " ") + "\n";
+        out += "    schemes:   " + join(schemeNames(grid.schemes), " ") +
+               "\n";
+        if (!grid.variants.empty()) {
+            std::vector<std::string> vs;
+            for (const auto &v : grid.variants)
+                vs.push_back(variantSummary(v));
+            out += "    variants:  " + join(vs, ", ") + "\n";
+        }
+    }
+    if (!spec.grids.empty()) {
+        out += strprintf("  points:     %zu distinct simulations\n",
+                         countDistinctPoints(spec));
+    }
+    if (!spec.notes.empty())
+        out += "  notes:      " + spec.notes + "\n";
+    return out;
+}
+
+std::string
+listExperiments(const std::vector<const ExperimentSpec *> &specs)
+{
+    std::string out;
+    for (const ExperimentSpec *s : specs) {
+        out += strprintf("%-7s %-28s %5zu points  %s\n", s->id.c_str(),
+                         s->binary.c_str(), countDistinctPoints(*s),
+                         s->title.c_str());
+    }
+    return out;
+}
+
+std::string
+experimentCatalogMarkdown(
+    const std::vector<const ExperimentSpec *> &specs)
+{
+    std::string md;
+    md += "# Experiment catalog\n\n";
+    md += "<!-- Generated by fdip_experiments from the ExperimentSpec\n"
+          "     registry (sim/experiment.hh). Do not edit by hand.\n"
+          "     Regenerate with:\n"
+          "         ./build/fdip_experiments > docs/EXPERIMENTS.md\n"
+          "     CI fails when this file drifts from the registry. -->\n"
+          "\n";
+    md += "Every figure and table of the reproduction is one bench\n"
+          "binary whose sweep is declared once, as data, in an\n"
+          "`ExperimentSpec` (`src/sim/experiment.hh`). Each binary\n"
+          "supports `--jobs N`, `--warmup N`, `--measure N`,\n"
+          "`--list`, and `--describe`. \"Points\" counts distinct\n"
+          "simulations after baseline dedup; with `FDIP_CACHE_DIR`\n"
+          "set, points already simulated by *any* binary are served\n"
+          "from the on-disk result cache.\n\n";
+
+    md += "| id | binary | reproduces | points | title |\n";
+    md += "|----|--------|------------|-------:|-------|\n";
+    for (const ExperimentSpec *s : specs) {
+        std::string points =
+            s->grids.empty() ? "-"
+                             : strprintf("%zu",
+                                         countDistinctPoints(*s));
+        md += strprintf("| %s | `%s` | %s | %s | %s |\n",
+                        s->id.c_str(), s->binary.c_str(),
+                        s->paperRef.c_str(), points.c_str(),
+                        s->title.c_str());
+    }
+    md += "\n";
+
+    for (const ExperimentSpec *s : specs) {
+        md += strprintf("## %s: %s\n\n", s->id.c_str(),
+                        s->title.c_str());
+        md += strprintf("- **binary:** `%s`\n", s->binary.c_str());
+        md += strprintf("- **reproduces:** %s\n", s->paperRef.c_str());
+        md += strprintf("- **expected shape:** %s\n", s->shape.c_str());
+        md += strprintf("- **run lengths:** %s\n",
+                        runLengthLine(*s).c_str());
+        if (s->grids.empty()) {
+            md += "- **grid:** none (no simulated sweep)\n";
+        } else {
+            for (std::size_t g = 0; g < s->grids.size(); ++g) {
+                const ExperimentGrid &grid = s->grids[g];
+                md += strprintf("- **grid %zu:** ", g + 1);
+                md += strprintf("%zu workloads x %zu schemes",
+                                grid.workloads.size(),
+                                grid.schemes.size());
+                if (!grid.variants.empty())
+                    md += strprintf(" x %zu variants",
+                                    grid.variants.size());
+                md += grid.withBaseline ? " (+ no-prefetch baselines)"
+                                        : " (direct runs)";
+                md += "\n";
+                md += "  - workloads: " + join(grid.workloads, ", ") +
+                      "\n";
+                md += "  - schemes: " +
+                      join(schemeNames(grid.schemes), ", ") + "\n";
+                if (!grid.variants.empty()) {
+                    std::vector<std::string> vs;
+                    for (const auto &v : grid.variants)
+                        vs.push_back("`" +
+                                     (v.key.empty() ? std::string("-")
+                                                    : v.key) +
+                                     "`" +
+                                     (v.label.empty()
+                                          ? ""
+                                          : " (" + v.label + ")"));
+                    md += "  - variants: " + join(vs, ", ") + "\n";
+                }
+            }
+            md += strprintf("- **distinct simulations:** %zu\n",
+                            countDistinctPoints(*s));
+        }
+        if (!s->notes.empty())
+            md += strprintf("- **notes:** %s\n", s->notes.c_str());
+        md += "\n";
+    }
+    return md;
+}
+
+int
+experimentMain(const ExperimentSpec &spec, int argc, char **argv)
+{
+    std::uint64_t warmup = spec.warmup;
+    std::uint64_t measure = spec.measure;
+    unsigned jobs = Runner::defaultJobs();
+    bool list = false, describe = false;
+
+    for (int i = 1; i < argc; ++i) {
+        auto needsValue = [&](const char *flag) {
+            fatal_if(i + 1 >= argc, "%s requires a value", flag);
+            return argv[++i];
+        };
+        if (std::strcmp(argv[i], "--jobs") == 0) {
+            jobs = static_cast<unsigned>(
+                std::strtoul(needsValue("--jobs"), nullptr, 10));
+            fatal_if(jobs == 0, "--jobs must be >= 1");
+        } else if (std::strcmp(argv[i], "--warmup") == 0) {
+            warmup = std::strtoull(needsValue("--warmup"), nullptr, 10);
+        } else if (std::strcmp(argv[i], "--measure") == 0) {
+            measure = std::strtoull(needsValue("--measure"), nullptr, 10);
+            fatal_if(measure == 0, "--measure must be >= 1");
+        } else if (std::strcmp(argv[i], "--list") == 0) {
+            list = true;
+        } else if (std::strcmp(argv[i], "--describe") == 0) {
+            describe = true;
+        } else {
+            fatal("unknown argument '%s' (expected --jobs/--warmup/"
+                  "--measure/--list/--describe)", argv[i]);
+        }
+    }
+
+    if (list) {
+        put(listExperiments({&spec}));
+        return 0;
+    }
+    if (describe) {
+        put(describeExperiment(spec));
+        return 0;
+    }
+
+    put(experimentBanner(spec.id, spec.title, spec.shape));
+
+    Runner runner(warmup, measure);
+    runner.setJobs(jobs);
+    enqueueExperiment(runner, spec);
+    bool swept = runner.pendingRuns() > 0;
+    runner.runPending();
+    if (swept)
+        put(runner.sweepSummary());
+    if (spec.render)
+        spec.render(runner);
+    return 0;
+}
+
+} // namespace fdip

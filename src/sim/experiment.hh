@@ -1,0 +1,144 @@
+/**
+ * @file experiment.hh
+ * Declarative experiment grids: every figure-reproduction binary
+ * states its sweep as one ExperimentSpec — axes (workloads x schemes
+ * x knob variants), run lengths, and a render callback for its custom
+ * table columns — and a single driver expands the spec into Runner
+ * enqueues, executes the sweep, and prints the tables.
+ *
+ * Before this existed, each bench stated its grid twice (the
+ * Runner::enqueue mirror and the table loop) and the two could drift.
+ * The spec is now the only statement of the grid; the table loop reads
+ * points back through Runner's memo, which panics on any key reused
+ * with a different config (SimConfig::fingerprint()).
+ *
+ * The same registry powers:
+ *  - a generic bench main() (bench/experiment_main.cc) giving every
+ *    binary --jobs/--warmup/--measure plus --list/--describe,
+ *  - the experiment-catalog generator (bench/gen_experiments.cc) that
+ *    emits docs/EXPERIMENTS.md, and
+ *  - the expansion-parity tests (tests/test_experiment.cc).
+ */
+
+#ifndef FDIP_SIM_EXPERIMENT_HH
+#define FDIP_SIM_EXPERIMENT_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/runner.hh"
+
+namespace fdip
+{
+
+/** One point on a grid's tweak axis. */
+struct TweakVariant
+{
+    /** Runner tweak_key; "" names the un-tweaked baseline machine. */
+    std::string key;
+    /** Human-readable description for --describe and the catalog. */
+    std::string label;
+    Runner::Tweak tweak;
+};
+
+/**
+ * One cartesian block of a sweep: workloads x schemes x variants.
+ * An empty variant list means a single un-tweaked point per
+ * (workload, scheme). Most experiments are one grid; benches whose
+ * hand-written loops mixed shapes (e.g. per-variant scheme sets) use
+ * several.
+ */
+struct ExperimentGrid
+{
+    std::vector<std::string> workloads;
+    std::vector<PrefetchScheme> schemes;
+    std::vector<TweakVariant> variants;
+    /** true: enqueueSpeedup() (adds the no-prefetch baseline each
+     *  speedup() needs); false: plain enqueue(). */
+    bool withBaseline = true;
+};
+
+struct ExperimentSpec
+{
+    std::string id;       ///< e.g. "R-F9"
+    std::string binary;   ///< bench executable, e.g. "bench_f9_ftq_sweep"
+    std::string title;    ///< banner headline
+    std::string shape;    ///< banner "expected shape" text
+    std::string paperRef; ///< which paper figure/table this reproduces
+    std::uint64_t warmup = 0;  ///< default warmup instructions
+    std::uint64_t measure = 0; ///< default measured instructions
+    std::vector<ExperimentGrid> grids;
+    /** Prints the experiment's tables; every point it reads was
+     *  enqueued by the grids above, so all reads are memo hits. */
+    std::function<void(Runner &)> render;
+    /** Optional catalog footnote (methodology caveats etc.). */
+    std::string notes;
+};
+
+/** Process-wide spec registry, filled by static registrars. */
+class ExperimentRegistry
+{
+  public:
+    static ExperimentRegistry &instance();
+
+    /** Register a spec; duplicate ids are fatal. */
+    void add(ExperimentSpec spec);
+
+    const ExperimentSpec *find(const std::string &id) const;
+
+    /** All specs, naturally sorted by id (R-F2 before R-F10). */
+    std::vector<const ExperimentSpec *> all() const;
+
+  private:
+    std::vector<ExperimentSpec> specs;
+};
+
+/** Registers maker()'s spec at static-initialization time. */
+struct ExperimentRegistrar
+{
+    explicit ExperimentRegistrar(ExperimentSpec (*maker)());
+};
+
+#define FDIP_REGISTER_EXPERIMENT(maker)                                      \
+    static const ::fdip::ExperimentRegistrar                                 \
+        fdip_experiment_registrar_##maker{maker}
+
+/** Visit every (workload, scheme, variant) enqueue the spec's grids
+ *  produce, baselines included, in deterministic expansion order. */
+void forEachGridPoint(
+    const ExperimentSpec &spec,
+    const std::function<void(const std::string &workload,
+                             PrefetchScheme scheme,
+                             const TweakVariant &variant)> &fn);
+
+/** Expand the spec's grids into Runner enqueues (the single source of
+ *  the sweep; there is no hand-written mirror to drift from). */
+void enqueueExperiment(Runner &runner, const ExperimentSpec &spec);
+
+/** Distinct simulations the spec expands to (after the Runner's
+ *  memo dedup of shared baselines / overlapping grids). */
+std::size_t countDistinctPoints(const ExperimentSpec &spec);
+
+/** Multi-line, stable description of one spec (--describe). */
+std::string describeExperiment(const ExperimentSpec &spec);
+
+/** One summary line per spec (--list). */
+std::string listExperiments(
+    const std::vector<const ExperimentSpec *> &specs);
+
+/** The generated docs/EXPERIMENTS.md content. */
+std::string experimentCatalogMarkdown(
+    const std::vector<const ExperimentSpec *> &specs);
+
+/**
+ * Shared bench main: parses --jobs/--warmup/--measure (run overrides)
+ * and --list/--describe (spec introspection, no simulation), prints
+ * the banner, expands + runs the sweep, prints the footer, then
+ * delegates to spec.render.
+ */
+int experimentMain(const ExperimentSpec &spec, int argc, char **argv);
+
+} // namespace fdip
+
+#endif // FDIP_SIM_EXPERIMENT_HH

@@ -1,0 +1,103 @@
+/**
+ * @file result_cache.hh
+ * On-disk cache of completed simulation results, shared across bench
+ * binaries.
+ *
+ * Every figure-reproduction binary re-simulates the same
+ * (workload, scheme) baselines; this cache lets a full figure
+ * regeneration reuse them across processes. Entries are keyed by
+ * SimConfig::fingerprint() — the order-independent hash of every knob
+ * that affects simulated behaviour — plus the run lengths, so an
+ * entry produced by a different *config* is never served. The
+ * fingerprint does not cover the simulator's *code*: a change to
+ * simulation semantics must bump kFormatVersion (or the user must
+ * clear the directory) to invalidate old entries — see
+ * docs/ENVVARS.md and the ROADMAP follow-on about deriving a build
+ * identity automatically.
+ *
+ * The cache is enabled by pointing FDIP_CACHE_DIR at a directory;
+ * FDIP_NO_CACHE=1 disables it even when the directory is set. Writes
+ * are atomic (temp file + rename), so concurrent bench binaries can
+ * share one directory.
+ */
+
+#ifndef FDIP_SIM_RESULT_CACHE_HH
+#define FDIP_SIM_RESULT_CACHE_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "sim/simulator.hh"
+
+namespace fdip
+{
+
+class ResultCache
+{
+  public:
+    /** Bumped whenever the entry format or simulated behaviour of the
+     *  whole simulator changes incompatibly. */
+    static constexpr unsigned kFormatVersion = 1;
+
+    explicit ResultCache(std::string directory);
+
+    /**
+     * Cache configured from the environment: FDIP_CACHE_DIR names the
+     * directory, FDIP_NO_CACHE=1 force-disables. Returns nullptr when
+     * disabled.
+     */
+    static std::unique_ptr<ResultCache> fromEnv();
+
+    const std::string &dir() const { return directory; }
+
+    /**
+     * Load the entry for (fingerprint, warmup, measure). Returns
+     * nullopt on a miss; a corrupt or stale entry (truncated file,
+     * header mismatch) is warned about and treated as a miss.
+     */
+    std::optional<SimResults> load(std::uint64_t fingerprint,
+                                   std::uint64_t warmup_insts,
+                                   std::uint64_t measure_insts) const;
+
+    /** Serialize @p r under (fingerprint, warmup, measure). Errors are
+     *  warnings — a read-only cache directory degrades to a no-op. */
+    void store(std::uint64_t fingerprint, std::uint64_t warmup_insts,
+               std::uint64_t measure_insts, const SimResults &r) const;
+
+    /** File an entry with this key lives in (exposed for tests). */
+    std::string entryPath(std::uint64_t fingerprint,
+                          std::uint64_t warmup_insts,
+                          std::uint64_t measure_insts) const;
+
+  private:
+    std::string directory;
+};
+
+/**
+ * Text encoding of one cache entry: a header binding the entry to
+ * (format version, fingerprint, run lengths), every simulated field of
+ * the SimResults including the full StatSet and FTQ-occupancy
+ * histogram, the host-side gauges of the producing run, and an "end"
+ * marker that catches truncation. Doubles are rendered with %.17g so
+ * decoding round-trips them bit-exactly.
+ */
+std::string encodeCacheEntry(std::uint64_t fingerprint,
+                             std::uint64_t warmup_insts,
+                             std::uint64_t measure_insts,
+                             const SimResults &r);
+
+/**
+ * Decode @p text, validating the header against the expected key.
+ * Returns nullopt (with a reason in @p error when non-null) on any
+ * mismatch or malformation.
+ */
+std::optional<SimResults> decodeCacheEntry(const std::string &text,
+                                           std::uint64_t fingerprint,
+                                           std::uint64_t warmup_insts,
+                                           std::uint64_t measure_insts,
+                                           std::string *error = nullptr);
+
+} // namespace fdip
+
+#endif // FDIP_SIM_RESULT_CACHE_HH

@@ -54,6 +54,50 @@ Runner::makeConfig(const Point &p) const
     return cfg;
 }
 
+Runner::Outcome
+Runner::computePoint(const Point &p) const
+{
+    SimConfig cfg = makeConfig(p);
+    if (!diskCache)
+        return Outcome{simulate(cfg), false};
+
+    std::uint64_t fp = cfg.fingerprint();
+    if (auto cached = diskCache->load(fp, warmup, measure)) {
+        SimResults r = std::move(*cached);
+        // The host gauges and skip totals describe the run that
+        // produced the entry, not this process; zero them so sweep
+        // footers only account simulations that actually executed.
+        r.hostSeconds = 0.0;
+        r.hostKcyclesPerSec = 0.0;
+        r.skippedCycles = 0;
+        r.totalCycles = 0;
+        return Outcome{std::move(r), true};
+    }
+    Outcome o{simulate(cfg), false};
+    diskCache->store(fp, warmup, measure, o.results);
+    return o;
+}
+
+void
+Runner::accountCacheOutcome(const Outcome &o)
+{
+    if (!diskCache)
+        return;
+    if (o.diskHit)
+        ++numCacheHits;
+    else
+        ++numCacheMisses;
+}
+
+void
+Runner::accountOutcome(const Outcome &o)
+{
+    sweepHostSeconds += o.results.hostSeconds;
+    sweepSkippedCycles += o.results.skippedCycles;
+    sweepTotalCycles += o.results.totalCycles;
+    accountCacheOutcome(o);
+}
+
 void
 Runner::checkFingerprint(const Key &key, const Point &p)
 {
@@ -71,14 +115,14 @@ Runner::run(const std::string &workload, PrefetchScheme scheme,
             const std::string &tweak_key, const Tweak &tweak)
 {
     Key key = makeKey(workload, scheme, tweak_key);
-    // Checked on cache hits too. A tweak-less call with a named key
+    // Checked on memo hits too. A tweak-less call with a named key
     // looks the memoized point up by name and claims nothing; with
     // the anonymous "" key it claims the un-tweaked baseline, which
     // must never be served a tweaked point's results.
     if (tweak || tweak_key.empty())
         checkFingerprint(key, Point{key, workload, scheme, tweak});
-    auto it = cache.find(key);
-    if (it != cache.end())
+    auto it = memo.find(key);
+    if (it != memo.end())
         return it->second;
 
     if (sweepDone) {
@@ -94,8 +138,10 @@ Runner::run(const std::string &workload, PrefetchScheme scheme,
     // fingerprint so any later conflicting claim on the name is
     // fatal rather than silently served these results.
     checkFingerprint(key, p);
-    auto [pos, inserted] = cache.emplace(std::move(key),
-                                         simulate(makeConfig(p)));
+    Outcome o = computePoint(p);
+    accountCacheOutcome(o);
+    auto [pos, inserted] = memo.emplace(std::move(key),
+                                        std::move(o.results));
     return pos->second;
 }
 
@@ -116,11 +162,15 @@ Runner::enqueue(const std::string &workload, PrefetchScheme scheme,
 {
     Key key = makeKey(workload, scheme, tweak_key);
     checkFingerprint(key, Point{key, workload, scheme, tweak});
-    if (cache.count(key))
+    if (memo.count(key)) {
+        ++numMemoHits;
         return;
+    }
     for (const auto &p : pending) {
-        if (p.key == key)
+        if (p.key == key) {
+            ++numMemoHits;
             return;
+        }
     }
     pending.push_back(Point{std::move(key), workload, scheme, tweak});
 }
@@ -131,6 +181,30 @@ Runner::enqueueSpeedup(const std::string &workload, PrefetchScheme scheme,
 {
     enqueue(workload, PrefetchScheme::None, tweak_key, tweak);
     enqueue(workload, scheme, tweak_key, tweak);
+}
+
+std::vector<std::array<std::string, 3>>
+Runner::pendingPoints() const
+{
+    std::vector<std::array<std::string, 3>> out;
+    out.reserve(pending.size());
+    for (const auto &p : pending) {
+        out.push_back({std::get<0>(p.key), std::get<1>(p.key),
+                       std::get<2>(p.key)});
+    }
+    return out;
+}
+
+void
+Runner::setCacheDir(const std::string &dir)
+{
+    diskCache = std::make_unique<ResultCache>(dir);
+}
+
+void
+Runner::disableCache()
+{
+    diskCache.reset();
 }
 
 void
@@ -152,11 +226,9 @@ Runner::runPending()
 
     if (workers <= 1) {
         for (const auto &p : pending) {
-            auto [pos, inserted] =
-                cache.emplace(p.key, simulate(makeConfig(p)));
-            sweepHostSeconds += pos->second.hostSeconds;
-            sweepSkippedCycles += pos->second.skippedCycles;
-            sweepTotalCycles += pos->second.totalCycles;
+            Outcome o = computePoint(p);
+            accountOutcome(o);
+            memo.emplace(p.key, std::move(o.results));
         }
         pending.clear();
         std::chrono::duration<double> wall =
@@ -167,14 +239,14 @@ Runner::runPending()
 
     // Each worker pulls the next unclaimed point; results land in a
     // per-point slot, so no locking and no ordering dependence.
-    std::vector<SimResults> results(pending.size());
+    std::vector<Outcome> outcomes(pending.size());
     std::atomic<std::size_t> next{0};
-    auto work = [this, &results, &next]() {
+    auto work = [this, &outcomes, &next]() {
         while (true) {
             std::size_t i = next.fetch_add(1);
             if (i >= pending.size())
                 return;
-            results[i] = simulate(makeConfig(pending[i]));
+            outcomes[i] = computePoint(pending[i]);
         }
     };
 
@@ -185,13 +257,12 @@ Runner::runPending()
     for (auto &t : threads)
         t.join();
 
-    // Memoize in enqueue order: cache contents (and any iteration over
+    // Memoize in enqueue order: memo contents (and any iteration over
     // them) match a serial sweep exactly.
     for (std::size_t i = 0; i < pending.size(); ++i) {
-        sweepHostSeconds += results[i].hostSeconds;
-        sweepSkippedCycles += results[i].skippedCycles;
-        sweepTotalCycles += results[i].totalCycles;
-        cache.emplace(std::move(pending[i].key), std::move(results[i]));
+        accountOutcome(outcomes[i]);
+        memo.emplace(std::move(pending[i].key),
+                     std::move(outcomes[i].results));
     }
     pending.clear();
     std::chrono::duration<double> wall =
@@ -205,11 +276,25 @@ Runner::sweepSummary() const
     double skip_pct = sweepTotalCycles == 0 ? 0.0
         : 100.0 * static_cast<double>(sweepSkippedCycles) /
           static_cast<double>(sweepTotalCycles);
-    return strprintf(
+    std::string out = strprintf(
         "sweep: %zu points in %.1fs wall (%u jobs, %.1fs summed "
         "host time, %.1f%% of simulated cycles skipped)\n",
         sweepPoints, sweepWallSeconds, numJobs, sweepHostSeconds,
         skip_pct);
+    // Two reuse layers, reported separately so they cannot be
+    // conflated: "memo hits" were deduped inside this process,
+    // "cache hits" were loaded from the cross-binary disk cache.
+    out += strprintf("reuse: %zu memo hits (in-process dedup); ",
+                     numMemoHits);
+    if (diskCache) {
+        out += strprintf("result cache: %zu hits, %zu misses "
+                         "(on-disk, %s)\n",
+                         numCacheHits, numCacheMisses,
+                         diskCache->dir().c_str());
+    } else {
+        out += "result cache: disabled (set FDIP_CACHE_DIR)\n";
+    }
+    return out;
 }
 
 double

@@ -6,13 +6,22 @@
  * Grid points are independent simulations, so a bench can enqueue()
  * its whole grid up front and runPending() executes the points on a
  * thread pool (--jobs N / FDIP_JOBS, default: hardware concurrency).
- * run() then serves every point from the memo cache, keeping table
- * output deterministic regardless of execution order.
+ * run() then serves every point from the in-process memo, keeping
+ * table output deterministic regardless of execution order.
+ *
+ * Two reuse layers with distinct names:
+ *  - the **memo** (in-process): the per-Runner map that dedups grid
+ *    points inside one binary, added in the parallel-runner work;
+ *  - the **result cache** (on-disk, sim/result_cache.hh): shares
+ *    completed results *across* binaries, keyed by
+ *    SimConfig::fingerprint() + run lengths. Enabled by
+ *    FDIP_CACHE_DIR; FDIP_NO_CACHE=1 turns it off.
  */
 
 #ifndef FDIP_SIM_RUNNER_HH
 #define FDIP_SIM_RUNNER_HH
 
+#include <array>
 #include <functional>
 #include <map>
 #include <string>
@@ -20,6 +29,7 @@
 #include <vector>
 
 #include "sim/presets.hh"
+#include "sim/result_cache.hh"
 #include "sim/simulator.hh"
 
 namespace fdip
@@ -76,7 +86,9 @@ class Runner
      * Execute all queued points and memoize their results. Points run
      * concurrently on jobs() threads (in enqueue order when jobs()
      * is 1). Simulations are deterministic and share no state, so the
-     * memo cache ends up identical to a serial sweep.
+     * memo ends up identical to a serial sweep. When the on-disk
+     * result cache is enabled, each point is first looked up there
+     * (and stored back after simulating a miss).
      */
     void runPending();
 
@@ -90,14 +102,36 @@ class Runner
     std::uint64_t warmupInsts() const { return warmup; }
     std::uint64_t measureInsts() const { return measure; }
 
-    std::size_t cachedRuns() const { return cache.size(); }
+    std::size_t memoizedRuns() const { return memo.size(); }
     std::size_t pendingRuns() const { return pending.size(); }
 
+    /** (workload, scheme, tweak_key) of every queued point, in queue
+     *  order — introspection for tests and the experiment catalog. */
+    std::vector<std::array<std::string, 3>> pendingPoints() const;
+
+    /** Point the on-disk result cache at @p dir (tests; normal use is
+     *  the FDIP_CACHE_DIR environment variable). */
+    void setCacheDir(const std::string &dir);
+    /** Drop the on-disk result cache (in-process memo is unaffected). */
+    void disableCache();
+    bool cacheEnabled() const { return diskCache != nullptr; }
+
+    /** enqueue() requests served by the in-process memo (duplicate
+     *  grid points, shared baselines). */
+    std::size_t memoHits() const { return numMemoHits; }
+    /** Points served from / simulated into the on-disk result cache
+     *  across all runPending()/run() calls so far. */
+    std::size_t cacheHits() const { return numCacheHits; }
+    std::size_t cacheMisses() const { return numCacheMisses; }
+
     /**
-     * One-line footer for the last runPending() batch: points
-     * executed, wall seconds, jobs, and summed per-run host seconds
-     * (wall vs. summed shows parallel efficiency; either one drifting
-     * up across commits is a simulator perf regression).
+     * Footer for the last runPending() batch: points executed, wall
+     * seconds, jobs, summed per-run host seconds (wall vs. summed
+     * shows parallel efficiency; either one drifting up across commits
+     * is a simulator perf regression), plus a reuse line that keeps
+     * the two layers distinct: "memo hits" are enqueues deduped by the
+     * in-process memo, "cache hits" are points served from the on-disk
+     * result cache instead of being simulated.
      */
     std::string sweepSummary() const;
 
@@ -116,9 +150,25 @@ class Runner
         Tweak tweak;
     };
 
+    /** One executed-or-loaded grid point. */
+    struct Outcome
+    {
+        SimResults results;
+        bool diskHit = false;
+    };
+
     static Key makeKey(const std::string &workload, PrefetchScheme scheme,
                        const std::string &tweak_key);
     SimConfig makeConfig(const Point &p) const;
+
+    /** Serve @p p from the on-disk cache, or simulate (and store). */
+    Outcome computePoint(const Point &p) const;
+
+    /** Count one outcome against the hit/miss counters. */
+    void accountCacheOutcome(const Outcome &o);
+
+    /** Fold one outcome into the sweep gauges and counters. */
+    void accountOutcome(const Outcome &o);
 
     /**
      * Record the materialized config's fingerprint for @p key;
@@ -132,10 +182,18 @@ class Runner
     std::uint64_t warmup;
     std::uint64_t measure;
     unsigned numJobs = defaultJobs();
-    std::map<Key, SimResults> cache;
+    /** In-process memo: every completed point of this Runner. */
+    std::map<Key, SimResults> memo;
     std::vector<Point> pending;
     /** Config identity behind every memo key ever enqueued or run. */
     std::map<Key, std::uint64_t> fingerprints;
+    /** Cross-binary on-disk result cache; nullptr when disabled. */
+    std::unique_ptr<ResultCache> diskCache = ResultCache::fromEnv();
+
+    /** Reuse counters (whole Runner lifetime). */
+    std::size_t numMemoHits = 0;
+    std::size_t numCacheHits = 0;
+    std::size_t numCacheMisses = 0;
 
     /** Last-batch bookkeeping for sweepSummary(). */
     std::size_t sweepPoints = 0;

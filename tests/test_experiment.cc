@@ -1,0 +1,163 @@
+/**
+ * Tests for the declarative experiment-grid subsystem
+ * (sim/experiment.hh). The R-F9 bench's spec TU is linked into this
+ * test (see CMakeLists.txt), pinning a real production grid:
+ *  - spec expansion produces exactly the enqueue set the old
+ *    hand-written mirror produced,
+ *  - --list / --describe output is stable.
+ */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+#include "trace/profile.hh"
+
+using namespace fdip;
+
+namespace
+{
+
+using PointList = std::vector<std::array<std::string, 3>>;
+
+PointList
+sorted(PointList points)
+{
+    std::sort(points.begin(), points.end());
+    return points;
+}
+
+/** Callers must ASSERT_NE against nullptr before dereferencing. */
+const ExperimentSpec *
+f9Spec()
+{
+    return ExperimentRegistry::instance().find("R-F9");
+}
+
+} // namespace
+
+TEST(ExperimentRegistry, F9SpecIsRegistered)
+{
+    const ExperimentSpec *spec = f9Spec();
+    ASSERT_NE(spec, nullptr)
+        << "bench_f9_ftq_sweep.cc must be linked into this test";
+    EXPECT_EQ(spec->binary, "bench_f9_ftq_sweep");
+    EXPECT_EQ(spec->warmup, 150u * 1000u);
+    EXPECT_EQ(spec->measure, 500u * 1000u);
+    ASSERT_EQ(spec->grids.size(), 1u);
+    EXPECT_TRUE(spec->grids[0].withBaseline);
+    EXPECT_EQ(spec->grids[0].variants.size(), 6u);
+    EXPECT_TRUE(static_cast<bool>(spec->render));
+}
+
+TEST(ExperimentExpansion, MatchesHandWrittenMirror)
+{
+    const ExperimentSpec *spec_p = f9Spec();
+    ASSERT_NE(spec_p, nullptr);
+    const ExperimentSpec &spec = *spec_p;
+
+    Runner from_spec(spec.warmup, spec.measure);
+    from_spec.disableCache();
+    enqueueExperiment(from_spec, spec);
+
+    // The enqueue mirror exactly as bench_f9_ftq_sweep.cc wrote it
+    // before the spec refactor (PR 2/PR 3 vintage).
+    Runner mirror(spec.warmup, spec.measure);
+    mirror.disableCache();
+    for (unsigned entries : {2u, 4u, 8u, 16u, 32u, 64u}) {
+        for (const auto &name : largeFootprintNames()) {
+            mirror.enqueueSpeedup(
+                name, PrefetchScheme::FdpRemove,
+                "ftq" + std::to_string(entries),
+                [entries](SimConfig &cfg) {
+                    cfg.ftqEntries = entries;
+                });
+        }
+    }
+
+    EXPECT_EQ(from_spec.pendingRuns(), mirror.pendingRuns());
+    EXPECT_EQ(sorted(from_spec.pendingPoints()),
+              sorted(mirror.pendingPoints()));
+    EXPECT_EQ(countDistinctPoints(spec), mirror.pendingRuns());
+}
+
+TEST(ExperimentExpansion, BaselineGridAddsNoPrefetchPoints)
+{
+    ExperimentSpec s;
+    s.id = "T-GRID";
+    s.binary = "test";
+    s.grids = {{{"gcc", "li"}, {PrefetchScheme::FdpRemove},
+                {{"k1", "one", nullptr}}, true}};
+    EXPECT_EQ(countDistinctPoints(s), 4u); // 2 workloads x {None, FdpRemove}
+
+    std::size_t calls = 0, baselines = 0;
+    forEachGridPoint(s, [&](const std::string &, PrefetchScheme scheme,
+                            const TweakVariant &v) {
+        ++calls;
+        if (scheme == PrefetchScheme::None)
+            ++baselines;
+        EXPECT_EQ(v.key, "k1");
+    });
+    EXPECT_EQ(calls, 4u);
+    EXPECT_EQ(baselines, 2u);
+}
+
+TEST(ExperimentExpansion, EmptyGridsExpandToNothing)
+{
+    ExperimentSpec s;
+    s.id = "T-EMPTY";
+    s.binary = "test";
+    EXPECT_EQ(countDistinctPoints(s), 0u);
+    Runner r(10 * 1000, 10 * 1000);
+    r.disableCache();
+    enqueueExperiment(r, s);
+    EXPECT_EQ(r.pendingRuns(), 0u);
+}
+
+TEST(ExperimentDescribe, OutputIsStable)
+{
+    const std::string expected =
+        "R-F9: FTQ depth sweep (FDP remove-CPF vs baseline FTQ=32)\n"
+        "  binary:     bench_f9_ftq_sweep\n"
+        "  reproduces: MICRO-32, Fig. 9 (FTQ size sensitivity)\n"
+        "  expected:   tiny FTQs cripple FDP (no lookahead); gains "
+        "saturate by a few tens of entries\n"
+        "  run:        150000 warmup + 500000 measured instructions "
+        "per point\n"
+        "  grid 1:     6 workloads x 1 schemes x 6 variants "
+        "(+ no-prefetch baselines)\n"
+        "    workloads: burg perl go groff gcc vortex\n"
+        "    schemes:   fdp-remove\n"
+        "    variants:  ftq2 = 2-entry FTQ, ftq4 = 4-entry FTQ, "
+        "ftq8 = 8-entry FTQ, ftq16 = 16-entry FTQ, "
+        "ftq32 = 32-entry FTQ, ftq64 = 64-entry FTQ\n"
+        "  points:     72 distinct simulations\n";
+    const ExperimentSpec *spec = f9Spec();
+    ASSERT_NE(spec, nullptr);
+    EXPECT_EQ(describeExperiment(*spec), expected);
+}
+
+TEST(ExperimentList, OutputIsStable)
+{
+    const std::string expected =
+        "R-F9    bench_f9_ftq_sweep              72 points  "
+        "FTQ depth sweep (FDP remove-CPF vs baseline FTQ=32)\n";
+    const ExperimentSpec *spec = f9Spec();
+    ASSERT_NE(spec, nullptr);
+    EXPECT_EQ(listExperiments({spec}), expected);
+}
+
+TEST(ExperimentCatalog, MarkdownMentionsEverySpec)
+{
+    auto specs = ExperimentRegistry::instance().all();
+    std::string md = experimentCatalogMarkdown(specs);
+    EXPECT_NE(md.find("# Experiment catalog"), std::string::npos);
+    EXPECT_NE(md.find("Do not edit by hand"), std::string::npos);
+    for (const ExperimentSpec *s : specs) {
+        EXPECT_NE(md.find("## " + s->id + ": "), std::string::npos)
+            << s->id;
+        EXPECT_NE(md.find("`" + s->binary + "`"), std::string::npos)
+            << s->binary;
+    }
+}

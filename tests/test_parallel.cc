@@ -12,6 +12,7 @@
  * therefore safe by isolation, which these tests pin down.
  */
 
+#include <cstdlib>
 #include <thread>
 
 #include <gtest/gtest.h>
@@ -22,6 +23,15 @@ using namespace fdip;
 
 namespace
 {
+
+// Runner defaults its on-disk result cache from FDIP_CACHE_DIR;
+// parallel-vs-serial parity must compare fresh simulations, not a
+// shared cache, regardless of the invoking shell's environment.
+[[maybe_unused]] const bool env_cleared = [] {
+    unsetenv("FDIP_CACHE_DIR");
+    unsetenv("FDIP_NO_CACHE");
+    return true;
+}();
 
 SimConfig
 smallConfig(const std::string &workload, PrefetchScheme scheme)
@@ -79,7 +89,7 @@ TEST(Concurrency, ParallelRunnerMatchesSerialSweep)
             parallel.enqueue(w, s);
     }
     parallel.runPending();
-    EXPECT_EQ(parallel.cachedRuns(), workloads.size() * schemes.size());
+    EXPECT_EQ(parallel.memoizedRuns(), workloads.size() * schemes.size());
 
     for (const auto &w : workloads) {
         for (auto s : schemes)

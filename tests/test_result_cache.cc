@@ -1,0 +1,240 @@
+/**
+ * Tests for the on-disk result cache (sim/result_cache.hh): entry
+ * round-trip fidelity, cache-hit parity against a fresh simulation,
+ * and rejection (with a warning) of corrupted or stale entries.
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "sim/report.hh"
+#include "sim/result_cache.hh"
+#include "sim/runner.hh"
+
+using namespace fdip;
+
+namespace
+{
+
+SimConfig
+smallConfig(const std::string &workload, PrefetchScheme scheme)
+{
+    SimConfig cfg = makeBaselineConfig(workload, scheme);
+    cfg.warmupInsts = 10 * 1000;
+    cfg.measureInsts = 30 * 1000;
+    return cfg;
+}
+
+/** Fresh per-test cache directory under the gtest temp dir. */
+std::string
+freshCacheDir(const std::string &tag)
+{
+    std::string dir = ::testing::TempDir() + "fdip-result-cache-" + tag;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    std::string out((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+    return out;
+}
+
+void
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << path;
+    out << content;
+}
+
+} // namespace
+
+TEST(ResultCacheCodec, RoundTripIsExact)
+{
+    SimConfig cfg = smallConfig("gcc", PrefetchScheme::FdpRemove);
+    SimResults r = simulate(cfg);
+    std::uint64_t fp = cfg.fingerprint();
+
+    std::string text = encodeCacheEntry(fp, cfg.warmupInsts,
+                                        cfg.measureInsts, r);
+    auto back = decodeCacheEntry(text, fp, cfg.warmupInsts,
+                                 cfg.measureInsts);
+    ASSERT_TRUE(back.has_value());
+
+    // Every simulated field round-trips bit-exactly: the canonical
+    // serialization (scalars, histogram bins, full StatSet) is equal.
+    EXPECT_EQ(serializeResults(r), serializeResults(*back));
+    // The host gauges of the producing run are preserved verbatim.
+    EXPECT_DOUBLE_EQ(r.hostSeconds, back->hostSeconds);
+    EXPECT_DOUBLE_EQ(r.hostKcyclesPerSec, back->hostKcyclesPerSec);
+    EXPECT_EQ(r.skippedCycles, back->skippedCycles);
+    EXPECT_EQ(r.totalCycles, back->totalCycles);
+    // Histogram summary stats derive from reconstructed buckets.
+    EXPECT_DOUBLE_EQ(r.ftqOccupancy.mean(), back->ftqOccupancy.mean());
+    EXPECT_EQ(r.ftqOccupancy.count(), back->ftqOccupancy.count());
+}
+
+TEST(ResultCacheCodec, RejectsWrongKeyAndMalformedText)
+{
+    SimConfig cfg = smallConfig("li", PrefetchScheme::None);
+    SimResults r = simulate(cfg);
+    std::uint64_t fp = cfg.fingerprint();
+    std::string text = encodeCacheEntry(fp, cfg.warmupInsts,
+                                        cfg.measureInsts, r);
+
+    std::string why;
+    // Stale keys: fingerprint, warmup, or measure mismatch.
+    EXPECT_FALSE(decodeCacheEntry(text, fp + 1, cfg.warmupInsts,
+                                  cfg.measureInsts, &why));
+    EXPECT_NE(why.find("fingerprint"), std::string::npos);
+    EXPECT_FALSE(decodeCacheEntry(text, fp, cfg.warmupInsts + 1,
+                                  cfg.measureInsts, &why));
+    EXPECT_NE(why.find("warmup"), std::string::npos);
+    EXPECT_FALSE(decodeCacheEntry(text, fp, cfg.warmupInsts,
+                                  cfg.measureInsts + 1, &why));
+    EXPECT_NE(why.find("measure"), std::string::npos);
+
+    // Truncation (the "end" marker is missing).
+    std::string cut = text.substr(0, text.size() / 2);
+    EXPECT_FALSE(decodeCacheEntry(cut, fp, cfg.warmupInsts,
+                                  cfg.measureInsts, &why));
+
+    // Garbage.
+    EXPECT_FALSE(decodeCacheEntry("not a cache entry\n", fp,
+                                  cfg.warmupInsts, cfg.measureInsts,
+                                  &why));
+    EXPECT_FALSE(decodeCacheEntry("", fp, cfg.warmupInsts,
+                                  cfg.measureInsts, &why));
+}
+
+TEST(ResultCache, HitParityVsFreshSimulation)
+{
+    std::string dir = freshCacheDir("parity");
+
+    // Producer: populates the cache (all misses).
+    Runner producer(10 * 1000, 30 * 1000);
+    producer.setCacheDir(dir);
+    producer.setJobs(1);
+    producer.enqueue("gcc", PrefetchScheme::FdpRemove);
+    producer.runPending();
+    EXPECT_EQ(producer.cacheHits(), 0u);
+    EXPECT_EQ(producer.cacheMisses(), 1u);
+    const SimResults &fresh =
+        producer.run("gcc", PrefetchScheme::FdpRemove);
+
+    // Consumer: a separate Runner ("another binary") sharing the dir.
+    Runner consumer(10 * 1000, 30 * 1000);
+    consumer.setCacheDir(dir);
+    consumer.setJobs(1);
+    consumer.enqueue("gcc", PrefetchScheme::FdpRemove);
+    consumer.runPending();
+    EXPECT_EQ(consumer.cacheHits(), 1u);
+    EXPECT_EQ(consumer.cacheMisses(), 0u);
+    const SimResults &cached =
+        consumer.run("gcc", PrefetchScheme::FdpRemove);
+
+    // And a cache-less Runner as the ground truth.
+    Runner plain(10 * 1000, 30 * 1000);
+    plain.disableCache();
+    const SimResults &truth =
+        plain.run("gcc", PrefetchScheme::FdpRemove);
+
+    EXPECT_EQ(serializeResults(truth), serializeResults(cached));
+    EXPECT_EQ(serializeResults(truth), serializeResults(fresh));
+}
+
+TEST(ResultCache, CorruptedEntryRejectedWithWarning)
+{
+    std::string dir = freshCacheDir("corrupt");
+
+    Runner producer(10 * 1000, 30 * 1000);
+    producer.setCacheDir(dir);
+    producer.setJobs(1);
+    producer.enqueue("li", PrefetchScheme::None);
+    producer.runPending();
+    EXPECT_EQ(producer.cacheMisses(), 1u);
+
+    // Corrupt the stored entry in place.
+    SimConfig cfg = smallConfig("li", PrefetchScheme::None);
+    ResultCache cache(dir);
+    std::string path = cache.entryPath(cfg.fingerprint(),
+                                       cfg.warmupInsts,
+                                       cfg.measureInsts);
+    std::string content = readFile(path);
+    ASSERT_FALSE(content.empty());
+    writeFile(path, content.substr(0, content.size() / 3) + "garbage");
+
+    // A consumer must warn, treat it as a miss, and re-simulate.
+    ::testing::internal::CaptureStderr();
+    Runner consumer(10 * 1000, 30 * 1000);
+    consumer.setCacheDir(dir);
+    consumer.setJobs(1);
+    consumer.enqueue("li", PrefetchScheme::None);
+    consumer.runPending();
+    std::string err = ::testing::internal::GetCapturedStderr();
+    EXPECT_EQ(consumer.cacheHits(), 0u);
+    EXPECT_EQ(consumer.cacheMisses(), 1u);
+    EXPECT_NE(err.find("rejecting entry"), std::string::npos) << err;
+
+    // The re-simulation overwrote the corrupt entry: next load hits.
+    Runner verifier(10 * 1000, 30 * 1000);
+    verifier.setCacheDir(dir);
+    verifier.run("li", PrefetchScheme::None);
+    EXPECT_EQ(verifier.cacheHits(), 1u);
+}
+
+TEST(ResultCache, StaleFingerprintEntryRejectedWithWarning)
+{
+    std::string dir = freshCacheDir("stale");
+    ResultCache cache(dir);
+
+    SimConfig produced = smallConfig("gcc", PrefetchScheme::None);
+    SimResults r = simulate(produced);
+
+    // Plant the produced entry at the *path* of a different config,
+    // simulating a stale/aliased file. The embedded fingerprint
+    // cannot match, so the load must reject it.
+    SimConfig wanted = smallConfig("gcc", PrefetchScheme::FdpRemove);
+    ASSERT_NE(produced.fingerprint(), wanted.fingerprint());
+    writeFile(cache.entryPath(wanted.fingerprint(),
+                              wanted.warmupInsts, wanted.measureInsts),
+              encodeCacheEntry(produced.fingerprint(),
+                               produced.warmupInsts,
+                               produced.measureInsts, r));
+
+    ::testing::internal::CaptureStderr();
+    auto loaded = cache.load(wanted.fingerprint(), wanted.warmupInsts,
+                             wanted.measureInsts);
+    std::string err = ::testing::internal::GetCapturedStderr();
+    EXPECT_FALSE(loaded.has_value());
+    EXPECT_NE(err.find("fingerprint mismatch"), std::string::npos)
+        << err;
+}
+
+TEST(ResultCache, DisabledByDefaultInRunnerWhenEnvUnset)
+{
+    // The suite must not depend on the invoking shell's environment;
+    // explicitly clear the knobs before checking the default.
+    unsetenv("FDIP_CACHE_DIR");
+    unsetenv("FDIP_NO_CACHE");
+    Runner r(10 * 1000, 30 * 1000);
+    EXPECT_FALSE(r.cacheEnabled());
+    EXPECT_EQ(ResultCache::fromEnv(), nullptr);
+
+    setenv("FDIP_CACHE_DIR", freshCacheDir("env").c_str(), 1);
+    EXPECT_NE(ResultCache::fromEnv(), nullptr);
+    setenv("FDIP_NO_CACHE", "1", 1);
+    EXPECT_EQ(ResultCache::fromEnv(), nullptr);
+    setenv("FDIP_NO_CACHE", "0", 1);
+    EXPECT_NE(ResultCache::fromEnv(), nullptr);
+    unsetenv("FDIP_CACHE_DIR");
+    unsetenv("FDIP_NO_CACHE");
+}

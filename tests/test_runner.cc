@@ -1,10 +1,26 @@
 /** Tests for the experiment runner and aggregate helpers. */
 
+#include <cstdlib>
+
 #include <gtest/gtest.h>
 
 #include "sim/runner.hh"
 
 using namespace fdip;
+
+namespace
+{
+
+// Runner defaults its on-disk result cache from FDIP_CACHE_DIR;
+// these tests must be hermetic regardless of the invoking shell's
+// environment (and must not pollute a developer's bench cache).
+[[maybe_unused]] const bool env_cleared = [] {
+    unsetenv("FDIP_CACHE_DIR");
+    unsetenv("FDIP_NO_CACHE");
+    return true;
+}();
+
+} // namespace
 
 TEST(Runner, MemoizesRuns)
 {
@@ -42,13 +58,13 @@ TEST(Runner, EnqueueThenRunPendingFillsMemo)
     EXPECT_EQ(r.pendingRuns(), 1u);
     r.runPending();
     EXPECT_EQ(r.pendingRuns(), 0u);
-    EXPECT_EQ(r.cachedRuns(), 1u);
+    EXPECT_EQ(r.memoizedRuns(), 1u);
 
     // run() must serve the memoized object, not re-simulate.
     const SimResults &a = r.run("li", PrefetchScheme::None);
     const SimResults &b = r.run("li", PrefetchScheme::None);
     EXPECT_EQ(&a, &b);
-    EXPECT_EQ(r.cachedRuns(), 1u);
+    EXPECT_EQ(r.memoizedRuns(), 1u);
 
     // Enqueueing an already-memoized point is a no-op.
     r.enqueue("li", PrefetchScheme::None);
@@ -73,7 +89,7 @@ TEST(Runner, SlashInTweakKeyCannotCollide)
         "li", PrefetchScheme::None, "cache/64k",
         [](SimConfig &cfg) { cfg.mem.l1i.sizeBytes = 64 * 1024; });
     EXPECT_NE(&plain, &slashy);
-    EXPECT_EQ(r.cachedRuns(), 2u);
+    EXPECT_EQ(r.memoizedRuns(), 2u);
     // Same slashy key memoizes to the same point.
     EXPECT_EQ(&slashy, &r.run("li", PrefetchScheme::None, "cache/64k"));
 }
@@ -93,7 +109,7 @@ TEST(Runner, SameKeySameConfigDistinctClosuresAccepted)
     const SimResults &b =
         r.run("li", PrefetchScheme::None, "bigcache", grow);
     EXPECT_EQ(&a, &b);
-    EXPECT_EQ(r.cachedRuns(), 1u);
+    EXPECT_EQ(r.memoizedRuns(), 1u);
 }
 
 TEST(RunnerDeath, StaleConfigServeIsImpossible)
