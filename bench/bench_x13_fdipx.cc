@@ -108,6 +108,8 @@ makeSpec()
         "once the branch working set fits either way";
     s.paperRef = "FDIP-Revisited (2020), Figs. 5/6 (gain vs BTB "
                  "storage)";
+    s.question = "At which BTB storage budgets does the partitioned "
+                 "front-end beat the unified FTB at driving FDIP?";
     s.warmup = kSweepWarmup;
     s.measure = kSweepMeasure;
     s.grids = {{allWorkloadNames(), {PrefetchScheme::FdpRemove},

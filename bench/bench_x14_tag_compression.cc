@@ -60,6 +60,8 @@ makeSpec()
         "the compressed tag costs almost nothing: the folded XOR "
         "preserves the high-order entropy";
     s.paperRef = "FDIP-Revisited (2020), Fig. 7 (tag compression)";
+    s.question = "How much prediction accuracy (and FDIP gain) do "
+                 "16-bit folded-XOR BTB tags give up vs full tags?";
     s.warmup = kSweepWarmup;
     s.measure = kSweepMeasure;
     s.grids = {{allWorkloadNames(), {PrefetchScheme::FdpRemove},

@@ -129,6 +129,9 @@ makeSpec()
         "VM-off machine";
     s.paperRef = "VM/ITLB extension (beyond the paper; follow-on "
                  "literature methodology)";
+    s.question = "How much of FDIP's gain survives address "
+                 "translation, and which prefetch-translation policy "
+                 "(drop/wait/fill) recovers the loss?";
     s.warmup = kSweepWarmup;
     s.measure = kSweepMeasure;
     s.grids = {{largeFootprintNames(), {PrefetchScheme::FdpRemove},

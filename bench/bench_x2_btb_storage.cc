@@ -70,6 +70,9 @@ makeSpec()
         "unified design in the same (or less) storage";
     s.paperRef = "FDIP-Revisited (2020), Tables I & II (storage "
                  "breakdown)";
+    s.question = "How many more branch targets does the 4-partition "
+                 "offset-BTB track than a unified BTB of the same "
+                 "storage budget?";
     // Pure storage accounting: no grids, no simulation.
     s.render = render;
     return s;

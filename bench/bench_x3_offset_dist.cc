@@ -95,6 +95,9 @@ makeSpec()
         "the full-width tail — this drives the partition sizing";
     s.paperRef = "FDIP-Revisited (2020) partition-sizing input "
                  "(trace analysis, no simulation)";
+    s.question = "How short are dynamic branch-target offsets really "
+                 "— i.e. how much target storage can a partitioned "
+                 "BTB save?";
     // Walks the traces directly; no Runner grid.
     s.render = render;
     return s;

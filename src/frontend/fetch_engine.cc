@@ -37,8 +37,10 @@ FetchEngine::tick(Cycle now)
     Addr block = mem.l1i().blockAlign(pc);
 
     // Address translation precedes the cache access. An ITLB miss
-    // stalls fetch for the page walk; the walk fills the ITLB, so the
-    // retry at readyAt translates without further delay.
+    // stalls fetch for the L2-TLB refill or page walk (a demand walk
+    // queues ahead of any prefetch walks when the walkers are
+    // saturated, so readyAt is exact); the refill/walk fills the
+    // ITLB, so the retry at readyAt translates without further delay.
     Addr fetch_pc = pc;
     if (mmu != nullptr && mmu->enabled()) {
         TlbAccess tr = mmu->demandTranslate(pc, now);

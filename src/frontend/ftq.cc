@@ -19,6 +19,7 @@ Ftq::push(const FetchBlock &blk)
     FtqEntry e;
     e.blk = blk;
     q.push(e);
+    ++version_;
     stPushedBlocks.inc();
     stPushedInsts.inc(blk.numInsts);
 }
@@ -27,6 +28,7 @@ void
 Ftq::popHead()
 {
     q.pop();
+    ++version_;
     stPoppedBlocks.inc();
 }
 
@@ -36,6 +38,7 @@ Ftq::flush()
     stFlushes.inc();
     stFlushedBlocks.inc(q.size());
     q.clear();
+    ++version_;
 }
 
 unsigned

@@ -48,6 +48,14 @@ class Ftq
     /** Squash everything (branch misprediction recovery). */
     void flush();
 
+    /**
+     * Monotonic content-change counter: bumped by push, popHead, and
+     * flush. Scanners whose verdict is a pure function of the queue's
+     * entries (e.g. the TLB prefetcher's fixed-point check) memoize
+     * against it instead of rescanning every cycle.
+     */
+    std::uint64_t version() const { return version_; }
+
     /** Number of cache blocks entry @p i spans. */
     unsigned numCacheBlocks(std::size_t i) const;
 
@@ -85,6 +93,7 @@ class Ftq
     CircularQueue<FtqEntry> q;
     unsigned blockBytes;
     Histogram occupancy;
+    std::uint64_t version_ = 0;
 };
 
 } // namespace fdip

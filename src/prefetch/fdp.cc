@@ -205,10 +205,15 @@ FdpPrefetcher::nextEventCycle(Cycle now) const
     if (!piq_.empty()) {
         const PiqEntry &head = piq_.front();
         // An untranslated or ready head means a translate or an issue
-        // attempt next cycle; a waiting head wakes at walk completion.
-        if (!head.tr.translated || head.tr.readyAt <= now + 1)
+        // attempt next cycle; a waiting head wakes at walk completion
+        // (kNever while its walk is queued for a walker — the MMU's
+        // own events cover the start).
+        if (!head.tr.translated)
             return now + 1;
-        next = head.tr.readyAt;
+        Cycle wake = translationWakeCycle(head.tr, now);
+        if (wake <= now + 1)
+            return now + 1;
+        next = wake;
     }
     if (!piq_.full()) {
         for (std::size_t i = 1; i < ftq.size(); ++i) {
@@ -223,9 +228,10 @@ void
 FdpPrefetcher::chargeIdleCycles(Cycle now, Cycle cycles)
 {
     // The only per-cycle charge of a quiescent tick: the head-of-line
-    // candidate waiting on its page walk.
+    // candidate waiting on its page walk (no walk completes inside a
+    // charged window, so pending-now means pending throughout).
     if (!piq_.empty() && piq_.front().tr.translated &&
-        piq_.front().tr.readyAt > now + cycles) {
+        translationWaiting(piq_.front().tr)) {
         stTlbWaitStalls.inc(cycles);
     }
 }

@@ -46,17 +46,19 @@ NlpPrefetcher::nextEventCycle(Cycle now) const
         return kNever;
     const Cand &head = pending.front();
     // An untranslated or ready head acts next cycle; a waiting head
-    // wakes at its page-walk completion.
-    if (!head.tr.translated || head.tr.readyAt <= now + 1)
+    // wakes at its page-walk completion (kNever while the walk is
+    // queued for a walker — the MMU's events cover the start).
+    if (!head.tr.translated)
         return now + 1;
-    return head.tr.readyAt;
+    Cycle wake = translationWakeCycle(head.tr, now);
+    return wake <= now + 1 ? now + 1 : wake;
 }
 
 void
 NlpPrefetcher::chargeIdleCycles(Cycle now, Cycle cycles)
 {
     if (!pending.empty() && pending.front().tr.translated &&
-        pending.front().tr.readyAt > now + cycles) {
+        translationWaiting(pending.front().tr)) {
         stTlbWaitStalls.inc(cycles);
     }
 }

@@ -93,7 +93,11 @@ class Prefetcher
 
     /**
      * Resolve a candidate's cached translation: probe at most once,
-     * then age the cached result until its walk (if any) completes.
+     * then poll the MMU until the backing walk (if any) completes.
+     * Polling (rather than comparing against a cached completion
+     * cycle) is what makes bounded walker bandwidth work: a queued
+     * prefetch walk's completion slides when demand walks overtake
+     * it, so only the MMU knows when the candidate is really ready.
      */
     TrResolve
     resolveTranslation(PfTranslationState &state, Addr vaddr, Cycle now)
@@ -105,9 +109,51 @@ class Prefetcher
             state.translated = true;
             state.paddr = tr.paddr;
             state.readyAt = tr.readyAt;
+            state.vpn = tr.vpn;
+            state.walkId = tr.walkId;
         }
-        return now < state.readyAt ? TrResolve::Waiting
-                                   : TrResolve::Ready;
+        if (state.walkId != 0) {
+            if (mmu_ != nullptr &&
+                mmu_->walkPending(state.vpn, state.walkId)) {
+                return TrResolve::Waiting;
+            }
+            state.walkId = 0; // walk completed: latch the resolution
+        }
+        return TrResolve::Ready;
+    }
+
+    /**
+     * Earliest cycle a translated candidate can act, for
+     * nextEventCycle(): now + 1 when its walk is done (or it never
+     * had one), the completion cycle while the walk is active, and
+     * kNever while the walk is still queued for a walker — the
+     * MMU's own walker-completion events cover the start, so the
+     * machine is guaranteed to tick before the state can change.
+     */
+    Cycle
+    translationWakeCycle(const PfTranslationState &state, Cycle now) const
+    {
+        if (state.walkId == 0 || mmu_ == nullptr)
+            return now + 1;
+        Cycle ready = mmu_->walkReadyCycle(state.vpn, state.walkId);
+        if (ready == 0)
+            return now + 1; // walk done: candidate acts next cycle
+        if (ready == kNever)
+            return kNever; // queued: wake on the MMU's walker events
+        return ready <= now + 1 ? now + 1 : ready;
+    }
+
+    /**
+     * Is this translated candidate still waiting on an in-flight
+     * walk? Used by chargeIdleCycles() to bulk-apply head-of-line
+     * TLB-wait counters across a quiescent window (the caller
+     * guarantees no walk completes inside the window).
+     */
+    bool
+    translationWaiting(const PfTranslationState &state) const
+    {
+        return state.walkId != 0 && mmu_ != nullptr &&
+            mmu_->walkPending(state.vpn, state.walkId);
     }
 
     /**

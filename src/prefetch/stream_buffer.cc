@@ -163,13 +163,18 @@ StreamBufferPrefetcher::nextEventCycle(Cycle now) const
     for (const Buffer &b : buffers) {
         // Inactive, topped-up, or in-flight buffers do nothing; a
         // stream with an untranslated or ready head tops up next
-        // cycle; a waiting one wakes at its page-walk completion.
+        // cycle; a waiting one wakes at its page-walk completion
+        // (kNever while the walk is queued for a walker — the MMU's
+        // events cover the start).
         if (!b.active || b.requestInFlight || b.slots.size() >= cfg.depth)
             continue;
-        if (!b.tr.translated || b.tr.readyAt <= now + 1)
+        if (!b.tr.translated)
             return now + 1;
-        if (b.tr.readyAt < next)
-            next = b.tr.readyAt;
+        Cycle wake = translationWakeCycle(b.tr, now);
+        if (wake <= now + 1)
+            return now + 1;
+        if (wake < next)
+            next = wake;
     }
     return next;
 }
@@ -178,11 +183,12 @@ void
 StreamBufferPrefetcher::chargeIdleCycles(Cycle now, Cycle cycles)
 {
     // Every stream waiting on a page walk charges one wait cycle per
-    // tick (tick() continues past Waiting buffers).
+    // tick (tick() continues past Waiting buffers; no walk completes
+    // inside a charged window).
     std::uint64_t waiting = 0;
     for (const Buffer &b : buffers) {
         if (b.active && !b.requestInFlight && b.slots.size() < cfg.depth &&
-            b.tr.translated && b.tr.readyAt > now + cycles) {
+            b.tr.translated && translationWaiting(b.tr)) {
             ++waiting;
         }
     }

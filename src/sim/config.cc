@@ -136,6 +136,13 @@ SimConfig::fingerprint() const
     f.u64(static_cast<std::uint64_t>(vm.prefetchPolicy));
     f.u64(static_cast<std::uint64_t>(vm.mapping));
     f.u64(vm.mapSeed);
+    f.u64(vm.l2TlbEntries);
+    f.u64(vm.l2TlbAssoc);
+    f.u64(vm.l2TlbLatency);
+    f.u64(vm.numWalkers);
+    f.b(vm.tlbPrefetch);
+    f.u64(vm.tlbPrefetchWidth);
+    f.u64(vm.tlbPrefetchFilterEntries);
 
     f.u64(static_cast<std::uint64_t>(scheme));
     f.u64(static_cast<std::uint64_t>(fdp.mode));
@@ -198,6 +205,24 @@ SimConfig::validate() const
     fatal_if(vm.walkLatency == 0, "page-walk latency must be nonzero");
     fatal_if(vm.walkLatency > 10000,
              "page-walk latency implausibly high");
+    if (vm.l2TlbEntries > 0) {
+        fatal_if(vm.l2TlbAssoc == 0 ||
+                     vm.l2TlbEntries % vm.l2TlbAssoc != 0,
+                 "L2 TLB entries must divide evenly into ways");
+        fatal_if(!isPowerOf2(vm.l2TlbEntries / vm.l2TlbAssoc),
+                 "L2 TLB set count must be a power of two");
+        fatal_if(vm.l2TlbLatency == 0,
+                 "L2 TLB hit latency must be nonzero");
+        fatal_if(vm.l2TlbLatency >= vm.walkLatency,
+                 "L2 TLB hit latency must beat a full page walk");
+    }
+    fatal_if(vm.numWalkers > 64, "walker count implausibly high");
+    if (vm.tlbPrefetch) {
+        fatal_if(vm.tlbPrefetchWidth == 0,
+                 "TLB-prefetch width must be nonzero");
+        fatal_if(vm.tlbPrefetchFilterEntries == 0,
+                 "TLB-prefetch filter needs at least one entry");
+    }
 }
 
 } // namespace fdip

@@ -197,6 +197,8 @@ describeExperiment(const ExperimentSpec &spec)
     out += spec.id + ": " + spec.title + "\n";
     out += "  binary:     " + spec.binary + "\n";
     out += "  reproduces: " + spec.paperRef + "\n";
+    if (!spec.question.empty())
+        out += "  question:   " + spec.question + "\n";
     out += "  expected:   " + spec.shape + "\n";
     out += "  run:        " + runLengthLine(spec) + "\n";
     for (std::size_t g = 0; g < spec.grids.size(); ++g) {
@@ -279,6 +281,8 @@ experimentCatalogMarkdown(
                         s->title.c_str());
         md += strprintf("- **binary:** `%s`\n", s->binary.c_str());
         md += strprintf("- **reproduces:** %s\n", s->paperRef.c_str());
+        if (!s->question.empty())
+            md += strprintf("- **question:** %s\n", s->question.c_str());
         md += strprintf("- **expected shape:** %s\n", s->shape.c_str());
         md += strprintf("- **run lengths:** %s\n",
                         runLengthLine(*s).c_str());

@@ -66,6 +66,10 @@ struct ExperimentSpec
     std::string title;    ///< banner headline
     std::string shape;    ///< banner "expected shape" text
     std::string paperRef; ///< which paper figure/table this reproduces
+    /** One-line "what question does this answer" blurb, shown in
+     *  --describe and the generated catalog (extension benches set
+     *  it; reproduction benches are self-describing via paperRef). */
+    std::string question;
     std::uint64_t warmup = 0;  ///< default warmup instructions
     std::uint64_t measure = 0; ///< default measured instructions
     std::vector<ExperimentGrid> grids;

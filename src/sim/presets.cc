@@ -109,4 +109,17 @@ applyVmConfig(SimConfig &cfg, TlbPrefetchPolicy policy,
     cfg.vm.mapping = mapping;
 }
 
+void
+applyTlbHierarchy(SimConfig &cfg, unsigned l2_entries,
+                  unsigned num_walkers, bool tlb_prefetch)
+{
+    fatal_if(l2_entries != 0 && !isPowerOf2(l2_entries),
+             "L2 TLB entries must be a power of two");
+    cfg.vm.l2TlbEntries = l2_entries;
+    cfg.vm.l2TlbAssoc = l2_entries >= 8 ? 8 : l2_entries;
+    cfg.vm.l2TlbLatency = 8;
+    cfg.vm.numWalkers = num_walkers;
+    cfg.vm.tlbPrefetch = tlb_prefetch;
+}
+
 } // namespace fdip

@@ -61,6 +61,17 @@ void applyVmConfig(SimConfig &cfg,
                    PageMapKind mapping = PageMapKind::Scrambled,
                    unsigned itlb_entries = 64);
 
+/**
+ * Layer the two-level TLB hierarchy onto an applyVmConfig() machine:
+ * an L2 TLB of @p l2_entries (8-way above 8 entries, fully
+ * associative below; 0 disables it), @p num_walkers page-table
+ * walkers (0 = unlimited), and optionally the decoupled FTQ TLB
+ * prefetcher. With l2_entries == 0 and num_walkers == 0 the machine
+ * is bit-identical to the single-level, unlimited-walker model.
+ */
+void applyTlbHierarchy(SimConfig &cfg, unsigned l2_entries,
+                       unsigned num_walkers, bool tlb_prefetch = false);
+
 } // namespace fdip
 
 #endif // FDIP_SIM_PRESETS_HH

@@ -37,8 +37,12 @@ class ResultCache
 {
   public:
     /** Bumped whenever the entry format or simulated behaviour of the
-     *  whole simulator changes incompatibly. */
-    static constexpr unsigned kFormatVersion = 1;
+     *  whole simulator changes incompatibly.
+     *  v2: two-level TLB hierarchy + bounded page-walk bandwidth
+     *      (SimConfig::fingerprint() grew the vm.l2Tlb*, vm.numWalkers
+     *      and vm.tlbPrefetch* fields, so v1 entries can never match a
+     *      v2 key anyway; the bump makes the invalidation explicit). */
+    static constexpr unsigned kFormatVersion = 2;
 
     explicit ResultCache(std::string directory);
 

@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "trace/profile.hh"
+#include "vm/tlb_prefetcher.hh"
 
 namespace fdip
 {
@@ -63,6 +64,13 @@ Simulator::Simulator(const SimConfig &config)
     fetch_ = std::make_unique<FetchEngine>(*ftq_, *mem_, *backend_,
                                            cfg.fetch);
     fetch_->setMmu(mmu_.get());
+
+    if (cfg.vm.enable && cfg.vm.tlbPrefetch) {
+        tlbPf_ = std::make_unique<TlbPrefetcher>(
+            *ftq_, *mmu_,
+            TlbPrefetcher::Config{cfg.vm.tlbPrefetchWidth,
+                                  cfg.vm.tlbPrefetchFilterEntries});
+    }
 
     switch (cfg.scheme) {
       case PrefetchScheme::None:
@@ -137,7 +145,9 @@ Simulator::skipIdleCycles()
         !consider(bpu_->nextEventCycle(now)) ||
         !consider(ftq_->nextEventCycle(now)) ||
         !consider(mmu_->nextEventCycle(now)) ||
-        !consider(mem_->nextEventCycle(now))) {
+        !consider(mem_->nextEventCycle(now)) ||
+        (tlbPf_ != nullptr &&
+         !consider(tlbPf_->nextEventCycle(now)))) {
         return;
     }
     for (auto &pf : prefetchers) {
@@ -182,6 +192,10 @@ Simulator::step()
 
     backend_->tick(curCycle);
     fetch_->tick(curCycle);
+    // Translation lookahead runs ahead of the block prefetchers so a
+    // warmed page is visible to this cycle's prefetch probes.
+    if (tlbPf_ != nullptr)
+        tlbPf_->tick(curCycle);
     for (auto &pf : prefetchers)
         pf->tick(curCycle);
 
@@ -198,6 +212,8 @@ Simulator::collectAll(StatSet &out) const
     mem_->collectStats(out);
     if (mmu_->enabled())
         mmu_->collectStats(out);
+    if (tlbPf_ != nullptr)
+        out.merge(tlbPf_->stats);
     out.merge(bpu_->stats);
     if (bpu_->ftb())
         out.merge(bpu_->ftb()->stats);

@@ -19,6 +19,8 @@
 namespace fdip
 {
 
+class TlbPrefetcher;
+
 /** Everything a benchmark needs from one simulation run. */
 struct SimResults
 {
@@ -79,6 +81,8 @@ class Simulator
     MemHierarchy &mem() { return *mem_; }
     Backend &backend() { return *backend_; }
     Mmu &mmu() { return *mmu_; }
+    /** nullptr unless vm.tlbPrefetch is enabled. */
+    TlbPrefetcher *tlbPrefetcher() { return tlbPf_.get(); }
     FetchEngine &fetchEngine() { return *fetch_; }
     std::size_t numPrefetchers() const { return prefetchers.size(); }
     Prefetcher &prefetcher(std::size_t i) { return *prefetchers[i]; }
@@ -121,6 +125,7 @@ class Simulator
     std::unique_ptr<Bpu> bpu_;
     std::unique_ptr<Ftq> ftq_;
     std::unique_ptr<Mmu> mmu_;
+    std::unique_ptr<TlbPrefetcher> tlbPf_;
     std::unique_ptr<MemHierarchy> mem_;
     std::unique_ptr<Backend> backend_;
     std::unique_ptr<FetchEngine> fetch_;

@@ -1,0 +1,115 @@
+#include "vm/l2_tlb.hh"
+
+#include "common/intmath.hh"
+#include "common/logging.hh"
+
+namespace fdip
+{
+
+L2Tlb::L2Tlb(const Config &config)
+    : cfg(config)
+{
+    fatal_if(cfg.entries == 0, "L2 TLB needs at least one entry");
+    fatal_if(cfg.assoc == 0, "L2 TLB associativity must be nonzero");
+    fatal_if(cfg.entries % cfg.assoc != 0,
+             "L2 TLB entries must divide evenly into ways");
+    sets = cfg.entries / cfg.assoc;
+    fatal_if(!isPowerOf2(sets),
+             "L2 TLB set count must be a power of two");
+    fatal_if(cfg.hitLatency == 0, "L2 TLB hit latency must be nonzero");
+    entries_.resize(cfg.entries);
+}
+
+std::size_t
+L2Tlb::setBase(Addr vpn) const
+{
+    return static_cast<std::size_t>(vpn & (sets - 1)) * cfg.assoc;
+}
+
+L2Tlb::Entry *
+L2Tlb::find(Addr vpn)
+{
+    std::size_t base = setBase(vpn);
+    for (unsigned w = 0; w < cfg.assoc; ++w) {
+        Entry &e = entries_[base + w];
+        if (e.valid && e.vpn == vpn)
+            return &e;
+    }
+    return nullptr;
+}
+
+const L2Tlb::Entry *
+L2Tlb::find(Addr vpn) const
+{
+    return const_cast<L2Tlb *>(this)->find(vpn);
+}
+
+bool
+L2Tlb::lookup(Addr vpn) const
+{
+    return find(vpn) != nullptr;
+}
+
+bool
+L2Tlb::access(Addr vpn)
+{
+    stAccesses.inc();
+    Entry *e = find(vpn);
+    if (e == nullptr) {
+        stMisses.inc();
+        return false;
+    }
+    e->lruStamp = ++lruClock;
+    stHits.inc();
+    return true;
+}
+
+void
+L2Tlb::insert(Addr vpn)
+{
+    if (Entry *e = find(vpn)) {
+        // Refreshed by a racing walk; just bump recency.
+        e->lruStamp = ++lruClock;
+        return;
+    }
+    std::size_t base = setBase(vpn);
+    Entry *victim = &entries_[base];
+    for (unsigned w = 0; w < cfg.assoc; ++w) {
+        Entry &e = entries_[base + w];
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.lruStamp < victim->lruStamp)
+            victim = &e;
+    }
+    if (victim->valid)
+        stEvictions.inc();
+    victim->valid = true;
+    victim->vpn = vpn;
+    victim->lruStamp = ++lruClock;
+    stFills.inc();
+}
+
+bool
+L2Tlb::invalidate(Addr vpn)
+{
+    Entry *e = find(vpn);
+    if (e == nullptr)
+        return false;
+    e->valid = false;
+    return true;
+}
+
+unsigned
+L2Tlb::validEntries() const
+{
+    unsigned n = 0;
+    for (const Entry &e : entries_) {
+        if (e.valid)
+            ++n;
+    }
+    return n;
+}
+
+} // namespace fdip

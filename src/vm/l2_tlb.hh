@@ -1,0 +1,82 @@
+/**
+ * @file l2_tlb.hh
+ * Second-level TLB: a larger, slower, set-associative true-LRU cache
+ * of virtual page numbers behind the ITLB. ITLB misses probe it
+ * before paying a full page walk; a hit refills the ITLB after a
+ * short fixed latency instead of occupying a page-table walker.
+ * Like the ITLB, only presence matters (the physical frame comes
+ * from the page table), demand accesses update recency and
+ * statistics, and the probe path is side-effect-free.
+ */
+
+#ifndef FDIP_VM_L2_TLB_HH
+#define FDIP_VM_L2_TLB_HH
+
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace fdip
+{
+
+class L2Tlb
+{
+  public:
+    struct Config
+    {
+        unsigned entries = 512;
+        unsigned assoc = 8;
+        /** ITLB-refill latency on an L2-TLB hit, in cycles. */
+        Cycle hitLatency = 8;
+    };
+
+    explicit L2Tlb(const Config &config);
+
+    /** Tag check only: no LRU update, no stats side effects. */
+    bool lookup(Addr vpn) const;
+
+    /** Demand lookup: updates LRU and hit/miss statistics. */
+    bool access(Addr vpn);
+
+    /** Install a translation, evicting the set's LRU entry if full. */
+    void insert(Addr vpn);
+
+    /** Remove the translation; true if it was present. */
+    bool invalidate(Addr vpn);
+
+    const Config &config() const { return cfg; }
+    Cycle hitLatency() const { return cfg.hitLatency; }
+    unsigned numSets() const { return sets; }
+    unsigned numEntries() const { return cfg.entries; }
+    unsigned validEntries() const;
+
+    StatSet stats;
+
+  private:
+    StatSet::Counter stAccesses = stats.registerCounter("l2tlb.accesses");
+    StatSet::Counter stMisses = stats.registerCounter("l2tlb.misses");
+    StatSet::Counter stHits = stats.registerCounter("l2tlb.hits");
+    StatSet::Counter stEvictions = stats.registerCounter("l2tlb.evictions");
+    StatSet::Counter stFills = stats.registerCounter("l2tlb.fills");
+
+    struct Entry
+    {
+        bool valid = false;
+        Addr vpn = 0;
+        std::uint64_t lruStamp = 0;
+    };
+
+    std::size_t setBase(Addr vpn) const;
+    Entry *find(Addr vpn);
+    const Entry *find(Addr vpn) const;
+
+    Config cfg;
+    unsigned sets;
+    std::vector<Entry> entries_;
+    std::uint64_t lruClock = 0;
+};
+
+} // namespace fdip
+
+#endif // FDIP_VM_L2_TLB_HH

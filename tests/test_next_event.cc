@@ -18,6 +18,7 @@
 #include "sim/presets.hh"
 #include "sim/simulator.hh"
 #include "vm/mmu.hh"
+#include "vm/tlb_prefetcher.hh"
 
 using namespace fdip;
 
@@ -128,6 +129,59 @@ TEST(NextEvent, MmuDisabledIsNever)
     off.enable = false;
     Mmu mmu(off, 0x1000, 0x40000);
     EXPECT_EQ(mmu.nextEventCycle(0), kNever);
+}
+
+TEST(NextEvent, MmuQueuedWalkIsCoveredByTheActiveCompletion)
+{
+    // A queued walk has no known completion, so it must not need an
+    // event of its own: the active walk's completion (at which the
+    // queued walk starts) is the reported event, and after that tick
+    // the now-active walk reports its own completion.
+    VmConfig vcfg = smallVmCfg();
+    vcfg.prefetchPolicy = TlbPrefetchPolicy::Wait;
+    vcfg.numWalkers = 1;
+    Mmu mmu(vcfg, /*code_base=*/0x1000, /*code_end=*/0x40000);
+
+    PfTranslation active = mmu.prefetchTranslate(0x1000, 5);
+    ASSERT_EQ(active.status, PfTranslation::Status::Walking);
+    PfTranslation queued = mmu.prefetchTranslate(0x1000 + 4096, 6);
+    ASSERT_EQ(queued.status, PfTranslation::Status::Walking);
+    ASSERT_EQ(queued.readyAt, kNever);
+    EXPECT_EQ(mmu.walksQueued(), 1u);
+
+    // Only the active walk's completion is the next event.
+    EXPECT_EQ(mmu.nextEventCycle(6), active.readyAt);
+
+    // Ticking at that event starts the queued walk, whose completion
+    // becomes the new next event.
+    mmu.tick(active.readyAt);
+    EXPECT_EQ(mmu.walksQueued(), 0u);
+    EXPECT_EQ(mmu.nextEventCycle(active.readyAt),
+              active.readyAt + vcfg.walkLatency);
+    EXPECT_EQ(mmu.walkReadyCycle(queued.vpn, queued.walkId),
+              active.readyAt + vcfg.walkLatency);
+
+    mmu.tick(active.readyAt + vcfg.walkLatency);
+    EXPECT_EQ(mmu.nextEventCycle(active.readyAt + vcfg.walkLatency),
+              kNever);
+}
+
+TEST(NextEvent, MmuL2RefillReportsItsCompletion)
+{
+    VmConfig vcfg = smallVmCfg();
+    vcfg.l2TlbEntries = 16;
+    vcfg.l2TlbAssoc = 4;
+    vcfg.l2TlbLatency = 6;
+    Mmu mmu(vcfg, /*code_base=*/0x1000, /*code_end=*/0x40000);
+    ASSERT_NE(mmu.l2Tlb(), nullptr);
+    mmu.l2Tlb()->insert(mmu.pageTable().vpn(0x1000));
+
+    TlbAccess tr = mmu.demandTranslate(0x1000, 9);
+    ASSERT_FALSE(tr.hit);
+    ASSERT_EQ(tr.readyAt, 15u); // 9 + 6-cycle refill
+    EXPECT_EQ(mmu.nextEventCycle(9), tr.readyAt);
+    mmu.tick(tr.readyAt);
+    EXPECT_EQ(mmu.nextEventCycle(tr.readyAt), kNever);
 }
 
 TEST(NextEvent, BackendStates)
@@ -288,6 +342,11 @@ TEST(NextEvent, WholeMachinePropertyNeverAtOrBeforeNow)
         SimConfig cfg = makeBaselineConfig(wl, PrefetchScheme::FdpRemove);
         applyVmConfig(cfg, TlbPrefetchPolicy::Wait,
                       PageMapKind::Scrambled, /*itlb_entries=*/16);
+        // The second workload runs the full hierarchy: L2 TLB,
+        // bounded walkers, and the FTQ TLB prefetcher.
+        if (std::string(wl) == "gcc")
+            applyTlbHierarchy(cfg, /*l2_entries=*/64,
+                              /*num_walkers=*/1, /*tlb_prefetch=*/true);
         cfg.forceTick = true;
         Simulator sim(cfg);
         for (int i = 0; i < 3000; ++i) {
@@ -299,6 +358,8 @@ TEST(NextEvent, WholeMachinePropertyNeverAtOrBeforeNow)
             EXPECT_GT(sim.fetchEngine().nextEventCycle(now), now);
             EXPECT_GT(sim.ftq().nextEventCycle(now), now);
             EXPECT_GT(sim.bpu().nextEventCycle(now), now);
+            if (sim.tlbPrefetcher() != nullptr)
+                EXPECT_GT(sim.tlbPrefetcher()->nextEventCycle(now), now);
             for (std::size_t p = 0; p < sim.numPrefetchers(); ++p)
                 EXPECT_GT(sim.prefetcher(p).nextEventCycle(now), now);
         }

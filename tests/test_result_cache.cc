@@ -219,6 +219,41 @@ TEST(ResultCache, StaleFingerprintEntryRejectedWithWarning)
         << err;
 }
 
+TEST(ResultCache, OldFormatVersionEntriesRejectedWithWarning)
+{
+    // PR 5 (two-level TLB hierarchy) extended SimConfig::fingerprint()
+    // and bumped the entry format to v2; any v1 entry left on disk
+    // must be rejected as stale, warned about, and re-simulated.
+    ASSERT_EQ(ResultCache::kFormatVersion, 2u);
+
+    std::string dir = freshCacheDir("oldversion");
+    ResultCache cache(dir);
+
+    SimConfig cfg = smallConfig("li", PrefetchScheme::None);
+    SimResults r = simulate(cfg);
+    std::string text = encodeCacheEntry(cfg.fingerprint(),
+                                        cfg.warmupInsts,
+                                        cfg.measureInsts, r);
+
+    // Rewrite the header as the previous format version.
+    std::string v2_header =
+        "fdip-result-cache " + std::to_string(ResultCache::kFormatVersion);
+    ASSERT_EQ(text.compare(0, v2_header.size(), v2_header), 0);
+    std::string stale = "fdip-result-cache 1" +
+        text.substr(v2_header.size());
+    writeFile(cache.entryPath(cfg.fingerprint(), cfg.warmupInsts,
+                              cfg.measureInsts),
+              stale);
+
+    ::testing::internal::CaptureStderr();
+    auto loaded = cache.load(cfg.fingerprint(), cfg.warmupInsts,
+                             cfg.measureInsts);
+    std::string err = ::testing::internal::GetCapturedStderr();
+    EXPECT_FALSE(loaded.has_value());
+    EXPECT_NE(err.find("format version 1, want 2"), std::string::npos)
+        << err;
+}
+
 TEST(ResultCache, DisabledByDefaultInRunnerWhenEnvUnset)
 {
     // The suite must not depend on the invoking shell's environment;

@@ -119,13 +119,20 @@ matrixConfig(int i)
     // Three quarters of the matrix runs translated fetch, cycling
     // through all three prefetch-translation policies, with walk
     // latencies long enough that Wait/Fill runs are page-walk
-    // dominated.
+    // dominated. The two-level hierarchy axes are randomized on top:
+    // L2-TLB size (0 = single-level), bounded walker pools (0 =
+    // unlimited), and the decoupled FTQ TLB prefetcher.
     if (i % 4 != 3) {
         applyVmConfig(cfg, policies[i % policies.size()],
                       PageMapKind::Scrambled,
                       pick(rng, {16u, 64u}));
         cfg.vm.walkLatency = pick(rng, {Cycle(20), Cycle(60),
                                         Cycle(150)});
+        cfg.vm.l2TlbEntries = pick(rng, {0u, 32u, 128u});
+        cfg.vm.l2TlbAssoc = 4;
+        cfg.vm.l2TlbLatency = pick(rng, {Cycle(4), Cycle(8)});
+        cfg.vm.numWalkers = pick(rng, {0u, 1u, 2u});
+        cfg.vm.tlbPrefetch = (i % 3) == 0;
     }
     return cfg;
 }
@@ -166,16 +173,24 @@ TEST(TickSkip, MatrixCoversAllSchemesAndPolicies)
 {
     std::vector<bool> scheme_seen(9, false);
     std::vector<bool> policy_seen(3, false);
+    bool l2_seen = false, bounded_seen = false, tlbpf_seen = false;
     for (int i = 0; i < 20; ++i) {
         SimConfig cfg = matrixConfig(i);
         scheme_seen[static_cast<int>(cfg.scheme)] = true;
-        if (cfg.vm.enable)
+        if (cfg.vm.enable) {
             policy_seen[static_cast<int>(cfg.vm.prefetchPolicy)] = true;
+            l2_seen |= cfg.vm.l2TlbEntries > 0;
+            bounded_seen |= cfg.vm.numWalkers > 0;
+            tlbpf_seen |= cfg.vm.tlbPrefetch;
+        }
     }
     for (std::size_t s = 0; s < scheme_seen.size(); ++s)
         EXPECT_TRUE(scheme_seen[s]) << "scheme " << s << " never run";
     for (std::size_t p = 0; p < policy_seen.size(); ++p)
         EXPECT_TRUE(policy_seen[p]) << "policy " << p << " never run";
+    EXPECT_TRUE(l2_seen) << "no config exercised the L2 TLB";
+    EXPECT_TRUE(bounded_seen) << "no config bounded the walkers";
+    EXPECT_TRUE(tlbpf_seen) << "no config ran the TLB prefetcher";
 }
 
 TEST(TickSkip, ForceTickDisablesSkipping)

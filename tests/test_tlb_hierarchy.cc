@@ -1,0 +1,412 @@
+/**
+ * Tests for the two-level TLB hierarchy and bounded page-walk
+ * bandwidth (vm/l2_tlb.hh, the reworked vm/mmu.hh walk queue) and the
+ * decoupled FTQ TLB prefetcher (vm/tlb_prefetcher.hh):
+ *  - L2-TLB hit/miss/evict accounting and the ITLB-refill path,
+ *  - demand walks queueing ahead of (and upgrading) prefetch walks at
+ *    walker saturation, with exact demand completion times,
+ *  - walk-id freshness for the prefetchers' live-polling contract,
+ *  - translation lookahead warming the TLBs from the FTQ.
+ */
+
+#include <gtest/gtest.h>
+
+#include "frontend/ftq.hh"
+#include "sim/presets.hh"
+#include "sim/runner.hh"
+#include "vm/mmu.hh"
+#include "vm/tlb_prefetcher.hh"
+
+using namespace fdip;
+
+namespace
+{
+
+constexpr Addr kBase = 0x400000;
+constexpr unsigned kPage = 4096;
+
+VmConfig
+hierVm(TlbPrefetchPolicy policy, unsigned l2_entries,
+       unsigned num_walkers)
+{
+    VmConfig vm;
+    vm.enable = true;
+    vm.pageBytes = kPage;
+    vm.itlbEntries = 8;
+    vm.itlbAssoc = 2;
+    vm.walkLatency = 30;
+    vm.prefetchPolicy = policy;
+    vm.mapping = PageMapKind::Identity;
+    vm.l2TlbEntries = l2_entries;
+    vm.l2TlbAssoc = l2_entries >= 4 ? 4 : l2_entries;
+    vm.l2TlbLatency = 8;
+    vm.numWalkers = num_walkers;
+    return vm;
+}
+
+Addr
+page(unsigned i)
+{
+    return kBase + Addr(i) * kPage;
+}
+
+} // namespace
+
+TEST(L2Tlb, GeometryDerived)
+{
+    L2Tlb tlb({16, 4, 8});
+    EXPECT_EQ(tlb.numEntries(), 16u);
+    EXPECT_EQ(tlb.numSets(), 4u);
+    EXPECT_EQ(tlb.hitLatency(), 8u);
+    EXPECT_EQ(tlb.validEntries(), 0u);
+}
+
+TEST(L2Tlb, MissFillHitAccounting)
+{
+    L2Tlb tlb({16, 4, 8});
+    EXPECT_FALSE(tlb.access(5));
+    tlb.insert(5);
+    EXPECT_TRUE(tlb.access(5));
+    EXPECT_EQ(tlb.stats.counter("l2tlb.accesses"), 2u);
+    EXPECT_EQ(tlb.stats.counter("l2tlb.misses"), 1u);
+    EXPECT_EQ(tlb.stats.counter("l2tlb.hits"), 1u);
+    EXPECT_EQ(tlb.stats.counter("l2tlb.fills"), 1u);
+}
+
+TEST(L2Tlb, LookupHasNoSideEffects)
+{
+    L2Tlb tlb({16, 4, 8});
+    tlb.insert(5);
+    std::uint64_t accesses = tlb.stats.counter("l2tlb.accesses");
+    EXPECT_TRUE(tlb.lookup(5));
+    EXPECT_FALSE(tlb.lookup(6));
+    EXPECT_EQ(tlb.stats.counter("l2tlb.accesses"), accesses);
+}
+
+TEST(L2Tlb, LruEvictionWithinSet)
+{
+    L2Tlb tlb({8, 2, 8}); // 4 sets x 2 ways; same-set stride = 4
+    tlb.insert(0);
+    tlb.insert(4);
+    EXPECT_TRUE(tlb.access(0)); // 0 is MRU, 4 is LRU
+    tlb.insert(8);              // evicts 4
+    EXPECT_TRUE(tlb.lookup(0));
+    EXPECT_FALSE(tlb.lookup(4));
+    EXPECT_TRUE(tlb.lookup(8));
+    EXPECT_EQ(tlb.stats.counter("l2tlb.evictions"), 1u);
+}
+
+TEST(L2TlbDeath, BadGeometryRejected)
+{
+    EXPECT_DEATH({ L2Tlb t({0, 1, 8}); }, "at least one entry");
+    EXPECT_DEATH({ L2Tlb t({8, 3, 8}); }, "divide evenly");
+    EXPECT_DEATH({ L2Tlb t({24, 2, 8}); }, "power of two");
+    EXPECT_DEATH({ L2Tlb t({8, 2, 0}); }, "latency");
+}
+
+TEST(MmuHierarchy, L2DisabledByDefault)
+{
+    VmConfig vm = hierVm(TlbPrefetchPolicy::Drop, 0, 0);
+    Mmu mmu(vm, kBase, kBase + 16 * kPage);
+    EXPECT_EQ(mmu.l2Tlb(), nullptr);
+}
+
+TEST(MmuHierarchy, DemandL2HitRefillsItlbWithoutAWalk)
+{
+    Mmu mmu(hierVm(TlbPrefetchPolicy::Drop, 16, 0), kBase,
+            kBase + 16 * kPage);
+    ASSERT_NE(mmu.l2Tlb(), nullptr);
+    mmu.l2Tlb()->insert(mmu.pageTable().vpn(page(0)));
+
+    TlbAccess tr = mmu.demandTranslate(page(0), 100);
+    EXPECT_FALSE(tr.hit);
+    EXPECT_EQ(tr.readyAt, 108u); // 100 + 8-cycle L2 latency, not 130
+    EXPECT_EQ(mmu.stats.counter("mmu.l2tlb_hit_fills"), 1u);
+    EXPECT_EQ(mmu.stats.counter("mmu.walks"), 0u);
+    EXPECT_EQ(mmu.l2Tlb()->stats.counter("l2tlb.hits"), 1u);
+
+    mmu.tick(108);
+    EXPECT_TRUE(mmu.tlbHolds(page(0)));
+    TlbAccess retry = mmu.demandTranslate(page(0), 108);
+    EXPECT_TRUE(retry.hit);
+}
+
+TEST(MmuHierarchy, DemandWalkFillsBothLevels)
+{
+    Mmu mmu(hierVm(TlbPrefetchPolicy::Drop, 16, 0), kBase,
+            kBase + 16 * kPage);
+    TlbAccess tr = mmu.demandTranslate(page(1), 100);
+    EXPECT_FALSE(tr.hit);
+    EXPECT_EQ(tr.readyAt, 130u); // full walk: L2 missed too
+    EXPECT_EQ(mmu.stats.counter("mmu.demand_walks"), 1u);
+    EXPECT_EQ(mmu.l2Tlb()->stats.counter("l2tlb.misses"), 1u);
+
+    mmu.tick(130);
+    EXPECT_TRUE(mmu.tlbHolds(page(1)));
+    EXPECT_TRUE(mmu.l2Tlb()->lookup(mmu.pageTable().vpn(page(1))));
+}
+
+TEST(MmuHierarchy, DropPolicyRidesTheL2ButNeverAWalk)
+{
+    Mmu mmu(hierVm(TlbPrefetchPolicy::Drop, 16, 0), kBase,
+            kBase + 16 * kPage);
+    mmu.l2Tlb()->insert(mmu.pageTable().vpn(page(2)));
+
+    // L2-resident page: a short refill, not a walk, so Drop proceeds.
+    PfTranslation warm = mmu.prefetchTranslate(page(2), 100);
+    EXPECT_EQ(warm.status, PfTranslation::Status::Walking);
+    EXPECT_EQ(warm.readyAt, 108u);
+    EXPECT_EQ(mmu.stats.counter("mmu.pf_l2tlb_hits"), 1u);
+    // Drop never pollutes the ITLB.
+    mmu.tick(108);
+    EXPECT_FALSE(mmu.tlbHolds(page(2)));
+
+    // Cold page: a full walk would be needed — dropped.
+    PfTranslation cold = mmu.prefetchTranslate(page(3), 100);
+    EXPECT_EQ(cold.status, PfTranslation::Status::Dropped);
+    EXPECT_EQ(mmu.stats.counter("mmu.pf_dropped"), 1u);
+}
+
+TEST(MmuHierarchy, FillPolicyL2HitWarmsTheItlb)
+{
+    Mmu mmu(hierVm(TlbPrefetchPolicy::Fill, 16, 0), kBase,
+            kBase + 16 * kPage);
+    mmu.l2Tlb()->insert(mmu.pageTable().vpn(page(4)));
+    PfTranslation pf = mmu.prefetchTranslate(page(4), 100);
+    EXPECT_EQ(pf.status, PfTranslation::Status::Walking);
+    EXPECT_EQ(pf.readyAt, 108u);
+    mmu.tick(108);
+    EXPECT_TRUE(mmu.tlbHolds(page(4)));
+}
+
+TEST(MmuHierarchy, WaitPolicyWalkFillsNeitherLevel)
+{
+    Mmu mmu(hierVm(TlbPrefetchPolicy::Wait, 16, 0), kBase,
+            kBase + 16 * kPage);
+    PfTranslation pf = mmu.prefetchTranslate(page(5), 100);
+    EXPECT_EQ(pf.status, PfTranslation::Status::Walking);
+    EXPECT_EQ(pf.readyAt, 130u);
+    mmu.tick(130);
+    EXPECT_FALSE(mmu.tlbHolds(page(5)));
+    EXPECT_FALSE(mmu.l2Tlb()->lookup(mmu.pageTable().vpn(page(5))));
+}
+
+TEST(MmuWalkers, UnlimitedByDefaultRunsWalksConcurrently)
+{
+    Mmu mmu(hierVm(TlbPrefetchPolicy::Wait, 0, 0), kBase,
+            kBase + 16 * kPage);
+    EXPECT_EQ(mmu.demandTranslate(page(0), 100).readyAt, 130u);
+    EXPECT_EQ(mmu.demandTranslate(page(1), 100).readyAt, 130u);
+    EXPECT_EQ(mmu.demandTranslate(page(2), 100).readyAt, 130u);
+    EXPECT_EQ(mmu.walksQueued(), 0u);
+}
+
+TEST(MmuWalkers, DemandQueuesAheadOfQueuedPrefetchWalks)
+{
+    Mmu mmu(hierVm(TlbPrefetchPolicy::Wait, 0, 1), kBase,
+            kBase + 16 * kPage);
+
+    // Walker saturated by a prefetch walk...
+    PfTranslation a = mmu.prefetchTranslate(page(0), 100);
+    EXPECT_EQ(a.readyAt, 130u);
+    // ...a second prefetch walk queues with an unknown completion...
+    PfTranslation b = mmu.prefetchTranslate(page(1), 101);
+    EXPECT_EQ(b.readyAt, kNever);
+    EXPECT_TRUE(mmu.walkPending(b.vpn, b.walkId));
+    EXPECT_EQ(mmu.walkReadyCycle(b.vpn, b.walkId), kNever);
+    // ...and a later demand walk jumps the queue with an exact time.
+    TlbAccess c = mmu.demandTranslate(page(2), 102);
+    EXPECT_FALSE(c.hit);
+    EXPECT_EQ(c.readyAt, 160u); // starts at 130 when walk A completes
+    EXPECT_EQ(mmu.walksQueued(), 2u);
+    EXPECT_EQ(mmu.stats.counter("mmu.walks_queued"), 2u);
+
+    // Walk A completes at 130: the demand starts, not prefetch B.
+    mmu.tick(130);
+    EXPECT_EQ(mmu.walksQueued(), 1u);
+    EXPECT_EQ(mmu.walkReadyCycle(b.vpn, b.walkId), kNever);
+    EXPECT_EQ(mmu.stats.counter("mmu.demand_queue_cycles"), 28u);
+
+    // The demand completes at its promised cycle and fills the ITLB;
+    // only then does prefetch B get the walker.
+    mmu.tick(160);
+    EXPECT_TRUE(mmu.tlbHolds(page(2)));
+    EXPECT_EQ(mmu.walkReadyCycle(b.vpn, b.walkId), 190u);
+    mmu.tick(190);
+    EXPECT_FALSE(mmu.walkPending(b.vpn, b.walkId));
+    // Queue-wait accounting: 28 (demand) + 59 (prefetch B, 101->160).
+    EXPECT_EQ(mmu.stats.counter("mmu.walk_queue_cycles"), 87u);
+}
+
+TEST(MmuWalkers, DemandJoiningAQueuedPrefetchWalkUpgradesIt)
+{
+    Mmu mmu(hierVm(TlbPrefetchPolicy::Wait, 0, 1), kBase,
+            kBase + 16 * kPage);
+    mmu.prefetchTranslate(page(0), 100);          // active walk
+    PfTranslation b = mmu.prefetchTranslate(page(1), 101); // queued
+    EXPECT_EQ(b.readyAt, kNever);
+
+    TlbAccess demand = mmu.demandTranslate(page(1), 105);
+    EXPECT_FALSE(demand.hit);
+    EXPECT_EQ(demand.readyAt, 160u); // starts at 130, exact again
+    EXPECT_EQ(mmu.stats.counter("mmu.walk_upgrades"), 1u);
+    EXPECT_EQ(mmu.stats.counter("mmu.walk_merges"), 1u);
+
+    mmu.tick(130);
+    EXPECT_EQ(mmu.walkReadyCycle(b.vpn, b.walkId), 160u);
+    mmu.tick(160);
+    // The joining demand upgraded the Wait walk to fill the ITLB.
+    EXPECT_TRUE(mmu.tlbHolds(page(1)));
+    EXPECT_FALSE(mmu.walkPending(b.vpn, b.walkId));
+}
+
+TEST(MmuWalkers, QueuedDemandsServeFifoWithExactTimes)
+{
+    Mmu mmu(hierVm(TlbPrefetchPolicy::Wait, 0, 2), kBase,
+            kBase + 16 * kPage);
+    EXPECT_EQ(mmu.demandTranslate(page(0), 100).readyAt, 130u);
+    EXPECT_EQ(mmu.demandTranslate(page(1), 102).readyAt, 132u);
+    // Both walkers busy: the third and fourth demands queue behind
+    // the earliest completions, in order.
+    EXPECT_EQ(mmu.demandTranslate(page(2), 104).readyAt, 160u);
+    EXPECT_EQ(mmu.demandTranslate(page(3), 105).readyAt, 162u);
+    for (Cycle c = 105; c <= 162; ++c)
+        mmu.tick(c);
+    EXPECT_TRUE(mmu.tlbHolds(page(2)));
+    EXPECT_TRUE(mmu.tlbHolds(page(3)));
+    EXPECT_EQ(mmu.walksInFlight(), 0u);
+}
+
+TEST(MmuWalkers, WalkIdsStayFreshAcrossReWalks)
+{
+    Mmu mmu(hierVm(TlbPrefetchPolicy::Wait, 0, 0), kBase,
+            kBase + 16 * kPage);
+    PfTranslation first = mmu.prefetchTranslate(page(0), 100);
+    EXPECT_TRUE(mmu.walkPending(first.vpn, first.walkId));
+    mmu.tick(130); // Wait policy: no fill, walk simply retires
+
+    // A later walk for the same page gets a new id; the old handle
+    // must read as completed, not as pending on the new walk.
+    PfTranslation second = mmu.prefetchTranslate(page(0), 140);
+    EXPECT_NE(second.walkId, first.walkId);
+    EXPECT_FALSE(mmu.walkPending(first.vpn, first.walkId));
+    EXPECT_EQ(mmu.walkReadyCycle(first.vpn, first.walkId), 0u);
+    EXPECT_TRUE(mmu.walkPending(second.vpn, second.walkId));
+}
+
+TEST(TlbPrefetcher, WarmsFtqPagesPastTheFetchPoint)
+{
+    VmConfig vm = hierVm(TlbPrefetchPolicy::Drop, 0, 0);
+    Mmu mmu(vm, kBase, kBase + 64 * kPage);
+    Ftq ftq(8, 32);
+    TlbPrefetcher pf(ftq, mmu, {/*width=*/2, /*filterEntries=*/16});
+
+    // Nothing to scan: idle.
+    EXPECT_EQ(pf.nextEventCycle(4), kNever);
+
+    FetchBlock b;
+    b.numInsts = 4;
+    b.validLen = 4;
+    for (unsigned i = 0; i < 3; ++i) {
+        b.startPc = page(i); // one distinct page per entry
+        ftq.push(b);
+    }
+    // Entry 0 is the fetch point; entries 1 and 2 are lookahead.
+    EXPECT_EQ(pf.nextEventCycle(4), 5u);
+    pf.tick(5);
+    EXPECT_EQ(mmu.stats.counter("mmu.tlbpf_walks"), 2u);
+    EXPECT_EQ(pf.stats.counter("tlbpf.probes"), 2u);
+    EXPECT_EQ(pf.stats.counter("tlbpf.requests"), 2u);
+    EXPECT_FALSE(mmu.tlbHolds(page(1)));
+
+    // Probed pages are filtered: the prefetcher reaches a fixed point
+    // (this is what keeps idle-cycle skipping exact).
+    EXPECT_EQ(pf.nextEventCycle(5), kNever);
+    pf.tick(6);
+    EXPECT_EQ(pf.stats.counter("tlbpf.probes"), 2u);
+
+    // The walks fill the ITLB ahead of the demand.
+    mmu.tick(35);
+    EXPECT_TRUE(mmu.tlbHolds(page(1)));
+    EXPECT_TRUE(mmu.tlbHolds(page(2)));
+}
+
+TEST(TlbPrefetcher, L2ResidentPagesRefillInsteadOfWalking)
+{
+    VmConfig vm = hierVm(TlbPrefetchPolicy::Drop, 16, 0);
+    Mmu mmu(vm, kBase, kBase + 64 * kPage);
+    mmu.l2Tlb()->insert(mmu.pageTable().vpn(page(1)));
+    Ftq ftq(8, 32);
+    TlbPrefetcher pf(ftq, mmu, {2, 16});
+
+    FetchBlock b;
+    b.numInsts = 4;
+    b.validLen = 4;
+    b.startPc = page(0);
+    ftq.push(b);
+    b.startPc = page(1);
+    ftq.push(b);
+
+    pf.tick(5);
+    EXPECT_EQ(mmu.stats.counter("mmu.tlbpf_walks"), 0u);
+    EXPECT_EQ(pf.stats.counter("tlbpf.requests"), 1u);
+    mmu.tick(13); // 5 + 8-cycle L2 refill
+    EXPECT_TRUE(mmu.tlbHolds(page(1)));
+}
+
+TEST(TlbHierarchy, SimulatorRunsTranslatedWithHierarchyAndPrefetch)
+{
+    SimConfig cfg = makeBaselineConfig("gcc", PrefetchScheme::FdpRemove);
+    cfg.warmupInsts = 5 * 1000;
+    cfg.measureInsts = 20 * 1000;
+    applyVmConfig(cfg, TlbPrefetchPolicy::Wait, PageMapKind::Scrambled,
+                  /*itlb_entries=*/8);
+    applyTlbHierarchy(cfg, /*l2_entries=*/64, /*num_walkers=*/1,
+                      /*tlb_prefetch=*/true);
+    SimResults r = simulate(cfg);
+    EXPECT_GT(r.ipc, 0.0);
+    EXPECT_GT(r.stats.value("tlbpf.probes"), 0.0);
+    EXPECT_GT(r.stats.value("l2tlb.accesses"), 0.0);
+    EXPECT_GT(r.stats.value("mmu.walks"), 0.0);
+}
+
+TEST(TlbHierarchy, MoreWalkersAndBiggerL2NeverSlowTheMachine)
+{
+    // Monotonicity smoke: widening either hierarchy axis must not
+    // lose IPC (the full sweep is bench_x16_tlb_hierarchy).
+    auto run = [](unsigned l2, unsigned walkers) {
+        SimConfig cfg =
+            makeBaselineConfig("gcc", PrefetchScheme::FdpRemove);
+        cfg.warmupInsts = 5 * 1000;
+        cfg.measureInsts = 20 * 1000;
+        applyVmConfig(cfg, TlbPrefetchPolicy::Wait,
+                      PageMapKind::Scrambled, /*itlb_entries=*/8);
+        cfg.vm.walkLatency = 60;
+        applyTlbHierarchy(cfg, l2, walkers);
+        return simulate(cfg).ipc;
+    };
+    EXPECT_LE(run(0, 1), run(256, 1) * 1.0001);
+    EXPECT_LE(run(64, 1), run(64, 0) * 1.0001);
+}
+
+TEST(TlbHierarchyDeath, BadKnobsRejected)
+{
+    SimConfig cfg = makeBaselineConfig("li", PrefetchScheme::None);
+    applyVmConfig(cfg);
+    cfg.vm.l2TlbEntries = 24;
+    cfg.vm.l2TlbAssoc = 2; // 12 sets: not a power of two
+    EXPECT_DEATH({ Simulator s(cfg); }, "power of two");
+
+    SimConfig slow = makeBaselineConfig("li", PrefetchScheme::None);
+    applyVmConfig(slow);
+    slow.vm.l2TlbEntries = 16;
+    slow.vm.l2TlbAssoc = 4;
+    slow.vm.l2TlbLatency = slow.vm.walkLatency; // not faster than a walk
+    EXPECT_DEATH({ Simulator s(slow); }, "beat a full page walk");
+
+    SimConfig pf = makeBaselineConfig("li", PrefetchScheme::None);
+    applyVmConfig(pf);
+    pf.vm.tlbPrefetch = true;
+    pf.vm.tlbPrefetchWidth = 0;
+    EXPECT_DEATH({ Simulator s(pf); }, "width");
+}
