@@ -1,6 +1,9 @@
 /**
  * R-F7 — Prefetch accuracy (useful/issued) and coverage (fraction of
- * would-be misses served by prefetching) per scheme.
+ * would-be misses served by prefetching) per scheme, with the lifecycle
+ * attribution split: timely (consumed after the fill), late (demand
+ * merged with the in-flight prefetch), and pollution (prefetch L2
+ * fills that displaced lines demands later missed on).
  */
 
 #include "bench_util.hh"
@@ -16,7 +19,7 @@ void
 render(Runner &runner)
 {
     AsciiTable t({"workload", "scheme", "accuracy", "coverage",
-                  "issued/KI"});
+                  "timely", "late", "pollution", "issued/KI"});
 
     for (const auto &name : allWorkloadNames()) {
         for (auto scheme : allSchemes()) {
@@ -27,6 +30,9 @@ render(Runner &runner)
             t.addRow({name, schemeName(scheme),
                       AsciiTable::pct(r.prefetchAccuracy),
                       AsciiTable::pct(r.prefetchCoverage),
+                      AsciiTable::pct(r.prefetchTimely),
+                      AsciiTable::pct(r.prefetchLate),
+                      AsciiTable::pct(r.prefetchPollution),
                       AsciiTable::num(issued_ki, 1)});
         }
     }
@@ -51,6 +57,11 @@ makeSpec()
     s.grids = {{allWorkloadNames(), allSchemes(), {},
                 /*withBaseline=*/false}};
     s.render = render;
+    s.notes = "timely/late/pollution come from the prefetch lifecycle "
+              "attribution (docs/OBSERVABILITY.md), as fractions of "
+              "issued prefetches; pollution is an independent class "
+              "(one prefetch can pollute and still be useful), so the "
+              "columns need not sum to 100%.";
     return s;
 }
 

@@ -36,6 +36,10 @@ class Histogram
     /** Arithmetic mean of all samples. */
     double mean() const;
 
+    /** Sum of (bucket index x weight) over all samples — with count(),
+     *  enough to delta a running mean between two snapshots. */
+    std::uint64_t weightedTotal() const { return weightedSum; }
+
     /** Smallest value v such that at least frac of samples are <= v. */
     std::uint64_t percentile(double frac) const;
 

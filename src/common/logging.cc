@@ -1,10 +1,67 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <mutex>
 
 namespace fdip
 {
+
+namespace
+{
+
+/** Serializes every diagnostic line (Runner sweeps warn from worker
+ *  threads; without this, lines interleave mid-line). */
+std::mutex &
+logMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+int
+levelFromEnv()
+{
+    const char *env = std::getenv("FDIP_LOG");
+    if (env == nullptr || env[0] == '\0')
+        return static_cast<int>(LogLevel::Info);
+    if (std::strcmp(env, "quiet") == 0 || std::strcmp(env, "0") == 0)
+        return static_cast<int>(LogLevel::Quiet);
+    if (std::strcmp(env, "warn") == 0 || std::strcmp(env, "1") == 0)
+        return static_cast<int>(LogLevel::Warn);
+    if (std::strcmp(env, "info") == 0 || std::strcmp(env, "2") == 0)
+        return static_cast<int>(LogLevel::Info);
+    // Cannot warn() here (recursion); an unknown value is loud-safe.
+    std::fprintf(stderr,
+                 "warn: unknown FDIP_LOG value '%s' "
+                 "(want quiet/warn/info); defaulting to info\n",
+                 env);
+    return static_cast<int>(LogLevel::Info);
+}
+
+/** -1: not yet initialized from FDIP_LOG. */
+std::atomic<int> currentLevel{-1};
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    int level = currentLevel.load(std::memory_order_relaxed);
+    if (level < 0) {
+        level = levelFromEnv();
+        currentLevel.store(level, std::memory_order_relaxed);
+    }
+    return static_cast<LogLevel>(level);
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    currentLevel.store(static_cast<int>(level), std::memory_order_relaxed);
+}
 
 std::string
 vstrprintf(const char *fmt, std::va_list args)
@@ -38,7 +95,11 @@ panicImpl(const char *file, int line, const char *fmt, ...)
     va_start(args, fmt);
     std::string msg = vstrprintf(fmt, args);
     va_end(args);
-    std::fprintf(stderr, "panic: %s\n  at %s:%d\n", msg.c_str(), file, line);
+    {
+        std::lock_guard<std::mutex> lock(logMutex());
+        std::fprintf(stderr, "panic: %s\n  at %s:%d\n", msg.c_str(), file,
+                     line);
+    }
     std::abort();
 }
 
@@ -49,28 +110,38 @@ fatalImpl(const char *file, int line, const char *fmt, ...)
     va_start(args, fmt);
     std::string msg = vstrprintf(fmt, args);
     va_end(args);
-    std::fprintf(stderr, "fatal: %s\n  at %s:%d\n", msg.c_str(), file, line);
+    {
+        std::lock_guard<std::mutex> lock(logMutex());
+        std::fprintf(stderr, "fatal: %s\n  at %s:%d\n", msg.c_str(), file,
+                     line);
+    }
     std::exit(1);
 }
 
 void
 warnImpl(const char *fmt, ...)
 {
+    if (logLevel() < LogLevel::Warn)
+        return;
     std::va_list args;
     va_start(args, fmt);
     std::string msg = vstrprintf(fmt, args);
     va_end(args);
+    std::lock_guard<std::mutex> lock(logMutex());
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void
 informImpl(const char *fmt, ...)
 {
+    if (logLevel() < LogLevel::Info)
+        return;
     std::va_list args;
     va_start(args, fmt);
     std::string msg = vstrprintf(fmt, args);
     va_end(args);
-    std::fprintf(stdout, "info: %s\n", msg.c_str());
+    std::lock_guard<std::mutex> lock(logMutex());
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
 }
 
 } // namespace fdip

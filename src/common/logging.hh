@@ -8,6 +8,11 @@
  *             (bad configuration, invalid arguments); exits with code 1.
  * warn()   -- something is questionable but the simulation can continue.
  * inform() -- plain status output.
+ *
+ * warn() and inform() go to stderr (bench tables own stdout), pass
+ * through the FDIP_LOG verbosity filter, and are serialized under one
+ * process-wide mutex so lines from concurrent Runner sweep threads
+ * never interleave mid-line. panic() and fatal() are never filtered.
  */
 
 #ifndef FDIP_COMMON_LOGGING_HH
@@ -18,6 +23,24 @@
 
 namespace fdip
 {
+
+/**
+ * Diagnostic verbosity, settable via the FDIP_LOG environment variable
+ * ("quiet"/"0", "warn"/"1", "info"/"2") or setLogLevel(). Each level
+ * includes the ones below it; the default is Info (everything).
+ */
+enum class LogLevel : int
+{
+    Quiet = 0, ///< suppress warn() and inform()
+    Warn = 1,  ///< warn() only
+    Info = 2,  ///< warn() and inform() (default)
+};
+
+/** Current verbosity (FDIP_LOG is read once, on first use). */
+LogLevel logLevel();
+
+/** Override the verbosity at runtime (tests; wins over FDIP_LOG). */
+void setLogLevel(LogLevel level);
 
 [[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...);
 [[noreturn]] void fatalImpl(const char *file, int line, const char *fmt, ...);

@@ -2,6 +2,7 @@
 
 #include "common/intmath.hh"
 #include "common/logging.hh"
+#include "obs/tracer.hh"
 
 namespace fdip
 {
@@ -18,6 +19,8 @@ Ftq::push(const FetchBlock &blk)
     panic_if(full(), "push to full FTQ");
     FtqEntry e;
     e.blk = blk;
+    if (tracer != nullptr)
+        e.pushedAt = tracer->now();
     q.push(e);
     ++version_;
     stPushedBlocks.inc();
@@ -27,6 +30,12 @@ Ftq::push(const FetchBlock &blk)
 void
 Ftq::popHead()
 {
+    if (tracer != nullptr) {
+        const FtqEntry &e = q.front();
+        tracer->complete("ftq_entry", kTidFrontend, e.pushedAt,
+                         tracer->now(), "pc", e.blk.startPc, "outcome",
+                         "fetched");
+    }
     q.pop();
     ++version_;
     stPoppedBlocks.inc();
@@ -35,6 +44,14 @@ Ftq::popHead()
 void
 Ftq::flush()
 {
+    if (tracer != nullptr) {
+        for (std::size_t i = 0; i < q.size(); ++i) {
+            const FtqEntry &e = q.at(i);
+            tracer->complete("ftq_entry", kTidFrontend, e.pushedAt,
+                             tracer->now(), "pc", e.blk.startPc, "outcome",
+                             "squashed");
+        }
+    }
     stFlushes.inc();
     stFlushedBlocks.inc(q.size());
     q.clear();

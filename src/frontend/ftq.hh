@@ -17,6 +17,8 @@
 namespace fdip
 {
 
+class Tracer;
+
 struct FtqEntry
 {
     FetchBlock blk;
@@ -24,6 +26,8 @@ struct FtqEntry
     unsigned fetchedInsts = 0;
     /** Prefetch-scan progress: next cache block index to consider. */
     unsigned nextScanBlock = 0;
+    /** Cycle this entry entered the queue (tracing only). */
+    Cycle pushedAt = 0;
 };
 
 class Ftq
@@ -78,6 +82,9 @@ class Ftq
     /** Drop occupancy samples collected so far (warmup boundary). */
     void resetOccupancy() { occupancy.reset(); }
 
+    /** Emit entry-lifetime spans to @p t (null disables). */
+    void setTracer(Tracer *t) { tracer = t; }
+
     StatSet stats;
 
   private:
@@ -94,6 +101,7 @@ class Ftq
     unsigned blockBytes;
     Histogram occupancy;
     std::uint64_t version_ = 0;
+    Tracer *tracer = nullptr;
 };
 
 } // namespace fdip

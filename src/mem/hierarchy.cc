@@ -23,16 +23,26 @@ MemHierarchy::tick(Cycle now)
 {
     portsUsed = 0;
     for (MshrEntry *e : mshrFile.ready(now)) {
-        if (e->fillL2)
-            l2_.insert(e->blockAddr);
+        if (e->fillL2) {
+            auto victim = l2_.insert(e->blockAddr);
+            attr_.onL2Fill(e->blockAddr, victim, e->isPrefetch);
+        }
         switch (e->dest) {
           case FillDest::DemandL1:
             installL1(e->blockAddr, /*first_use_tag=*/true);
+            if (e->isPrefetch)
+                attr_.onFill(e->blockAddr, now);
             break;
           case FillDest::PrefetchBuffer:
-            pfBuf.insert(e->blockAddr);
+            if (auto evicted = pfBuf.insert(e->blockAddr))
+                attr_.onEvictUnused(*evicted);
+            attr_.onFill(e->blockAddr, now);
             break;
           case FillDest::StreamBuffer:
+            // Fill attribution first, so an orphaned fill (stream
+            // reallocated meanwhile) evict-classifies with a complete
+            // lifecycle inside the client callback.
+            attr_.onFill(e->blockAddr, now);
             if (streamFill) {
                 streamFill->streamFill(e->streamId, e->slotId,
                                        e->blockAddr);
@@ -116,6 +126,8 @@ MemHierarchy::fillLatency(Addr block_addr, Cycle now, bool is_prefetch,
     }
     // L2 miss: memory access plus both bus transfers.
     fills_l2 = true;
+    if (!is_prefetch)
+        attr_.onL2DemandMiss(block_addr);
     Cycle dram_lat = dram.accessLatency(now, is_prefetch);
     Cycle mem_done;
     if (idle_only) {
@@ -167,6 +179,7 @@ MemHierarchy::demandFetch(Addr addr, Cycle now)
         res.hitPrefetchBuffer = true;
         res.readyAt = now + cfg.l1HitLatency;
         stPfbufHits.inc();
+        attr_.onConsume(block, now);
         return res;
     }
 
@@ -176,6 +189,7 @@ MemHierarchy::demandFetch(Addr addr, Cycle now)
         res.hitStreamBuffer = true;
         res.readyAt = now + cfg.l1HitLatency;
         stStreambufHits.inc();
+        attr_.onConsume(block, now);
         return res;
     }
 
@@ -192,8 +206,10 @@ MemHierarchy::demandFetch(Addr addr, Cycle now)
             stInflightRetargets.inc();
         }
         stInflightMerges.inc();
-        if (e->isPrefetch)
+        if (e->isPrefetch) {
             stInflightPrefetchMerges.inc();
+            attr_.onDemandMerge(block, now);
+        }
         return res;
     }
 
@@ -251,6 +267,7 @@ MemHierarchy::issuePrefetch(Addr addr, Cycle now, FillDest dest,
     e->streamId = stream_id;
     e->slotId = slot_id;
     stPrefetchesIssued.inc();
+    attr_.onIssue(block, now);
     return PfIssue::Issued;
 }
 
@@ -266,6 +283,7 @@ MemHierarchy::collectStats(StatSet &out) const
     out.merge(memBus_.stats, "membus.");
     out.merge(mshrFile.stats);
     out.merge(dram.stats);
+    out.merge(attr_.stats);
 }
 
 } // namespace fdip

@@ -20,6 +20,7 @@
 #include "mem/mshr.hh"
 #include "mem/prefetch_buffer.hh"
 #include "mem/victim_cache.hh"
+#include "obs/attribution.hh"
 
 namespace fdip
 {
@@ -148,6 +149,13 @@ class MemHierarchy
         maxPrefetches = n;
     }
 
+    /** Prefetch lifecycle attribution (always on; tracer optional). */
+    PrefetchAttribution &prefetchAttribution() { return attr_; }
+
+    /** Route prefetch lifecycle spans to @p t (null disables). */
+    void setTracer(Tracer *t) { attr_.setTracer(t); }
+    Tracer *tracer() const { return attr_.tracer(); }
+
     Cache &l1i() { return l1i_; }
     VictimCache &victimCache() { return vc; }
     Cache &l2() { return l2_; }
@@ -206,6 +214,7 @@ class MemHierarchy
     Bus memBus_;
     MshrFile mshrFile;
     Dram dram;
+    PrefetchAttribution attr_;
     StreamFillClient *streamFill = nullptr;
     StreamProbeClient *streamProbe = nullptr;
     unsigned portsUsed = 0;

@@ -33,19 +33,22 @@ PrefetchBuffer::consume(Addr block_addr)
     return false;
 }
 
-void
+std::optional<Addr>
 PrefetchBuffer::insert(Addr block_addr)
 {
     if (probe(block_addr)) {
         stDuplicateFills.inc();
-        return;
+        return std::nullopt;
     }
+    std::optional<Addr> evicted;
     if (buf.size() == cap) {
+        evicted = buf.front().addr;
         buf.pop_front();
         stUnusedEvictions.inc();
     }
     buf.push_back({block_addr});
     stFills.inc();
+    return evicted;
 }
 
 void

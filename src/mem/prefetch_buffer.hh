@@ -10,6 +10,7 @@
 #define FDIP_MEM_PREFETCH_BUFFER_HH
 
 #include <deque>
+#include <optional>
 
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -27,8 +28,9 @@ class PrefetchBuffer
     /** Demand hit: remove the entry (block promotes to L1). */
     bool consume(Addr block_addr);
 
-    /** Prefetch fill; FIFO-evicts when full (a wasted prefetch). */
-    void insert(Addr block_addr);
+    /** Prefetch fill; FIFO-evicts when full (a wasted prefetch).
+     *  Returns the evicted block, if any, for lifecycle attribution. */
+    std::optional<Addr> insert(Addr block_addr);
 
     void clear();
 

@@ -1,0 +1,128 @@
+#include "obs/attribution.hh"
+
+#include "obs/tracer.hh"
+
+namespace fdip
+{
+
+namespace
+{
+
+/** Log2 bucketing: 0 -> 0, otherwise 1 + floor(log2(d)), so bucket k
+ *  (k >= 1) covers distances [2^(k-1), 2^k). */
+std::uint64_t
+log2Bucket(Cycle distance)
+{
+    std::uint64_t b = 0;
+    while (distance != 0) {
+        ++b;
+        distance >>= 1;
+    }
+    return b;
+}
+
+} // namespace
+
+// 22 buckets: same-cycle plus distances up to 2^21 cycles; anything
+// beyond clamps into the overflow bucket.
+PrefetchAttribution::PrefetchAttribution() : fillToUse(21)
+{
+    stTimely = stats.registerCounter("pfattr.timely");
+    stLate = stats.registerCounter("pfattr.late");
+    stEvictedUnused = stats.registerCounter("pfattr.evicted_unused");
+    stPollution = stats.registerCounter("pfattr.pollution");
+}
+
+void
+PrefetchAttribution::traceLifecycle(Addr block, const Live &lv, Cycle end,
+                                    const char *outcome)
+{
+    if (tracer_ == nullptr)
+        return;
+    tracer_->complete("prefetch", kTidPrefetch, lv.issuedAt, end, "block",
+                      block, "outcome", outcome);
+}
+
+void
+PrefetchAttribution::onIssue(Addr block, Cycle now)
+{
+    Live lv;
+    lv.issuedAt = now;
+    // A re-issue of a still-tracked block (possible after its buffer
+    // copy was displaced) restarts the lifecycle.
+    live[block] = lv;
+}
+
+void
+PrefetchAttribution::onFill(Addr block, Cycle now)
+{
+    auto it = live.find(block);
+    if (it == live.end())
+        return;
+    it->second.filled = true;
+    it->second.filledAt = now;
+}
+
+void
+PrefetchAttribution::onConsume(Addr block, Cycle now)
+{
+    auto it = live.find(block);
+    if (it == live.end())
+        return;
+    stTimely.inc();
+    if (it->second.filled)
+        fillToUse.sample(log2Bucket(now - it->second.filledAt));
+    else
+        fillToUse.sample(0);
+    traceLifecycle(block, it->second, now, "timely");
+    live.erase(it);
+}
+
+void
+PrefetchAttribution::onDemandMerge(Addr block, Cycle now)
+{
+    // Count the merge even when the issue hook was not seen (keeps
+    // pfattr.late identical to mem.inflight_prefetch_merges).
+    stLate.inc();
+    auto it = live.find(block);
+    if (it != live.end()) {
+        traceLifecycle(block, it->second, now, "late");
+        live.erase(it);
+    }
+}
+
+void
+PrefetchAttribution::onEvictUnused(Addr block)
+{
+    auto it = live.find(block);
+    stEvictedUnused.inc();
+    if (it != live.end()) {
+        Cycle end = tracer_ != nullptr ? tracer_->now() : it->second.filledAt;
+        traceLifecycle(block, it->second, end, "evicted");
+        live.erase(it);
+    }
+}
+
+void
+PrefetchAttribution::onL2Fill(Addr block, std::optional<Addr> victim,
+                              bool isPrefetch)
+{
+    // The inserted block is present again: it can no longer pollute.
+    victims.erase(block);
+    if (isPrefetch && victim.has_value())
+        victims[*victim] = block;
+}
+
+void
+PrefetchAttribution::onL2DemandMiss(Addr block)
+{
+    auto it = victims.find(block);
+    if (it == victims.end())
+        return;
+    stPollution.inc();
+    if (tracer_ != nullptr)
+        tracer_->instant("pf_pollution", kTidMem, "victim", block);
+    victims.erase(it);
+}
+
+} // namespace fdip

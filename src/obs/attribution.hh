@@ -1,0 +1,107 @@
+/**
+ * @file attribution.hh
+ * Prefetch lifecycle attribution: classifies every issued prefetch as
+ *
+ *   timely         -- demand consumed the block from a prefetch buffer
+ *                     or stream buffer after the fill completed (full
+ *                     latency hidden)
+ *   late           -- demand arrived while the prefetch was still in
+ *                     flight and merged with it (partial hide)
+ *   evicted-unused -- filled but displaced before any demand touched it
+ *   pollution      -- a prefetch-triggered L2 fill displaced a line
+ *                     that a demand access later missed on
+ *
+ * plus a fill-to-first-use distance histogram (log2 buckets) for the
+ * timely class. The attribution is always on: it is pure bookkeeping
+ * driven by MemHierarchy hooks, deterministic, and independent of the
+ * idle-skip mode, so its counters are part of serializeResults().
+ */
+
+#ifndef FDIP_OBS_ATTRIBUTION_HH
+#define FDIP_OBS_ATTRIBUTION_HH
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "common/histogram.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace fdip
+{
+
+class Tracer;
+
+class PrefetchAttribution
+{
+  public:
+    PrefetchAttribution();
+
+    void setTracer(Tracer *t) { tracer_ = t; }
+    Tracer *tracer() const { return tracer_; }
+
+    /** A prefetch request for @p block left for memory at @p now. */
+    void onIssue(Addr block, Cycle now);
+
+    /** The prefetched @p block finished filling its buffer at @p now. */
+    void onFill(Addr block, Cycle now);
+
+    /** Demand consumed the filled @p block (timely). */
+    void onConsume(Addr block, Cycle now);
+
+    /** Demand merged with the still-in-flight prefetch of @p block
+     *  (late: the prefetch hid only part of the miss latency). */
+    void onDemandMerge(Addr block, Cycle now);
+
+    /** The filled @p block was displaced before any demand use. */
+    void onEvictUnused(Addr block);
+
+    /**
+     * @p block was inserted into L2, displacing @p victim (if any).
+     * Prefetch-triggered fills arm pollution tracking on the victim;
+     * any insert of an address disarms it as a victim.
+     */
+    void onL2Fill(Addr block, std::optional<Addr> victim, bool isPrefetch);
+
+    /** A demand access missed L2 on @p block. */
+    void onL2DemandMiss(Addr block);
+
+    /** Fill-to-first-use distance of timely prefetches, log2 buckets:
+     *  bucket 0 = same cycle, bucket k = [2^(k-1), 2^k) cycles. */
+    const Histogram &timelinessHist() const { return fillToUse; }
+
+    /** Warmup boundary: restart the histogram (counters are deltaed
+     *  by the caller instead). */
+    void resetHist() { fillToUse.reset(); }
+
+    /** pfattr.{timely,late,evicted_unused,pollution} counters. */
+    StatSet stats;
+
+  private:
+    struct Live
+    {
+        Cycle issuedAt = 0;
+        Cycle filledAt = 0;
+        bool filled = false;
+    };
+
+    void traceLifecycle(Addr block, const Live &lv, Cycle end,
+                        const char *outcome);
+
+    /** In-flight or filled-but-unused prefetched blocks. */
+    std::unordered_map<Addr, Live> live;
+
+    /** L2 victim address -> the prefetched block that displaced it. */
+    std::unordered_map<Addr, Addr> victims;
+
+    Histogram fillToUse;
+
+    StatSet::Counter stTimely, stLate, stEvictedUnused, stPollution;
+
+    Tracer *tracer_ = nullptr;
+};
+
+} // namespace fdip
+
+#endif // FDIP_OBS_ATTRIBUTION_HH

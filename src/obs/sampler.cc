@@ -1,0 +1,63 @@
+#include "obs/sampler.hh"
+
+#include "common/logging.hh"
+
+namespace fdip
+{
+
+IntervalSampler::IntervalSampler(Cycle intervalCycles)
+    : interval_(intervalCycles), next_(intervalCycles)
+{
+    fatal_if(intervalCycles == 0, "sample interval must be > 0 cycles");
+}
+
+SampleRow
+IntervalSampler::record(Cycle now, const StatSet &cum,
+                        std::uint64_t occCount, std::uint64_t occWeighted,
+                        std::uint64_t walksQueued)
+{
+    StatSet delta = StatSet::subtract(cum, prev_);
+    Cycle cycles = now - prevCycle_;
+
+    SampleRow row;
+    row.cycle = now;
+    row.intervalCycles = cycles;
+    row.insts = static_cast<std::uint64_t>(delta.value("sim.committed"));
+    row.ipc = cycles == 0 ? 0.0
+        : static_cast<double>(row.insts) / static_cast<double>(cycles);
+
+    double kinsts = static_cast<double>(row.insts) / 1000.0;
+    double true_misses = delta.value("mem.demand_misses") -
+        delta.value("mem.inflight_merges");
+    row.mpki = kinsts > 0.0 ? true_misses / kinsts : 0.0;
+
+    double issued = delta.value("mem.prefetches_issued");
+    double useful = delta.value("pfbuf.consumed") + delta.value("sb.hits") +
+        delta.value("mem.inflight_prefetch_merges");
+    row.pfAccuracy = issued > 0.0 ? useful / issued : 0.0;
+    row.prefetchesIssued = static_cast<std::uint64_t>(issued);
+
+    std::uint64_t occ_n = occCount - prevOccCount_;
+    std::uint64_t occ_w = occWeighted - prevOccWeighted_;
+    row.ftqOccMean = occ_n == 0 ? 0.0
+        : static_cast<double>(occ_w) / static_cast<double>(occ_n);
+
+    row.walksQueued = walksQueued;
+
+    prev_ = cum;
+    prevCycle_ = now;
+    prevOccCount_ = occCount;
+    prevOccWeighted_ = occWeighted;
+    while (next_ <= now)
+        next_ += interval_;
+    return row;
+}
+
+void
+IntervalSampler::rebaselineOccupancy()
+{
+    prevOccCount_ = 0;
+    prevOccWeighted_ = 0;
+}
+
+} // namespace fdip

@@ -1,0 +1,75 @@
+/**
+ * @file sampler.hh
+ * Interval time-series sampling: every `sampleIntervalCycles` the
+ * simulator snapshots the cumulative StatSet and the sampler turns it
+ * into a per-interval delta row (IPC, MPKI, prefetch accuracy, FTQ
+ * occupancy mean, walk-queue depth).
+ *
+ * Skip cooperation: nextBoundary() participates in the simulator's
+ * nextEventCycle() aggregation, so an idle-cycle jump never crosses a
+ * sample boundary — rows land at exactly the same cycles with and
+ * without skipping, and taking a sample never alters simulated state.
+ */
+
+#ifndef FDIP_OBS_SAMPLER_HH
+#define FDIP_OBS_SAMPLER_HH
+
+#include <cstdint>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace fdip
+{
+
+/** One per-interval delta row. */
+struct SampleRow
+{
+    Cycle cycle = 0;          ///< boundary cycle (end of interval)
+    Cycle intervalCycles = 0; ///< actual interval length
+    std::uint64_t insts = 0;  ///< instructions retired this interval
+    double ipc = 0.0;
+    double mpki = 0.0;        ///< L1-I demand misses / kilo-inst
+    double pfAccuracy = 0.0;  ///< useful / issued, this interval
+    double ftqOccMean = 0.0;  ///< mean FTQ occupancy this interval
+    std::uint64_t walksQueued = 0; ///< walk-queue depth at the boundary
+    std::uint64_t prefetchesIssued = 0;
+};
+
+class IntervalSampler
+{
+  public:
+    explicit IntervalSampler(Cycle intervalCycles);
+
+    /** Next sample boundary; always strictly ahead of the last
+     *  recorded boundary, suitable for nextEventCycle() aggregation. */
+    Cycle nextBoundary() const { return next_; }
+
+    /** True once the current cycle reached the boundary. */
+    bool due(Cycle now) const { return now >= next_; }
+
+    /**
+     * Build the delta row for the interval ending at @p now from the
+     * cumulative stats snapshot, then rebase for the next interval.
+     * @p occCount / @p occWeighted are the FTQ occupancy histogram's
+     * running count() / weightedTotal().
+     */
+    SampleRow record(Cycle now, const StatSet &cum, std::uint64_t occCount,
+                     std::uint64_t occWeighted, std::uint64_t walksQueued);
+
+    /** The FTQ occupancy histogram was reset (warmup boundary): forget
+     *  the previous occupancy baseline. */
+    void rebaselineOccupancy();
+
+  private:
+    Cycle interval_;
+    Cycle next_;
+    Cycle prevCycle_ = 0;
+    StatSet prev_;
+    std::uint64_t prevOccCount_ = 0;
+    std::uint64_t prevOccWeighted_ = 0;
+};
+
+} // namespace fdip
+
+#endif // FDIP_OBS_SAMPLER_HH

@@ -1,0 +1,75 @@
+#include "obs/tracer.hh"
+
+#include "common/logging.hh"
+
+namespace fdip
+{
+
+Tracer::Tracer(std::size_t capacity)
+{
+    fatal_if(capacity == 0, "trace ring capacity must be > 0");
+    ring_.resize(capacity);
+}
+
+void
+Tracer::push(const TraceEvent &e)
+{
+    if (count_ == ring_.size())
+        ++dropped_;
+    else
+        ++count_;
+    ring_[head_] = e;
+    head_ = (head_ + 1) % ring_.size();
+}
+
+void
+Tracer::complete(const char *name, std::uint32_t tid, Cycle start,
+                 Cycle end, const char *argKey, std::uint64_t argVal,
+                 const char *strKey, const char *strVal)
+{
+    TraceEvent e;
+    e.name = name;
+    e.ph = 'X';
+    e.tid = tid;
+    e.ts = start;
+    e.dur = end >= start ? end - start : 0;
+    e.argKey = argKey;
+    e.argVal = argVal;
+    e.strKey = strKey;
+    e.strVal = strVal;
+    push(e);
+}
+
+void
+Tracer::instant(const char *name, std::uint32_t tid, const char *argKey,
+                std::uint64_t argVal, const char *strKey,
+                const char *strVal)
+{
+    TraceEvent e;
+    e.name = name;
+    e.ph = 'i';
+    e.tid = tid;
+    e.ts = now_;
+    e.argKey = argKey;
+    e.argVal = argVal;
+    e.strKey = strKey;
+    e.strVal = strVal;
+    push(e);
+}
+
+std::vector<TraceEvent>
+Tracer::drain()
+{
+    std::vector<TraceEvent> out;
+    out.reserve(count_);
+    // Oldest surviving event sits at head_ - count_ (mod capacity).
+    std::size_t start = (head_ + ring_.size() - count_) % ring_.size();
+    for (std::size_t i = 0; i < count_; ++i)
+        out.push_back(ring_[(start + i) % ring_.size()]);
+    count_ = 0;
+    head_ = 0;
+    dropped_ = 0;
+    return out;
+}
+
+} // namespace fdip

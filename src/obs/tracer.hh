@@ -1,0 +1,96 @@
+/**
+ * @file tracer.hh
+ * Bounded ring-buffer event tracer emitting Chrome trace_event JSON
+ * (load the file in Perfetto / chrome://tracing). Components hold a
+ * raw `Tracer *` that is null when tracing is off, so the disabled
+ * hot path is a single pointer test.
+ *
+ * Timestamps are simulated cycles reported in the trace's microsecond
+ * field (1 cycle == 1 "us"); host time never appears, so traces are
+ * deterministic across runs. Events land on fixed lanes (tid):
+ * frontend, prefetch, memory, VM.
+ */
+
+#ifndef FDIP_OBS_TRACER_HH
+#define FDIP_OBS_TRACER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace fdip
+{
+
+/** Trace lanes: tid values grouping events per subsystem. */
+constexpr std::uint32_t kTidFrontend = 1;
+constexpr std::uint32_t kTidPrefetch = 2;
+constexpr std::uint32_t kTidMem = 3;
+constexpr std::uint32_t kTidVm = 4;
+
+/**
+ * One trace_event record. Names and arg keys are string literals
+ * (static storage) so the ring buffer stores only POD — no allocation
+ * on the hot path.
+ */
+struct TraceEvent
+{
+    const char *name = nullptr;
+    char ph = 'i';           ///< 'X' complete span, 'i' instant
+    std::uint32_t tid = 0;   ///< lane (kTid*)
+    std::uint64_t ts = 0;    ///< start cycle
+    std::uint64_t dur = 0;   ///< span length ('X' only)
+    const char *argKey = nullptr; ///< optional numeric arg
+    std::uint64_t argVal = 0;
+    const char *strKey = nullptr; ///< optional string arg (literal)
+    const char *strVal = nullptr;
+};
+
+class Tracer
+{
+  public:
+    /** @param capacity ring size; oldest events are overwritten. */
+    explicit Tracer(std::size_t capacity);
+
+    /** Current cycle, pushed by Simulator::step() each cycle so hooks
+     *  deep in components need no `now` plumbing. */
+    void setNow(Cycle now) { now_ = now; }
+    Cycle now() const { return now_; }
+
+    /** Record a completed span [start, end]. */
+    void complete(const char *name, std::uint32_t tid, Cycle start,
+                  Cycle end, const char *argKey = nullptr,
+                  std::uint64_t argVal = 0, const char *strKey = nullptr,
+                  const char *strVal = nullptr);
+
+    /** Record a zero-duration marker at the current cycle. */
+    void instant(const char *name, std::uint32_t tid,
+                 const char *argKey = nullptr, std::uint64_t argVal = 0,
+                 const char *strKey = nullptr, const char *strVal = nullptr);
+
+    /** Events in arrival order (oldest surviving first); clears the
+     *  ring (and the dropped counter) so a subsequent drain only sees
+     *  newer events. */
+    std::vector<TraceEvent> drain();
+
+    /** Events discarded because the ring wrapped since the last
+     *  drain(). */
+    std::uint64_t dropped() const { return dropped_; }
+
+    std::size_t size() const { return count_; }
+    std::size_t capacity() const { return ring_.size(); }
+
+  private:
+    void push(const TraceEvent &e);
+
+    std::vector<TraceEvent> ring_;
+    std::size_t head_ = 0;  ///< next write position
+    std::size_t count_ = 0; ///< live events (<= capacity)
+    std::uint64_t dropped_ = 0;
+    Cycle now_ = 0;
+};
+
+} // namespace fdip
+
+#endif // FDIP_OBS_TRACER_HH

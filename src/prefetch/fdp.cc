@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/tracer.hh"
 
 namespace fdip
 {
@@ -118,6 +119,11 @@ void
 FdpPrefetcher::scanFtq(Cycle now)
 {
     unsigned examined = 0;
+    Tracer *tr = mem.tracer();
+    auto traceEnqueue = [tr](Addr block) {
+        if (tr != nullptr)
+            tr->instant("pf_enqueue", kTidPrefetch, "block", block);
+    };
     // Entry 0 is the fetch point (being demand fetched); deeper
     // entries are the prefetch candidates.
     for (std::size_t i = 1; i < ftq.size(); ++i) {
@@ -145,6 +151,7 @@ FdpPrefetcher::scanFtq(Cycle now)
               case CpfMode::Remove:
                 piq_.push(cand);
                 markRequested(cand);
+                traceEnqueue(cand);
                 break;
               case CpfMode::Enqueue:
               case CpfMode::EnqueueAggressive:
@@ -157,6 +164,7 @@ FdpPrefetcher::scanFtq(Cycle now)
                     // Aggressive: enqueue unprobed.
                     piq_.push(cand);
                     markRequested(cand);
+                    traceEnqueue(cand);
                     break;
                 }
                 stCpfProbes.inc();
@@ -165,6 +173,7 @@ FdpPrefetcher::scanFtq(Cycle now)
                 } else {
                     piq_.push(cand);
                     markRequested(cand);
+                    traceEnqueue(cand);
                 }
                 break;
               case CpfMode::Ideal:
@@ -174,6 +183,7 @@ FdpPrefetcher::scanFtq(Cycle now)
                 } else {
                     piq_.push(cand);
                     markRequested(cand);
+                    traceEnqueue(cand);
                 }
                 break;
             }

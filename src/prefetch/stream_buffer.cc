@@ -60,6 +60,12 @@ StreamBufferPrefetcher::allocate(Addr miss_addr)
     }
     if (victim->active)
         stReallocations.inc();
+    // Filled slots die unused here; in-flight ones classify later via
+    // the orphan-fill path.
+    for (const Slot &s : victim->slots) {
+        if (s.filled)
+            mem.prefetchAttribution().onEvictUnused(s.paddr);
+    }
     victim->active = true;
     victim->slots.clear();
     victim->nextAddr = miss_addr + bb;
@@ -100,7 +106,13 @@ StreamBufferPrefetcher::probeAndConsume(Addr block_addr, Cycle now)
                 continue;
             if (!b.slots[si].filled)
                 return false; // in flight: demand merges via the MSHR
-            // Hit: consume this slot and everything older.
+            // Hit: consume this slot and everything older. Skipped
+            // older filled slots die unused; skipped in-flight ones
+            // classify later via the orphan-fill path.
+            for (std::size_t j = 0; j < si; ++j) {
+                if (b.slots[j].filled)
+                    mem.prefetchAttribution().onEvictUnused(b.slots[j].paddr);
+            }
             b.slots.erase(b.slots.begin(),
                           b.slots.begin() + static_cast<long>(si) + 1);
             b.lruStamp = ++lruClock;
@@ -119,12 +131,14 @@ StreamBufferPrefetcher::streamFill(std::uint32_t stream_id,
 {
     if (stream_id >= buffers.size()) {
         stOrphanFills.inc();
+        mem.prefetchAttribution().onEvictUnused(block_addr);
         return;
     }
     Buffer &b = buffers[stream_id];
     b.requestInFlight = false;
     if (!b.active) {
         stOrphanFills.inc();
+        mem.prefetchAttribution().onEvictUnused(block_addr);
         return;
     }
     for (Slot &s : b.slots) {
@@ -136,6 +150,7 @@ StreamBufferPrefetcher::streamFill(std::uint32_t stream_id,
     }
     // The buffer was re-aimed while the request was in flight.
     stOrphanFills.inc();
+    mem.prefetchAttribution().onEvictUnused(block_addr);
 }
 
 void

@@ -15,6 +15,7 @@
 #include "core/backend.hh"
 #include "frontend/fetch_engine.hh"
 #include "mem/hierarchy.hh"
+#include "obs/telemetry.hh"
 #include "prefetch/fdp.hh"
 #include "prefetch/nlp.hh"
 #include "prefetch/oracle.hh"
@@ -88,6 +89,16 @@ struct SimConfig
      * host time.
      */
     bool forceTick = false;
+
+    /**
+     * Passive observability (interval sampling, event tracing). The
+     * FDIP_SAMPLES / FDIP_TRACE environment variables overlay these at
+     * Simulator construction. Deliberately EXCLUDED from fingerprint():
+     * telemetry never affects simulated behaviour (see the parity
+     * tests in tests/test_obs.cc), so it must not invalidate result
+     * caches.
+     */
+    ObsConfig obs;
 
     /**
      * Order-independent hash of every knob that affects simulated

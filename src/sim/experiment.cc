@@ -4,10 +4,12 @@
 #include <cctype>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <set>
 #include <tuple>
 
 #include "common/logging.hh"
+#include "obs/json.hh"
 #include "sim/report.hh"
 
 namespace fdip
@@ -93,6 +95,88 @@ runLengthLine(const ExperimentSpec &spec)
                      "point",
                      static_cast<unsigned long long>(spec.warmup),
                      static_cast<unsigned long long>(spec.measure));
+}
+
+/**
+ * Machine-readable export of every grid point (--stats-json): one JSON
+ * object with the run lengths and a record per distinct simulation.
+ * Every read is a memo hit (the sweep just ran), so this adds no
+ * simulation time; the fingerprint ties each record back to the exact
+ * SimConfig, letting downstream tooling join records across binaries
+ * and cache entries.
+ */
+std::string
+statsJson(const ExperimentSpec &spec, Runner &runner,
+          std::uint64_t warmup, std::uint64_t measure)
+{
+    std::string out = "{\n";
+    out += strprintf("  \"experiment\": \"%s\",\n",
+                     jsonEscape(spec.id).c_str());
+    out += strprintf("  \"binary\": \"%s\",\n",
+                     jsonEscape(spec.binary).c_str());
+    out += strprintf("  \"warmup\": %llu,\n",
+                     static_cast<unsigned long long>(warmup));
+    out += strprintf("  \"measure\": %llu,\n",
+                     static_cast<unsigned long long>(measure));
+    out += "  \"points\": [";
+
+    std::set<std::tuple<std::string, std::string, std::string>> seen;
+    bool first = true;
+    forEachGridPoint(
+        spec,
+        [&](const std::string &w, PrefetchScheme s,
+            const TweakVariant &v) {
+            if (!seen.emplace(w, schemeName(s), v.key).second)
+                return;
+            const SimResults &r = runner.run(w, s, v.key, v.tweak);
+            out += first ? "\n" : ",\n";
+            first = false;
+            out += "    {";
+            out += strprintf("\"workload\": \"%s\", ",
+                             jsonEscape(w).c_str());
+            out += strprintf("\"scheme\": \"%s\", ", schemeName(s));
+            out += strprintf("\"tweak\": \"%s\", ",
+                             jsonEscape(v.key).c_str());
+            out += strprintf(
+                "\"fingerprint\": \"%016llx\",\n     ",
+                static_cast<unsigned long long>(
+                    runner.fingerprintOf(w, s, v.key)));
+            out += strprintf("\"cycles\": %llu, ",
+                             static_cast<unsigned long long>(r.cycles));
+            out += strprintf(
+                "\"instructions\": %llu, ",
+                static_cast<unsigned long long>(r.instructions));
+            out += strprintf("\"ipc\": %.17g, \"mpki\": %.17g,\n     ",
+                             r.ipc, r.mpki);
+            out += strprintf(
+                "\"l2_bus_util\": %.17g, \"mem_bus_util\": %.17g,\n"
+                "     ",
+                r.l2BusUtil, r.memBusUtil);
+            out += strprintf(
+                "\"prefetch_accuracy\": %.17g, "
+                "\"prefetch_coverage\": %.17g,\n     ",
+                r.prefetchAccuracy, r.prefetchCoverage);
+            out += strprintf(
+                "\"prefetch_timely\": %.17g, "
+                "\"prefetch_late\": %.17g, "
+                "\"prefetch_pollution\": %.17g,\n     ",
+                r.prefetchTimely, r.prefetchLate, r.prefetchPollution);
+            out += strprintf("\"cond_mispredict_per_kilo\": %.17g,\n"
+                             "     ",
+                             r.condMispredictPerKilo);
+            out += strprintf(
+                "\"host_seconds\": %.17g, "
+                "\"host_kcycles_per_sec\": %.17g, ",
+                r.hostSeconds, r.hostKcyclesPerSec);
+            out += strprintf(
+                "\"skipped_cycles\": %llu, \"total_cycles\": %llu",
+                static_cast<unsigned long long>(r.skippedCycles),
+                static_cast<unsigned long long>(r.totalCycles));
+            out += "}";
+        });
+    out += first ? "]\n" : "\n  ]\n";
+    out += "}\n";
+    return out;
 }
 
 } // namespace
@@ -335,6 +419,7 @@ experimentMain(const ExperimentSpec &spec, int argc, char **argv)
     std::uint64_t measure = spec.measure;
     unsigned jobs = Runner::defaultJobs();
     bool list = false, describe = false;
+    std::string statsJsonPath;
 
     for (int i = 1; i < argc; ++i) {
         auto needsValue = [&](const char *flag) {
@@ -354,9 +439,11 @@ experimentMain(const ExperimentSpec &spec, int argc, char **argv)
             list = true;
         } else if (std::strcmp(argv[i], "--describe") == 0) {
             describe = true;
+        } else if (std::strcmp(argv[i], "--stats-json") == 0) {
+            statsJsonPath = needsValue("--stats-json");
         } else {
             fatal("unknown argument '%s' (expected --jobs/--warmup/"
-                  "--measure/--list/--describe)", argv[i]);
+                  "--measure/--list/--describe/--stats-json)", argv[i]);
         }
     }
 
@@ -380,6 +467,16 @@ experimentMain(const ExperimentSpec &spec, int argc, char **argv)
         put(runner.sweepSummary());
     if (spec.render)
         spec.render(runner);
+    if (!statsJsonPath.empty()) {
+        std::ofstream out(statsJsonPath,
+                          std::ios::binary | std::ios::trunc);
+        fatal_if(!out, "cannot open --stats-json file '%s'",
+                 statsJsonPath.c_str());
+        out << statsJson(spec, runner, warmup, measure);
+        fatal_if(!out, "failed writing --stats-json file '%s'",
+                 statsJsonPath.c_str());
+        std::printf("stats: wrote %s\n", statsJsonPath.c_str());
+    }
     return 0;
 }
 

@@ -136,10 +136,11 @@ std::string experimentCatalogMarkdown(
     const std::vector<const ExperimentSpec *> &specs);
 
 /**
- * Shared bench main: parses --jobs/--warmup/--measure (run overrides)
- * and --list/--describe (spec introspection, no simulation), prints
- * the banner, expands + runs the sweep, prints the footer, then
- * delegates to spec.render.
+ * Shared bench main: parses --jobs/--warmup/--measure (run overrides),
+ * --list/--describe (spec introspection, no simulation), and
+ * --stats-json PATH (machine-readable per-point export after the
+ * sweep), prints the banner, expands + runs the sweep, prints the
+ * footer, then delegates to spec.render.
  */
 int experimentMain(const ExperimentSpec &spec, int argc, char **argv);
 

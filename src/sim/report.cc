@@ -32,6 +32,9 @@ serializeResults(const SimResults &r)
     out += strprintf("mem_bus_util %.17g\n", r.memBusUtil);
     out += strprintf("prefetch_accuracy %.17g\n", r.prefetchAccuracy);
     out += strprintf("prefetch_coverage %.17g\n", r.prefetchCoverage);
+    out += strprintf("prefetch_timely %.17g\n", r.prefetchTimely);
+    out += strprintf("prefetch_late %.17g\n", r.prefetchLate);
+    out += strprintf("prefetch_pollution %.17g\n", r.prefetchPollution);
     out += strprintf("cond_mispredict_per_kilo %.17g\n",
                      r.condMispredictPerKilo);
     out += strprintf("ftq_occupancy %llu buckets,",
@@ -43,6 +46,15 @@ serializeResults(const SimResults &r)
                              r.ftqOccupancy.bucket(v)));
     }
     out += "\n";
+    out += strprintf("pf_timeliness %llu buckets,",
+                     static_cast<unsigned long long>(
+                         r.pfTimeliness.numBuckets()));
+    for (std::size_t v = 0; v < r.pfTimeliness.numBuckets(); ++v) {
+        out += strprintf(" %llu",
+                         static_cast<unsigned long long>(
+                             r.pfTimeliness.bucket(v)));
+    }
+    out += "\n";
     for (const auto &[name, val] : r.stats.entries())
         out += strprintf("stat %s %.17g\n", name.c_str(), val);
     return out;
@@ -51,12 +63,16 @@ serializeResults(const SimResults &r)
 std::string
 summarizeRun(const SimResults &r)
 {
+    double skip_pct = r.totalCycles == 0 ? 0.0
+        : static_cast<double>(r.skippedCycles) /
+          static_cast<double>(r.totalCycles) * 100.0;
     return strprintf(
         "%-10s %-14s ipc=%.3f mpki=%6.2f l2bus=%5.1f%% acc=%5.1f%% "
-        "cov=%5.1f%% host=%.2fs (%.0f kcyc/s)",
+        "cov=%5.1f%% host=%.2fs (%.0f kcyc/s) skip=%.1f%%",
         r.workload.c_str(), r.scheme.c_str(), r.ipc, r.mpki,
         r.l2BusUtil * 100.0, r.prefetchAccuracy * 100.0,
-        r.prefetchCoverage * 100.0, r.hostSeconds, r.hostKcyclesPerSec);
+        r.prefetchCoverage * 100.0, r.hostSeconds, r.hostKcyclesPerSec,
+        skip_pct);
 }
 
 } // namespace fdip

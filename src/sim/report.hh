@@ -26,7 +26,8 @@ std::string summarizeRun(const SimResults &r);
 /**
  * Canonical, bit-exact serialization of every *simulated* field of a
  * SimResults — scalars (doubles rendered with full round-trip
- * precision), the FTQ occupancy histogram, and the complete StatSet.
+ * precision), the FTQ occupancy and prefetch-timeliness histograms,
+ * and the complete StatSet.
  * Host-side gauges (hostSeconds, hostKcyclesPerSec, skippedCycles,
  * totalCycles) are excluded: they vary with the machine and with the
  * idle-skip path, not with the simulated machine. Two runs of the

@@ -147,6 +147,9 @@ encodeCacheEntry(std::uint64_t fingerprint, std::uint64_t warmup_insts,
     kv(out, "mem_bus_util", dblstr(r.memBusUtil));
     kv(out, "prefetch_accuracy", dblstr(r.prefetchAccuracy));
     kv(out, "prefetch_coverage", dblstr(r.prefetchCoverage));
+    kv(out, "prefetch_timely", dblstr(r.prefetchTimely));
+    kv(out, "prefetch_late", dblstr(r.prefetchLate));
+    kv(out, "prefetch_pollution", dblstr(r.prefetchPollution));
     kv(out, "cond_mispredict_per_kilo", dblstr(r.condMispredictPerKilo));
     kv(out, "host_seconds", dblstr(r.hostSeconds));
     kv(out, "host_kcycles_per_sec", dblstr(r.hostKcyclesPerSec));
@@ -158,6 +161,13 @@ encodeCacheEntry(std::uint64_t fingerprint, std::uint64_t warmup_insts,
                          r.ftqOccupancy.numBuckets()));
     for (std::size_t v = 0; v < r.ftqOccupancy.numBuckets(); ++v)
         out += " " + u64str(r.ftqOccupancy.bucket(v));
+    out += "\n";
+
+    out += strprintf("pf_timeliness %llu",
+                     static_cast<unsigned long long>(
+                         r.pfTimeliness.numBuckets()));
+    for (std::size_t v = 0; v < r.pfTimeliness.numBuckets(); ++v)
+        out += " " + u64str(r.pfTimeliness.bucket(v));
     out += "\n";
 
     const auto &entries = r.stats.entries();
@@ -218,6 +228,9 @@ decodeCacheEntry(const std::string &text, std::uint64_t fingerprint,
     r.memBusUtil = rd.expectDouble("mem_bus_util");
     r.prefetchAccuracy = rd.expectDouble("prefetch_accuracy");
     r.prefetchCoverage = rd.expectDouble("prefetch_coverage");
+    r.prefetchTimely = rd.expectDouble("prefetch_timely");
+    r.prefetchLate = rd.expectDouble("prefetch_late");
+    r.prefetchPollution = rd.expectDouble("prefetch_pollution");
     r.condMispredictPerKilo =
         rd.expectDouble("cond_mispredict_per_kilo");
     r.hostSeconds = rd.expectDouble("host_seconds");
@@ -246,6 +259,29 @@ decodeCacheEntry(const std::string &text, std::uint64_t fingerprint,
                 h.sample(v, count);
         }
         r.ftqOccupancy = h;
+    }
+
+    std::string pft = rd.expect("pf_timeliness");
+    if (!rd.ok())
+        return failed();
+    {
+        std::istringstream os(pft);
+        std::uint64_t buckets = 0;
+        if (!(os >> buckets) || buckets == 0) {
+            rd.fail("bad pf_timeliness bucket count");
+            return failed();
+        }
+        Histogram h(buckets - 1);
+        for (std::uint64_t v = 0; v < buckets; ++v) {
+            std::uint64_t count = 0;
+            if (!(os >> count)) {
+                rd.fail("truncated pf_timeliness buckets");
+                return failed();
+            }
+            if (count > 0)
+                h.sample(v, count);
+        }
+        r.pfTimeliness = h;
     }
 
     std::uint64_t num_stats = rd.expectU64("stats");

@@ -41,8 +41,11 @@ class ResultCache
      *  v2: two-level TLB hierarchy + bounded page-walk bandwidth
      *      (SimConfig::fingerprint() grew the vm.l2Tlb*, vm.numWalkers
      *      and vm.tlbPrefetch* fields, so v1 entries can never match a
-     *      v2 key anyway; the bump makes the invalidation explicit). */
-    static constexpr unsigned kFormatVersion = 2;
+     *      v2 key anyway; the bump makes the invalidation explicit).
+     *  v3: prefetch lifecycle attribution — the entry format grew the
+     *      prefetch_timely/late/pollution fields, the pf_timeliness
+     *      histogram, and the pfattr.* counters in the stat list. */
+    static constexpr unsigned kFormatVersion = 3;
 
     explicit ResultCache(std::string directory);
 

@@ -270,6 +270,14 @@ Runner::runPending()
     sweepWallSeconds = wall.count();
 }
 
+std::uint64_t
+Runner::fingerprintOf(const std::string &workload, PrefetchScheme scheme,
+                      const std::string &tweak_key) const
+{
+    auto it = fingerprints.find(makeKey(workload, scheme, tweak_key));
+    return it == fingerprints.end() ? 0 : it->second;
+}
+
 std::string
 Runner::sweepSummary() const
 {

@@ -135,6 +135,15 @@ class Runner
      */
     std::string sweepSummary() const;
 
+    /**
+     * SimConfig::fingerprint() of a previously enqueued or run point,
+     * for external exports (--stats-json); 0 when the key has never
+     * been materialized by this Runner.
+     */
+    std::uint64_t fingerprintOf(const std::string &workload,
+                                PrefetchScheme scheme,
+                                const std::string &tweak_key = "") const;
+
   private:
     /**
      * Memo key. A tuple (not a joined string) so workload or tweak

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/logging.hh"
+#include "obs/telemetry.hh"
 #include "trace/profile.hh"
 #include "vm/tlb_prefetcher.hh"
 
@@ -119,6 +120,20 @@ Simulator::Simulator(const SimConfig &config)
     }
 
     forceTick = cfg.forceTick || envForceTick();
+
+    ObsConfig obs = cfg.obs;
+    obs.applyEnv();
+    if (obs.enabled()) {
+        telem_ = std::make_unique<Telemetry>(obs, cfg.workload,
+                                             schemeName(cfg.scheme));
+        tracer_ = telem_->tracer();
+        sampler_ = telem_->sampler();
+        if (tracer_ != nullptr) {
+            ftq_->setTracer(tracer_);
+            mmu_->setTracer(tracer_);
+            mem_->setTracer(tracer_);
+        }
+    }
 }
 
 Simulator::~Simulator() = default;
@@ -154,6 +169,11 @@ Simulator::skipIdleCycles()
         if (!consider(pf->nextEventCycle(now)))
             return;
     }
+    // Sample boundaries cap a jump so interval rows land at exactly
+    // the same cycles as with per-cycle ticking; splitting one jump in
+    // two is bit-identical by the chargeIdleCycles contract.
+    if (sampler_ != nullptr && !consider(sampler_->nextBoundary()))
+        return;
     // kNever across the board is a wedged machine: fall back to
     // per-cycle ticking so the cycle-cap diagnostics fire exactly as
     // they would without skipping.
@@ -177,11 +197,15 @@ Simulator::step()
     if (!forceTick)
         skipIdleCycles();
     ++curCycle;
+    if (tracer_ != nullptr)
+        tracer_->setNow(curCycle);
     mem_->tick(curCycle);
     mmu_->tick(curCycle);
 
     if (fetch_->redirectPending() &&
         curCycle >= fetch_->redirectTime()) {
+        if (tracer_ != nullptr)
+            tracer_->instant("redirect", kTidFrontend);
         bpu_->redirect();
         ftq_->flush();
         fetch_->squash();
@@ -203,7 +227,19 @@ Simulator::step()
         ftq_->push(bpu_->predictBlock());
 
     ftq_->sampleOccupancy();
+    if (sampler_ != nullptr && sampler_->due(curCycle))
+        recordSample();
     trace->retireUpTo(backend_->committed());
+}
+
+void
+Simulator::recordSample()
+{
+    StatSet cum;
+    collectAll(cum);
+    telem_->recordSample(curCycle, cum, ftq_->occupancyHist().count(),
+                         ftq_->occupancyHist().weightedTotal(),
+                         mmu_->walksQueued());
 }
 
 void
@@ -263,6 +299,13 @@ Simulator::finalize(const StatSet &delta, Cycle cycles_delta,
     double would_miss = useful + true_misses;
     r.prefetchCoverage = would_miss > 0.0 ? useful / would_miss : 0.0;
 
+    if (issued > 0.0) {
+        r.prefetchTimely = delta.value("pfattr.timely") / issued;
+        r.prefetchLate = delta.value("pfattr.late") / issued;
+        r.prefetchPollution = delta.value("pfattr.pollution") / issued;
+    }
+    r.pfTimeliness = mem_->prefetchAttribution().timelinessHist();
+
     r.condMispredictPerKilo = kinsts > 0.0
         ? delta.value("bpu.diverge_cond") / kinsts : 0.0;
 
@@ -292,6 +335,11 @@ Simulator::run()
     Cycle warmup_cycles = curCycle;
     std::uint64_t warmup_insts = backend_->committed();
     ftq_->resetOccupancy();
+    // The timeliness histogram restarts with the measurement window,
+    // matching the counter deltas it sits beside.
+    mem_->prefetchAttribution().resetHist();
+    if (telem_ != nullptr)
+        telem_->rebaselineOccupancy();
 
     // Measurement window.
     while (backend_->committed() < total_insts) {
@@ -316,6 +364,8 @@ Simulator::run()
     }
     r.skippedCycles = numSkipped;
     r.totalCycles = curCycle;
+    if (telem_ != nullptr)
+        telem_->flush();
     return r;
 }
 

@@ -20,6 +20,9 @@ namespace fdip
 {
 
 class TlbPrefetcher;
+class Telemetry;
+class Tracer;
+class IntervalSampler;
 
 /** Everything a benchmark needs from one simulation run. */
 struct SimResults
@@ -37,6 +40,19 @@ struct SimResults
     double memBusUtil = 0.0;
     double prefetchAccuracy = 0.0;
     double prefetchCoverage = 0.0;
+
+    /**
+     * Prefetch lifecycle attribution, as fractions of issued
+     * prefetches: timely (consumed from a buffer after the fill),
+     * late (demand merged with the in-flight prefetch), pollution
+     * (a prefetch L2 fill displaced a line a demand later missed on;
+     * can exceed the other classes' complement since one prefetch can
+     * pollute and still be useful).
+     */
+    double prefetchTimely = 0.0;
+    double prefetchLate = 0.0;
+    double prefetchPollution = 0.0;
+
     double condMispredictPerKilo = 0.0;
 
     /**
@@ -58,6 +74,10 @@ struct SimResults
     Cycle totalCycles = 0;
 
     Histogram ftqOccupancy{0};
+
+    /** Fill-to-first-use distance of timely prefetches (log2 buckets:
+     *  bucket 0 = same cycle, bucket k = [2^(k-1), 2^k) cycles). */
+    Histogram pfTimeliness{0};
 
     /** Raw measurement-window counter deltas from every component. */
     StatSet stats;
@@ -116,6 +136,8 @@ class Simulator
     void collectAll(StatSet &out) const;
     SimResults finalize(const StatSet &delta, Cycle cycles_delta,
                         std::uint64_t insts_delta) const;
+    /** Snapshot all stats and emit one interval sample row. */
+    void recordSample();
 
     SimConfig cfg;
     std::unique_ptr<Program> prog;
@@ -130,6 +152,12 @@ class Simulator
     std::unique_ptr<Backend> backend_;
     std::unique_ptr<FetchEngine> fetch_;
     std::vector<std::unique_ptr<Prefetcher>> prefetchers;
+
+    /** Telemetry (null when observability is fully off); tracer_ and
+     *  sampler_ cache the telemetry's pillars for the hot path. */
+    std::unique_ptr<Telemetry> telem_;
+    Tracer *tracer_ = nullptr;
+    IntervalSampler *sampler_ = nullptr;
 
     Cycle curCycle = 0;
     /** Tick every cycle (config forceTick or FDIP_NO_SKIP=1). */

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/tracer.hh"
 #include "trace/program.hh"
 
 namespace fdip
@@ -56,6 +57,16 @@ Mmu::tick(Cycle now)
     // free for queued walks in the same cycle.
     for (auto it = walks.begin(); it != walks.end();) {
         if (it->second.started && it->second.readyAt <= now) {
+            if (tracer != nullptr) {
+                const Walk &w = it->second;
+                // Queue wait = time between the request and the walk
+                // actually occupying a walker (0 for L2 refills).
+                Cycle wait = w.isWalk
+                    ? (w.readyAt - cfg.walkLatency) - w.queuedAt : 0;
+                tracer->complete(w.isWalk ? "walk" : "l2_refill", kTidVm,
+                                 w.queuedAt, now, "queue_wait", wait,
+                                 "kind", w.demand ? "demand" : "prefetch");
+            }
             applyFills(it->second, it->first);
             it = walks.erase(it);
         } else {

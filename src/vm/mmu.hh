@@ -49,6 +49,7 @@ namespace fdip
 {
 
 class Program;
+class Tracer;
 
 /** What a prefetcher does with a candidate whose page misses the ITLB. */
 enum class TlbPrefetchPolicy : std::uint8_t
@@ -219,6 +220,9 @@ class Mmu
     /** Aggregate MMU + ITLB + L2-TLB statistics into @p out. */
     void collectStats(StatSet &out) const;
 
+    /** Emit walk/refill lifetime spans to @p t (null disables). */
+    void setTracer(Tracer *t) { tracer = t; }
+
     StatSet stats;
 
   private:
@@ -304,6 +308,7 @@ class Mmu
     /** Per-walker busy-until cycle; empty in unlimited mode. */
     std::vector<Cycle> walkerFreeAt;
     std::uint64_t nextWalkId = 1;
+    Tracer *tracer = nullptr;
 };
 
 } // namespace fdip

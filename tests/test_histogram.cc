@@ -94,3 +94,43 @@ TEST(HistogramDeath, BucketOutOfRange)
     Histogram h(4);
     EXPECT_DEATH(h.bucket(5), "out of range");
 }
+
+TEST(Histogram, ZeroMaxValueIsSingleOverflowBucket)
+{
+    // Histogram{0} is the "empty" shape SimResults defaults to: one
+    // bucket that absorbs everything.
+    Histogram h(0);
+    EXPECT_EQ(h.numBuckets(), 1u);
+    h.sample(0);
+    h.sample(17);
+    h.sample(1 << 30);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.bucket(0), 3u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, WeightedTotalTracksSamplesAndReset)
+{
+    Histogram h(8);
+    EXPECT_EQ(h.weightedTotal(), 0u);
+    h.sample(2, 3);
+    h.sample(4);
+    // 2*3 + 4*1; with count() this recovers the running mean delta
+    // between two snapshots (the interval sampler's FTQ-occupancy
+    // column).
+    EXPECT_EQ(h.weightedTotal(), 10u);
+    EXPECT_DOUBLE_EQ(h.mean(), 2.5);
+    h.reset();
+    EXPECT_EQ(h.weightedTotal(), 0u);
+    EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(Histogram, OverflowClampWeightsOverflowBucketIndex)
+{
+    Histogram h(4);
+    h.sample(100); // clamps into bucket 4
+    EXPECT_EQ(h.bucket(4), 1u);
+    // The weighted sum records the clamped index, not the raw value,
+    // so mean() stays within the bucket range.
+    EXPECT_EQ(h.weightedTotal(), 4u);
+}

@@ -26,6 +26,8 @@ TEST(Report, SummarizeRunFormatsMetrics)
     r.l2BusUtil = 0.25;
     r.prefetchAccuracy = 0.5;
     r.prefetchCoverage = 0.75;
+    r.skippedCycles = 375;
+    r.totalCycles = 1000;
     std::string s = summarizeRun(r);
     EXPECT_NE(s.find("gcc"), std::string::npos);
     EXPECT_NE(s.find("fdp-remove"), std::string::npos);
@@ -33,6 +35,18 @@ TEST(Report, SummarizeRunFormatsMetrics)
     EXPECT_NE(s.find("12.50"), std::string::npos);
     EXPECT_NE(s.find("25.0%"), std::string::npos);
     EXPECT_NE(s.find("75.0%"), std::string::npos);
+    EXPECT_NE(s.find("skip=37.5%"), std::string::npos) << s;
+}
+
+TEST(Report, SummarizeRunSkipPercentHandlesZeroTotal)
+{
+    // Cache-hit results zero the skip gauges; the summary must not
+    // divide by zero.
+    SimResults r;
+    r.workload = "li";
+    r.scheme = "none";
+    std::string s = summarizeRun(r);
+    EXPECT_NE(s.find("skip=0.0%"), std::string::npos) << s;
 }
 
 TEST(Report, StrprintfBehavesLikePrintf)

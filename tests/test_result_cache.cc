@@ -221,10 +221,12 @@ TEST(ResultCache, StaleFingerprintEntryRejectedWithWarning)
 
 TEST(ResultCache, OldFormatVersionEntriesRejectedWithWarning)
 {
-    // PR 5 (two-level TLB hierarchy) extended SimConfig::fingerprint()
-    // and bumped the entry format to v2; any v1 entry left on disk
-    // must be rejected as stale, warned about, and re-simulated.
-    ASSERT_EQ(ResultCache::kFormatVersion, 2u);
+    // The prefetch-lifecycle-attribution work extended the entry
+    // format (timely/late/pollution fields, pf_timeliness histogram,
+    // pfattr.* counters) and bumped it to v3; any entry left on disk
+    // by an older build must be rejected as stale, warned about, and
+    // re-simulated.
+    ASSERT_EQ(ResultCache::kFormatVersion, 3u);
 
     std::string dir = freshCacheDir("oldversion");
     ResultCache cache(dir);
@@ -236,11 +238,11 @@ TEST(ResultCache, OldFormatVersionEntriesRejectedWithWarning)
                                         cfg.measureInsts, r);
 
     // Rewrite the header as the previous format version.
-    std::string v2_header =
+    std::string cur_header =
         "fdip-result-cache " + std::to_string(ResultCache::kFormatVersion);
-    ASSERT_EQ(text.compare(0, v2_header.size(), v2_header), 0);
-    std::string stale = "fdip-result-cache 1" +
-        text.substr(v2_header.size());
+    ASSERT_EQ(text.compare(0, cur_header.size(), cur_header), 0);
+    std::string stale = "fdip-result-cache 2" +
+        text.substr(cur_header.size());
     writeFile(cache.entryPath(cfg.fingerprint(), cfg.warmupInsts,
                               cfg.measureInsts),
               stale);
@@ -250,7 +252,7 @@ TEST(ResultCache, OldFormatVersionEntriesRejectedWithWarning)
                              cfg.measureInsts);
     std::string err = ::testing::internal::GetCapturedStderr();
     EXPECT_FALSE(loaded.has_value());
-    EXPECT_NE(err.find("format version 1, want 2"), std::string::npos)
+    EXPECT_NE(err.find("format version 2, want 3"), std::string::npos)
         << err;
 }
 

@@ -198,3 +198,67 @@ TEST(StatSetHandles, CopyFlattensAndDetaches)
     EXPECT_EQ(orig.counter("n"), 6u);
     EXPECT_EQ(copy.counter("n"), 5u);
 }
+
+TEST(StatSet, MergeWithPrefixCopiesGauges)
+{
+    StatSet a, b;
+    b.set("util", 0.25);
+    b.inc("busy", 4);
+    a.merge(b, "bus.");
+    EXPECT_DOUBLE_EQ(a.value("bus.util"), 0.25);
+    EXPECT_EQ(a.counter("bus.busy"), 4u);
+    // The unprefixed names must not leak into the destination.
+    EXPECT_FALSE(a.has("util"));
+    EXPECT_FALSE(a.has("busy"));
+}
+
+TEST(StatSet, SubtractHandlesGauges)
+{
+    StatSet before, after;
+    before.set("g", 1.5);
+    after.set("g", 4.0);
+    after.set("only_after", 2.0);
+    StatSet d = StatSet::subtract(after, before);
+    EXPECT_DOUBLE_EQ(d.value("g"), 2.5);
+    EXPECT_DOUBLE_EQ(d.value("only_after"), 2.0);
+}
+
+TEST(StatSetHandles, SubtractWithPendingOnBothOperands)
+{
+    // Both operands carry unflushed handle increments when the
+    // subtraction runs; the snapshot semantics must still hold
+    // (interval sampling subtracts a live cumulative set from a
+    // previously copied one every interval).
+    StatSet cum;
+    StatSet::Counter c = cum.registerCounter("ticks");
+    c.inc(10);
+
+    StatSet prev = cum; // flattened snapshot at 10
+    c.inc(7);           // pending on cum only
+
+    StatSet d = StatSet::subtract(cum, prev);
+    EXPECT_EQ(d.counter("ticks"), 7u);
+
+    // The subtraction must not have consumed cum's state.
+    c.inc(3);
+    EXPECT_EQ(cum.counter("ticks"), 20u);
+    EXPECT_EQ(prev.counter("ticks"), 10u);
+}
+
+TEST(StatSetHandles, MergeWithPrefixSeesPendingAndKeepsHandlesLive)
+{
+    StatSet component;
+    StatSet::Counter c = component.registerCounter("fills");
+    c.inc(2);
+
+    StatSet out;
+    out.merge(component, "pf.");
+    EXPECT_EQ(out.counter("pf.fills"), 2u);
+
+    // Handles survive being merged-from: later increments land in the
+    // component and show up in the next merge.
+    c.inc(5);
+    StatSet out2;
+    out2.merge(component, "pf.");
+    EXPECT_EQ(out2.counter("pf.fills"), 7u);
+}
