@@ -1,0 +1,34 @@
+#include "common/build_id.hh"
+
+#include <atomic>
+
+#if __has_include("common/build_identity.hh")
+#include "common/build_identity.hh"
+#endif
+#ifndef FDIP_BUILD_IDENTITY
+#define FDIP_BUILD_IDENTITY 0x0ull
+#endif
+
+namespace fdip
+{
+
+namespace
+{
+
+std::atomic<std::uint64_t> currentIdentity{FDIP_BUILD_IDENTITY};
+
+} // namespace
+
+std::uint64_t
+buildIdentity()
+{
+    return currentIdentity.load(std::memory_order_relaxed);
+}
+
+void
+setBuildIdentity(std::uint64_t id)
+{
+    currentIdentity.store(id, std::memory_order_relaxed);
+}
+
+} // namespace fdip

@@ -1,0 +1,31 @@
+/**
+ * @file build_id.hh
+ * The simulator's derived build identity.
+ *
+ * A 64-bit hash over every behaviour-relevant source file (src/ minus
+ * src/obs/), computed at build time by cmake/gen_build_identity.cmake
+ * and baked into the binary. The ResultCache writes it into every
+ * entry: a cache produced by a semantically different build is stale
+ * and auto-invalidates, with no manual kFormatVersion bump. Builds
+ * outside CMake (no generated header) get identity 0, which still
+ * round-trips consistently within one build.
+ */
+
+#ifndef FDIP_COMMON_BUILD_ID_HH
+#define FDIP_COMMON_BUILD_ID_HH
+
+#include <cstdint>
+
+namespace fdip
+{
+
+/** This binary's build identity (or a test override). */
+std::uint64_t buildIdentity();
+
+/** Override the identity (tests pin cross-build invalidation with
+ *  this; pass the value from buildIdentity() to restore). */
+void setBuildIdentity(std::uint64_t id);
+
+} // namespace fdip
+
+#endif // FDIP_COMMON_BUILD_ID_HH

@@ -1,0 +1,41 @@
+#include "common/env.hh"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace fdip
+{
+
+std::uint64_t
+envUint(const char *name, std::uint64_t fallback,
+        std::uint64_t min_value)
+{
+    const char *env = std::getenv(name);
+    if (env == nullptr || env[0] == '\0')
+        return fallback;
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(env, &end, 10);
+    // strtoull skips leading whitespace and accepts '-'/'+' signs
+    // ('-1' wraps to a huge value); require the text to start with a
+    // digit so FDIP_RETRIES=-1 cannot mean "retry forever".
+    bool starts_with_digit = env[0] >= '0' && env[0] <= '9';
+    if (!starts_with_digit || errno != 0 || end == env || *end != '\0') {
+        warn("ignoring invalid %s value '%s' (want a non-negative "
+             "integer); using %llu",
+             name, env, static_cast<unsigned long long>(fallback));
+        return fallback;
+    }
+    if (v < min_value) {
+        warn("ignoring out-of-range %s value '%s' (minimum %llu); "
+             "using %llu",
+             name, env, static_cast<unsigned long long>(min_value),
+             static_cast<unsigned long long>(fallback));
+        return fallback;
+    }
+    return v;
+}
+
+} // namespace fdip

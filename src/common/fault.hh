@@ -1,0 +1,91 @@
+/**
+ * @file fault.hh
+ * Deterministic fault injection for the robustness test harness.
+ *
+ * FDIP_FAULT holds a comma-separated list of faults (grammar in
+ * docs/ROBUSTNESS.md):
+ *
+ *   throw@<idx>        every simulation of sweep point <idx> throws
+ *                      SimError at startup.
+ *   throw@<idx>x<n>    only the first <n> attempts throw; the retry
+ *                      after that succeeds (pins retry recovery).
+ *   hang@<idx>         simulations of point <idx> block instead of
+ *                      running, until the wall watchdog raises
+ *                      SimTimeout (forever if no deadline is set).
+ *   corrupt-cache@<n>  the <n>-th ResultCache::store() of the process
+ *                      (counting from 0) writes a torn entry.
+ *
+ * Point indices are the deterministic enqueue order of *distinct*
+ * grid points in a Runner sweep (Runner::Point::index). Faults are
+ * injected unconditionally — they do not depend on FDIP_FATAL —
+ * because an injected throw exists precisely to exercise the
+ * isolation path. With FDIP_FAULT unset every hook is a no-op.
+ */
+
+#ifndef FDIP_COMMON_FAULT_HH
+#define FDIP_COMMON_FAULT_HH
+
+#include <cstdint>
+#include <string>
+
+namespace fdip
+{
+
+class FaultInjector
+{
+  public:
+    /** Process-wide injector, configured from FDIP_FAULT on first use. */
+    static FaultInjector &instance();
+
+    /** Replace the fault plan (tests; same grammar as FDIP_FAULT).
+     *  Also resets the store counter used by corrupt-cache@<n>. */
+    void configure(const std::string &spec);
+
+    /** Drop all faults and reset counters. */
+    void reset() { configure(""); }
+
+    /** True if any fault is armed (cheap; lets hot paths skip work). */
+    bool any() const { return armed_; }
+
+    /**
+     * Declares "this thread is now simulating sweep point
+     * @p point_index, attempt @p attempt (1-based)" for the duration
+     * of the scope. Faults that target a point index only fire inside
+     * such a scope.
+     */
+    class PointScope
+    {
+      public:
+        PointScope(std::uint64_t point_index, std::uint64_t attempt);
+        ~PointScope();
+
+        PointScope(const PointScope &) = delete;
+        PointScope &operator=(const PointScope &) = delete;
+    };
+
+    /** Hook at simulation start: throws SimError if a throw@ fault is
+     *  armed for the current point and attempt. */
+    void maybeThrow();
+
+    /**
+     * Hook at simulation start: if a hang@ fault is armed for the
+     * current point, blocks in small sleeps until @p timeout_s wall
+     * seconds elapse, then throws SimTimeout. A timeout of 0 (no
+     * deadline) blocks forever — exactly the failure a real livelock
+     * would produce.
+     */
+    void maybeHang(double timeout_s);
+
+    /** Hook in ResultCache::store(): true if this store (the process-
+     *  wide counter matches corrupt-cache@<n>) should be torn. */
+    bool corruptThisStore();
+
+  private:
+    FaultInjector();
+
+    bool armed_ = false;
+};
+
+} // namespace fdip
+
+#endif // FDIP_COMMON_FAULT_HH

@@ -1,5 +1,7 @@
 #include "common/logging.hh"
 
+#include "common/error.hh"
+
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -110,6 +112,8 @@ fatalImpl(const char *file, int line, const char *fmt, ...)
     va_start(args, fmt);
     std::string msg = vstrprintf(fmt, args);
     va_end(args);
+    if (fatalMode() == FatalMode::Throw)
+        throw SimError(msg + strprintf(" [%s:%d]", file, line));
     {
         std::lock_guard<std::mutex> lock(logMutex());
         std::fprintf(stderr, "fatal: %s\n  at %s:%d\n", msg.c_str(), file,

@@ -1,7 +1,9 @@
 #include "common/table.hh"
 
 #include <algorithm>
+#include <cmath>
 
+#include "common/error.hh"
 #include "common/logging.hh"
 
 namespace fdip
@@ -25,12 +27,24 @@ AsciiTable::addRow(std::vector<std::string> cells)
 std::string
 AsciiTable::num(double v, int precision)
 {
+    // Failed-point sentinels (sim/simulator.hh RunStatus): a tagged
+    // NaN marks a timed-out point, any other NaN a failed one (or a
+    // value derived from one). Rendering them as words keeps the rest
+    // of the table printable.
+    if (isTimedOutSentinel(v))
+        return "TIMEOUT";
+    if (std::isnan(v))
+        return "FAIL";
     return strprintf("%.*f", precision, v);
 }
 
 std::string
 AsciiTable::pct(double frac, int precision)
 {
+    if (isTimedOutSentinel(frac))
+        return "TIMEOUT";
+    if (std::isnan(frac))
+        return "FAIL";
     return strprintf("%.*f%%", precision, frac * 100.0);
 }
 

@@ -6,6 +6,7 @@
 #include <map>
 #include <mutex>
 
+#include "common/env.hh"
 #include "common/logging.hh"
 #include "obs/json.hh"
 
@@ -19,19 +20,6 @@ namespace
  *  pid and the samples "run" field so concurrent Runner threads
  *  sharing one output file stay distinguishable. */
 std::atomic<std::uint64_t> nextRunId{1};
-
-std::uint64_t
-parseUnsignedEnv(const char *name, std::uint64_t fallback)
-{
-    const char *env = std::getenv(name);
-    if (env == nullptr || env[0] == '\0')
-        return fallback;
-    char *end = nullptr;
-    unsigned long long v = std::strtoull(env, &end, 10);
-    fatal_if(end == env || *end != '\0' || v == 0,
-             "%s must be a positive integer, got '%s'", name, env);
-    return static_cast<std::uint64_t>(v);
-}
 
 bool
 endsWith(const std::string &s, const std::string &suffix)
@@ -53,10 +41,13 @@ ObsConfig::applyEnv()
         env != nullptr && env[0] != '\0') {
         tracePath = env;
     }
+    // Malformed values warn and keep the config's default (the shared
+    // envUint contract) instead of killing the process: telemetry is
+    // passive and must never take a simulation down with it.
     sampleIntervalCycles =
-        parseUnsignedEnv("FDIP_SAMPLE_INTERVAL", sampleIntervalCycles);
+        envUint("FDIP_SAMPLE_INTERVAL", sampleIntervalCycles, 1);
     traceCapacity = static_cast<std::size_t>(
-        parseUnsignedEnv("FDIP_TRACE_CAP", traceCapacity));
+        envUint("FDIP_TRACE_CAP", traceCapacity, 1));
 }
 
 /**

@@ -176,6 +176,7 @@ SimConfig::fingerprint() const
     f.u64(pbtb.vaBits);
 
     f.d(cycleLimitPerInst);
+    f.u64(maxCycles);
     // forceTick is excluded: it changes host behaviour only, never
     // simulated results (enforced by the tick-skip parity tests).
     return f.h;

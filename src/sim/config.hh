@@ -81,6 +81,14 @@ struct SimConfig
     double cycleLimitPerInst = 300.0;
 
     /**
+     * Watchdog: hard ceiling on total simulated cycles (warmup +
+     * measurement together); 0 = no ceiling beyond cycleLimitPerInst.
+     * Exceeding it raises SimTimeout under FDIP_FATAL=throw (so a
+     * sweep renders the point as TIMEOUT) or exits the process.
+     */
+    std::uint64_t maxCycles = 0;
+
+    /**
      * Escape hatch for differential testing: tick every cycle even
      * when the whole machine is quiescent, instead of jumping to the
      * next event. The FDIP_NO_SKIP=1 environment variable forces this

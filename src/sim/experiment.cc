@@ -141,6 +141,16 @@ statsJson(const ExperimentSpec &spec, Runner &runner,
                 "\"fingerprint\": \"%016llx\",\n     ",
                 static_cast<unsigned long long>(
                     runner.fingerprintOf(w, s, v.key)));
+            if (r.status != RunStatus::Ok) {
+                // Sentinel metrics are NaNs, which is not JSON;
+                // failed points export a status + error instead.
+                out += strprintf(
+                    "\"status\": \"%s\", \"error\": \"%s\"}",
+                    r.status == RunStatus::TimedOut ? "timeout"
+                                                    : "failed",
+                    jsonEscape(r.failReason).c_str());
+                return;
+            }
             out += strprintf("\"cycles\": %llu, ",
                              static_cast<unsigned long long>(r.cycles));
             out += strprintf(
@@ -467,6 +477,18 @@ experimentMain(const ExperimentSpec &spec, int argc, char **argv)
         put(runner.sweepSummary());
     if (spec.render)
         spec.render(runner);
+    const auto &failures = runner.failures();
+    if (!failures.empty()) {
+        std::string out = "\nfailed points:\n";
+        for (const auto &f : failures) {
+            out += strprintf(
+                "  %s (%s, %s, '%s') after %u attempt%s: %s\n",
+                f.timedOut ? "TIMEOUT" : "FAIL", f.workload.c_str(),
+                f.scheme.c_str(), f.tweakKey.c_str(), f.attempts,
+                f.attempts == 1 ? "" : "s", f.error.c_str());
+        }
+        put(out);
+    }
     if (!statsJsonPath.empty()) {
         std::ofstream out(statsJsonPath,
                           std::ios::binary | std::ios::trunc);
@@ -477,7 +499,9 @@ experimentMain(const ExperimentSpec &spec, int argc, char **argv)
                  statsJsonPath.c_str());
         std::printf("stats: wrote %s\n", statsJsonPath.c_str());
     }
-    return 0;
+    // 0 = clean; 3 = the sweep completed but some points failed (the
+    // table above has FAIL/TIMEOUT cells). fatal() paths exit 1.
+    return failures.empty() ? 0 : 3;
 }
 
 } // namespace fdip

@@ -11,6 +11,12 @@
 
 #include <unistd.h>
 
+#include <algorithm>
+#include <vector>
+
+#include "common/build_id.hh"
+#include "common/env.hh"
+#include "common/fault.hh"
 #include "common/fnv.hh"
 #include "common/logging.hh"
 #include "sim/report.hh"
@@ -133,6 +139,8 @@ encodeCacheEntry(std::uint64_t fingerprint, std::uint64_t warmup_insts,
     std::string out;
     kv(out, "fdip-result-cache",
        u64str(ResultCache::kFormatVersion));
+    kv(out, "build", strprintf("%016llx",
+       static_cast<unsigned long long>(buildIdentity())));
     kv(out, "fingerprint", strprintf("%016llx",
        static_cast<unsigned long long>(fingerprint)));
     kv(out, "warmup", u64str(warmup_insts));
@@ -203,6 +211,16 @@ decodeCacheEntry(const std::string &text, std::uint64_t fingerprint,
         rd.fail(strprintf("format version %llu, want %u",
                           static_cast<unsigned long long>(version),
                           ResultCache::kFormatVersion));
+    std::string build = rd.expect("build");
+    if (rd.ok() &&
+        build != strprintf("%016llx",
+                           static_cast<unsigned long long>(
+                               buildIdentity())))
+        rd.fail(strprintf("stale entry: build identity mismatch "
+                          "(entry %s, this build %016llx)",
+                          build.c_str(),
+                          static_cast<unsigned long long>(
+                              buildIdentity())));
     std::string fp = rd.expect("fingerprint");
     if (rd.ok() &&
         fp != strprintf("%016llx",
@@ -321,13 +339,86 @@ decodeCacheEntry(const std::string &text, std::uint64_t fingerprint,
     return r;
 }
 
-ResultCache::ResultCache(std::string dir) : directory(std::move(dir))
+std::uint64_t
+ResultCache::budgetBytesFromEnv()
+{
+    return envUint("FDIP_CACHE_BUDGET_MB", 0) * 1024 * 1024;
+}
+
+ResultCache::ResultCache(std::string dir, std::uint64_t budget_bytes)
+    : directory(std::move(dir))
 {
     std::error_code ec;
     std::filesystem::create_directories(directory, ec);
     if (ec)
         warn("result cache: cannot create '%s': %s (writes will fail)",
              directory.c_str(), ec.message().c_str());
+    collectGarbage(budget_bytes);
+}
+
+void
+ResultCache::collectGarbage(std::uint64_t budget_bytes)
+{
+    if (budget_bytes == 0)
+        return; // unlimited: opening the cache stays O(1)
+
+    struct File
+    {
+        std::string path;
+        std::filesystem::file_time_type mtime;
+        std::uint64_t size;
+    };
+    std::vector<File> files;
+    std::uint64_t total = 0;
+    std::error_code ec;
+    for (const auto &de :
+         std::filesystem::directory_iterator(directory, ec)) {
+        if (!de.is_regular_file(ec))
+            continue;
+        std::string path = de.path().string();
+        // Quarantined (.bad) files count against the budget too: they
+        // are kept as evidence, not forever.
+        bool entry = path.size() >= 7 &&
+            path.compare(path.size() - 7, 7, ".result") == 0;
+        bool bad = path.size() >= 4 &&
+            path.compare(path.size() - 4, 4, ".bad") == 0;
+        if (!entry && !bad)
+            continue;
+        std::uint64_t size = de.file_size(ec);
+        if (ec)
+            continue;
+        files.push_back({path, de.last_write_time(ec), size});
+        total += size;
+    }
+    if (total <= budget_bytes)
+        return;
+
+    // Oldest first; ties broken by path so eviction order is
+    // deterministic when a test backdates several entries at once.
+    std::sort(files.begin(), files.end(),
+              [](const File &a, const File &b) {
+                  if (a.mtime != b.mtime)
+                      return a.mtime < b.mtime;
+                  return a.path < b.path;
+              });
+    std::uint64_t freed = 0;
+    for (const File &f : files) {
+        if (total - freed <= budget_bytes)
+            break;
+        std::error_code rm;
+        if (std::filesystem::remove(f.path, rm) && !rm) {
+            freed += f.size;
+            ++numEvicted;
+        }
+    }
+    if (numEvicted > 0) {
+        inform("result cache: evicted %zu oldest entries (%llu KB) to "
+               "meet the %llu MB budget",
+               numEvicted,
+               static_cast<unsigned long long>(freed / 1024),
+               static_cast<unsigned long long>(
+                   budget_bytes / (1024 * 1024)));
+    }
 }
 
 std::unique_ptr<ResultCache>
@@ -370,9 +461,22 @@ ResultCache::load(std::uint64_t fingerprint, std::uint64_t warmup_insts,
     std::string why;
     auto r = decodeCacheEntry(buf.str(), fingerprint, warmup_insts,
                               measure_insts, &why);
-    if (!r)
-        warn("result cache: rejecting entry '%s': %s", path.c_str(),
-             why.c_str());
+    if (!r) {
+        // Quarantine rather than delete: the file is evidence (flaky
+        // disk? torn write? stale build?) and moving it aside both
+        // preserves it and guarantees the re-simulated entry cannot
+        // collide with the bad bytes.
+        in.close();
+        std::string bad = path + ".bad";
+        std::error_code ec;
+        std::filesystem::rename(path, bad, ec);
+        if (ec)
+            bad = strprintf("<rename failed: %s>", ec.message().c_str());
+        numQuarantined.fetch_add(1, std::memory_order_relaxed);
+        warn("result cache: rejecting entry '%s': %s (quarantined as "
+             "'%s')",
+             path.c_str(), why.c_str(), bad.c_str());
+    }
     return r;
 }
 
@@ -389,14 +493,19 @@ ResultCache::store(std::uint64_t fingerprint, std::uint64_t warmup_insts,
     std::string tmp = strprintf("%s.tmp%ld.%llu", path.c_str(),
                                 static_cast<long>(::getpid()),
                                 serial.fetch_add(1) + 1);
+    std::string text = encodeCacheEntry(fingerprint, warmup_insts,
+                                        measure_insts, r);
+    if (FaultInjector::instance().corruptThisStore()) {
+        warn("fault injection: tearing cache entry '%s'", path.c_str());
+        text.resize(text.size() / 2);
+    }
     {
         std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
         if (!out) {
             warn("result cache: cannot write '%s'", tmp.c_str());
             return;
         }
-        out << encodeCacheEntry(fingerprint, warmup_insts,
-                                measure_insts, r);
+        out << text;
         if (!out) {
             warn("result cache: short write to '%s'", tmp.c_str());
             std::error_code ec;

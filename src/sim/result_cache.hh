@@ -9,21 +9,28 @@
  * SimConfig::fingerprint() — the order-independent hash of every knob
  * that affects simulated behaviour — plus the run lengths, so an
  * entry produced by a different *config* is never served. The
- * fingerprint does not cover the simulator's *code*: a change to
- * simulation semantics must bump kFormatVersion (or the user must
- * clear the directory) to invalidate old entries — see
- * docs/ENVVARS.md and the ROADMAP follow-on about deriving a build
- * identity automatically.
+ * simulator's *code* is covered by the derived build identity
+ * (common/build_id.hh) written into every entry: a semantic change
+ * to the sources auto-invalidates old entries with no manual
+ * kFormatVersion bump.
  *
  * The cache is enabled by pointing FDIP_CACHE_DIR at a directory;
  * FDIP_NO_CACHE=1 disables it even when the directory is set. Writes
  * are atomic (temp file + rename), so concurrent bench binaries can
  * share one directory.
+ *
+ * Hardening (docs/ROBUSTNESS.md): corrupt or stale entries are
+ * quarantined — renamed aside with a `.bad` suffix and counted — so
+ * a flaky disk leaves evidence instead of silently re-simulating;
+ * opening a cache runs a size-budgeted GC (FDIP_CACHE_BUDGET_MB)
+ * that evicts oldest-mtime entries first.
  */
 
 #ifndef FDIP_SIM_RESULT_CACHE_HH
 #define FDIP_SIM_RESULT_CACHE_HH
 
+#include <atomic>
+#include <cstddef>
 #include <memory>
 #include <optional>
 #include <string>
@@ -36,18 +43,25 @@ namespace fdip
 class ResultCache
 {
   public:
-    /** Bumped whenever the entry format or simulated behaviour of the
-     *  whole simulator changes incompatibly.
+    /** Bumped whenever the entry *format* changes incompatibly.
+     *  Simulated-behaviour changes no longer need a bump: the build
+     *  identity line invalidates those automatically.
      *  v2: two-level TLB hierarchy + bounded page-walk bandwidth
      *      (SimConfig::fingerprint() grew the vm.l2Tlb*, vm.numWalkers
      *      and vm.tlbPrefetch* fields, so v1 entries can never match a
      *      v2 key anyway; the bump makes the invalidation explicit).
      *  v3: prefetch lifecycle attribution — the entry format grew the
      *      prefetch_timely/late/pollution fields, the pf_timeliness
-     *      histogram, and the pfattr.* counters in the stat list. */
-    static constexpr unsigned kFormatVersion = 3;
+     *      histogram, and the pfattr.* counters in the stat list.
+     *  v4: a "build" header line carrying the derived build identity
+     *      (common/build_id.hh). */
+    static constexpr unsigned kFormatVersion = 4;
 
-    explicit ResultCache(std::string directory);
+    /** FDIP_CACHE_BUDGET_MB in bytes; 0 (the default) = unlimited. */
+    static std::uint64_t budgetBytesFromEnv();
+
+    explicit ResultCache(std::string directory,
+                         std::uint64_t budget_bytes = budgetBytesFromEnv());
 
     /**
      * Cache configured from the environment: FDIP_CACHE_DIR names the
@@ -77,8 +91,21 @@ class ResultCache
                           std::uint64_t warmup_insts,
                           std::uint64_t measure_insts) const;
 
+    /** Corrupt/stale entries quarantined (renamed to `.bad`) by this
+     *  cache object so far. */
+    std::size_t quarantined() const { return numQuarantined; }
+
+    /** Entries evicted by the size-budget GC at open. */
+    std::size_t evicted() const { return numEvicted; }
+
   private:
+    /** Oldest-mtime-first eviction until the directory's entries fit
+     *  the byte budget (0 = unlimited, no scan). */
+    void collectGarbage(std::uint64_t budget_bytes);
+
     std::string directory;
+    mutable std::atomic<std::size_t> numQuarantined{0};
+    std::size_t numEvicted = 0;
 };
 
 /**

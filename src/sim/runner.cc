@@ -4,8 +4,12 @@
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
+#include <limits>
 #include <thread>
 
+#include "common/env.hh"
+#include "common/error.hh"
+#include "common/fault.hh"
 #include "common/logging.hh"
 
 namespace fdip
@@ -19,21 +23,41 @@ simulate(const SimConfig &cfg)
 }
 
 Runner::Runner(std::uint64_t warmup_insts, std::uint64_t measure_insts)
-    : warmup(warmup_insts), measure(measure_insts)
+    : warmup(warmup_insts), measure(measure_insts),
+      maxRetries(static_cast<unsigned>(envUint("FDIP_RETRIES", 2))),
+      retryBaseMs(
+          static_cast<unsigned>(envUint("FDIP_RETRY_BASE_MS", 100)))
 {}
 
 unsigned
 Runner::defaultJobs()
 {
-    if (const char *env = std::getenv("FDIP_JOBS")) {
-        char *end = nullptr;
-        unsigned long n = std::strtoul(env, &end, 10);
-        if (end != env && *end == '\0' && n >= 1)
-            return static_cast<unsigned>(n);
-        warn("ignoring invalid FDIP_JOBS value '%s'", env);
-    }
+    // Fallback 0 = auto-detect: a malformed FDIP_JOBS warns and falls
+    // back to hardware concurrency, same as leaving it unset.
+    std::uint64_t n = envUint("FDIP_JOBS", 0, 1);
+    if (n >= 1)
+        return static_cast<unsigned>(n);
     unsigned hw = std::thread::hardware_concurrency();
     return hw == 0 ? 1 : hw;
+}
+
+void
+Runner::setRetryPolicy(unsigned retries, unsigned base_ms)
+{
+    maxRetries = retries;
+    retryBaseMs = base_ms;
+}
+
+std::size_t
+Runner::cacheQuarantined() const
+{
+    return diskCache ? diskCache->quarantined() : 0;
+}
+
+std::size_t
+Runner::cacheEvicted() const
+{
+    return diskCache ? diskCache->evicted() : 0;
 }
 
 Runner::Key
@@ -55,38 +79,120 @@ Runner::makeConfig(const Point &p) const
 }
 
 Runner::Outcome
-Runner::computePoint(const Point &p) const
+Runner::computeAttempt(const SimConfig &cfg) const
 {
-    SimConfig cfg = makeConfig(p);
-    if (!diskCache)
-        return Outcome{simulate(cfg), false};
+    Outcome o;
+    if (!diskCache) {
+        o.results = simulate(cfg);
+        return o;
+    }
 
     std::uint64_t fp = cfg.fingerprint();
     if (auto cached = diskCache->load(fp, warmup, measure)) {
-        SimResults r = std::move(*cached);
+        o.results = std::move(*cached);
+        o.diskHit = true;
         // The host gauges and skip totals describe the run that
         // produced the entry, not this process; zero them so sweep
         // footers only account simulations that actually executed.
-        r.hostSeconds = 0.0;
-        r.hostKcyclesPerSec = 0.0;
-        r.skippedCycles = 0;
-        r.totalCycles = 0;
-        return Outcome{std::move(r), true};
+        o.results.hostSeconds = 0.0;
+        o.results.hostKcyclesPerSec = 0.0;
+        o.results.skippedCycles = 0;
+        o.results.totalCycles = 0;
+        return o;
     }
-    Outcome o{simulate(cfg), false};
+    o.results = simulate(cfg);
     diskCache->store(fp, warmup, measure, o.results);
     return o;
+}
+
+Runner::Outcome
+Runner::computePoint(const Point &p) const
+{
+    SimConfig cfg = makeConfig(p);
+    for (unsigned attempt = 1;; ++attempt) {
+        try {
+            // Declare (point, attempt) to the fault injector for the
+            // duration of the attempt; with FDIP_FAULT unset this is
+            // two thread-local stores.
+            FaultInjector::PointScope scope(p.index, attempt);
+            Outcome o = computeAttempt(cfg);
+            o.attempts = attempt;
+            return o;
+        } catch (const SimError &e) {
+            bool timed_out =
+                dynamic_cast<const SimTimeout *>(&e) != nullptr;
+            warn("point %zu (%s, %s, '%s') attempt %u/%u failed: %s",
+                 p.index, p.workload.c_str(), schemeName(p.scheme),
+                 std::get<2>(p.key).c_str(), attempt, 1 + maxRetries,
+                 e.what());
+            if (attempt > maxRetries) {
+                // Out of attempts: substitute a sentinel result so the
+                // sweep (and its table) completes around this point.
+                // Both sentinels are NaNs (the timed-out one tagged)
+                // so derived ratios/means degrade to NaN as well.
+                double s = timed_out ? timedOutSentinel()
+                                     : failedSentinel();
+                Outcome o;
+                o.results.workload = p.workload;
+                o.results.scheme = schemeName(p.scheme);
+                o.results.status = timed_out ? RunStatus::TimedOut
+                                             : RunStatus::Failed;
+                o.results.failReason = e.what();
+                o.results.ipc = s;
+                o.results.mpki = s;
+                o.results.l2BusUtil = s;
+                o.results.memBusUtil = s;
+                o.results.prefetchAccuracy = s;
+                o.results.prefetchCoverage = s;
+                o.results.prefetchTimely = s;
+                o.results.prefetchLate = s;
+                o.results.prefetchPollution = s;
+                o.results.condMispredictPerKilo = s;
+                o.attempts = attempt;
+                o.failedPoint = true;
+                o.timedOut = timed_out;
+                o.error = e.what();
+                return o;
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                static_cast<std::uint64_t>(retryBaseMs)
+                << (attempt - 1)));
+        }
+    }
 }
 
 void
 Runner::accountCacheOutcome(const Outcome &o)
 {
-    if (!diskCache)
+    // Failed points touched the cache but produced nothing reusable;
+    // they are reported on the health line, not as misses.
+    if (!diskCache || o.failedPoint)
         return;
     if (o.diskHit)
         ++numCacheHits;
     else
         ++numCacheMisses;
+}
+
+void
+Runner::recordHealth(const Point &p, const Outcome &o)
+{
+    if (o.attempts > 1)
+        ++numRetried;
+    if (!o.failedPoint)
+        return;
+    if (o.timedOut)
+        ++numTimedOut;
+    FailedPoint f;
+    f.workload = p.workload;
+    f.scheme = schemeName(p.scheme);
+    f.tweakKey = std::get<2>(p.key);
+    auto it = fingerprints.find(p.key);
+    f.fingerprint = it == fingerprints.end() ? 0 : it->second;
+    f.error = o.error;
+    f.attempts = o.attempts;
+    f.timedOut = o.timedOut;
+    failed.push_back(std::move(f));
 }
 
 void
@@ -133,13 +239,14 @@ Runner::run(const std::string &workload, PrefetchScheme scheme,
              workload.c_str(), schemeName(scheme), tweak_key.c_str());
     }
 
-    Point p{key, workload, scheme, tweak};
+    Point p{key, workload, scheme, tweak, nextPointIndex++};
     // This simulate defines what the key names: record its
     // fingerprint so any later conflicting claim on the name is
     // fatal rather than silently served these results.
     checkFingerprint(key, p);
     Outcome o = computePoint(p);
     accountCacheOutcome(o);
+    recordHealth(p, o);
     auto [pos, inserted] = memo.emplace(std::move(key),
                                         std::move(o.results));
     return pos->second;
@@ -172,7 +279,8 @@ Runner::enqueue(const std::string &workload, PrefetchScheme scheme,
             return;
         }
     }
-    pending.push_back(Point{std::move(key), workload, scheme, tweak});
+    pending.push_back(
+        Point{std::move(key), workload, scheme, tweak, nextPointIndex++});
 }
 
 void
@@ -228,6 +336,7 @@ Runner::runPending()
         for (const auto &p : pending) {
             Outcome o = computePoint(p);
             accountOutcome(o);
+            recordHealth(p, o);
             memo.emplace(p.key, std::move(o.results));
         }
         pending.clear();
@@ -258,9 +367,11 @@ Runner::runPending()
         t.join();
 
     // Memoize in enqueue order: memo contents (and any iteration over
-    // them) match a serial sweep exactly.
+    // them) match a serial sweep exactly. Health records land here
+    // too, single-threaded, so FailedPoints keep enqueue order.
     for (std::size_t i = 0; i < pending.size(); ++i) {
         accountOutcome(outcomes[i]);
+        recordHealth(pending[i], outcomes[i]);
         memo.emplace(std::move(pending[i].key),
                      std::move(outcomes[i].results));
     }
@@ -302,6 +413,18 @@ Runner::sweepSummary() const
     } else {
         out += "result cache: disabled (set FDIP_CACHE_DIR)\n";
     }
+    // Zero-noise health line: only present when something actually
+    // went wrong (failures, retries, quarantined or evicted entries).
+    std::size_t quarantined = cacheQuarantined();
+    std::size_t evicted = cacheEvicted();
+    if (!failed.empty() || numRetried > 0 || quarantined > 0 ||
+        evicted > 0) {
+        out += strprintf("health: %zu failed points (%zu timed out), "
+                         "%zu retried; cache: %zu quarantined, "
+                         "%zu evicted\n",
+                         failed.size(), numTimedOut, numRetried,
+                         quarantined, evicted);
+    }
     return out;
 }
 
@@ -312,6 +435,11 @@ gmeanSpeedup(const std::vector<double> &speedups)
         return 0.0;
     double log_sum = 0.0;
     for (double s : speedups) {
+        // Failed-point sentinels are NaNs (as is any ratio computed
+        // against one), degrading the whole aggregate to FAIL instead
+        // of panicking mid-table.
+        if (!std::isfinite(s))
+            return failedSentinel();
         panic_if(1.0 + s <= 0.0, "speedup below -100%%");
         log_sum += std::log(1.0 + s);
     }

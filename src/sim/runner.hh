@@ -51,6 +51,25 @@ class Runner
     using Tweak = std::function<void(SimConfig &)>;
 
     /**
+     * A grid point whose every attempt raised SimError. The sweep
+     * carries on: the memo holds a Failed/TimedOut sentinel result
+     * (all-NaN metrics, rendered as FAIL / TIMEOUT cells) and
+     * this record preserves what actually happened.
+     */
+    struct FailedPoint
+    {
+        std::string workload;
+        std::string scheme;
+        std::string tweakKey;
+        /** SimConfig::fingerprint() of the failing config. */
+        std::uint64_t fingerprint = 0;
+        /** what() of the final attempt's error. */
+        std::string error;
+        unsigned attempts = 0;
+        bool timedOut = false;
+    };
+
+    /**
      * Run @p workload under @p scheme on the baseline machine with an
      * optional config tweak. Results are memoized on
      * (workload, scheme, tweak_key); pass distinct keys for distinct
@@ -98,6 +117,27 @@ class Runner
 
     /** FDIP_JOBS env var if set, else hardware concurrency. */
     static unsigned defaultJobs();
+
+    /**
+     * Retry policy for points that raise SimError: up to @p retries
+     * re-attempts (FDIP_RETRIES, default 2) with exponential backoff
+     * starting at @p base_ms (FDIP_RETRY_BASE_MS, default 100; the
+     * delay doubles per attempt). Only after every attempt fails is
+     * the point recorded as a FailedPoint.
+     */
+    void setRetryPolicy(unsigned retries, unsigned base_ms);
+
+    /** Points whose every attempt failed, in enqueue order. */
+    const std::vector<FailedPoint> &failures() const { return failed; }
+    /** Points that needed more than one attempt (eventual successes
+     *  included). */
+    std::size_t retriedPoints() const { return numRetried; }
+    /** Failed points whose final error was a SimTimeout. */
+    std::size_t timedOutPoints() const { return numTimedOut; }
+    /** Corrupt/stale entries the on-disk cache quarantined. */
+    std::size_t cacheQuarantined() const;
+    /** Entries the on-disk cache's size-budget GC evicted at open. */
+    std::size_t cacheEvicted() const;
 
     std::uint64_t warmupInsts() const { return warmup; }
     std::uint64_t measureInsts() const { return measure; }
@@ -157,6 +197,9 @@ class Runner
         std::string workload;
         PrefetchScheme scheme;
         Tweak tweak;
+        /** Deterministic distinct-point ordinal (enqueue/run order);
+         *  the index FDIP_FAULT's throw@/hang@ faults address. */
+        std::size_t index = 0;
     };
 
     /** One executed-or-loaded grid point. */
@@ -164,20 +207,37 @@ class Runner
     {
         SimResults results;
         bool diskHit = false;
+        unsigned attempts = 1;
+        /** Every attempt raised SimError; results is a sentinel. */
+        bool failedPoint = false;
+        bool timedOut = false;
+        std::string error;
     };
 
     static Key makeKey(const std::string &workload, PrefetchScheme scheme,
                        const std::string &tweak_key);
     SimConfig makeConfig(const Point &p) const;
 
-    /** Serve @p p from the on-disk cache, or simulate (and store). */
+    /**
+     * Serve @p p from the on-disk cache, or simulate (and store) —
+     * with failure isolation: SimError attempts are retried per the
+     * retry policy, and a point whose every attempt failed returns a
+     * sentinel Outcome instead of propagating.
+     */
     Outcome computePoint(const Point &p) const;
+
+    /** One cache-or-simulate attempt; lets SimError propagate. */
+    Outcome computeAttempt(const SimConfig &cfg) const;
 
     /** Count one outcome against the hit/miss counters. */
     void accountCacheOutcome(const Outcome &o);
 
     /** Fold one outcome into the sweep gauges and counters. */
     void accountOutcome(const Outcome &o);
+
+    /** Record retry/failure bookkeeping for one completed point
+     *  (single-threaded merge only). */
+    void recordHealth(const Point &p, const Outcome &o);
 
     /**
      * Record the materialized config's fingerprint for @p key;
@@ -214,6 +274,17 @@ class Runner
     /** A sweep ran: run() misses afterwards indicate an incomplete
      *  enqueue mirror in the bench (they de-parallelize silently). */
     bool sweepDone = false;
+
+    /** Next Point::index (distinct points only, enqueue/run order). */
+    std::size_t nextPointIndex = 0;
+
+    /** Failure isolation (whole Runner lifetime). */
+    std::vector<FailedPoint> failed;
+    std::size_t numRetried = 0;
+    std::size_t numTimedOut = 0;
+    /** SimError retry budget per point and first backoff delay. */
+    unsigned maxRetries;
+    unsigned retryBaseMs;
 };
 
 /** Geometric-mean speedup: gmean over (1 + s_i), minus 1. */

@@ -4,6 +4,9 @@
 #include <cstdlib>
 #include <limits>
 
+#include "common/env.hh"
+#include "common/error.hh"
+#include "common/fault.hh"
 #include "common/logging.hh"
 #include "obs/telemetry.hh"
 #include "trace/profile.hh"
@@ -318,16 +321,55 @@ SimResults
 Simulator::run()
 {
     auto host_start = std::chrono::steady_clock::now();
+    double wall_limit_s =
+        static_cast<double>(envUint("FDIP_SIM_TIMEOUT_S", 0));
+
+    // Fault-injection hooks (no-ops unless FDIP_FAULT armed a fault
+    // for the sweep point this thread declared via PointScope).
+    FaultInjector &faults = FaultInjector::instance();
+    if (faults.any()) {
+        faults.maybeThrow();
+        faults.maybeHang(wall_limit_s);
+    }
+
     std::uint64_t total_insts = cfg.warmupInsts + cfg.measureInsts;
     Cycle cycle_cap = static_cast<Cycle>(
         cfg.cycleLimitPerInst * static_cast<double>(total_insts)) + 10000;
 
+    // Watchdogs, checked once per step: the simulated-cycle ceiling
+    // and wedge cap every time (cheap integer compares), the wall
+    // deadline every 4096 steps (a clock read is not free).
+    std::uint64_t num_steps = 0;
+    auto watchdog = [&](const char *phase) {
+        if (cfg.maxCycles != 0 && curCycle > cfg.maxCycles) {
+            sim_timeout("simulated-cycle ceiling exceeded during %s: "
+                        "cycle %llu > maxCycles %llu (%s/%s)",
+                        phase,
+                        static_cast<unsigned long long>(curCycle),
+                        static_cast<unsigned long long>(cfg.maxCycles),
+                        cfg.workload.c_str(), schemeName(cfg.scheme));
+        }
+        if (curCycle > cycle_cap) {
+            sim_timeout("simulation wedged during %s (%s/%s)",
+                        phase, cfg.workload.c_str(),
+                        schemeName(cfg.scheme));
+        }
+        if (wall_limit_s > 0.0 && (++num_steps & 0xFFF) == 0) {
+            std::chrono::duration<double> elapsed =
+                std::chrono::steady_clock::now() - host_start;
+            if (elapsed.count() > wall_limit_s) {
+                sim_timeout("wall deadline of %.0f s exceeded during "
+                            "%s (%s/%s)",
+                            wall_limit_s, phase, cfg.workload.c_str(),
+                            schemeName(cfg.scheme));
+            }
+        }
+    };
+
     // Warmup window.
     while (backend_->committed() < cfg.warmupInsts) {
         step();
-        panic_if(curCycle > cycle_cap,
-                 "simulation wedged during warmup (%s/%s)",
-                 cfg.workload.c_str(), schemeName(cfg.scheme));
+        watchdog("warmup");
     }
 
     StatSet at_warmup;
@@ -344,9 +386,7 @@ Simulator::run()
     // Measurement window.
     while (backend_->committed() < total_insts) {
         step();
-        panic_if(curCycle > cycle_cap,
-                 "simulation wedged during measurement (%s/%s)",
-                 cfg.workload.c_str(), schemeName(cfg.scheme));
+        watchdog("measurement");
     }
 
     StatSet at_end;

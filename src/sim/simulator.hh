@@ -24,11 +24,31 @@ class Telemetry;
 class Tracer;
 class IntervalSampler;
 
+/**
+ * How a sweep point ended. Ok results come from Simulator::run();
+ * Failed/TimedOut are sentinels the Runner substitutes when every
+ * attempt at a point threw SimError/SimTimeout — their numeric fields
+ * hold a quiet NaN (Failed) or the tagged NaN timedOutSentinel()
+ * (TimedOut), so tables render FAIL / TIMEOUT cells and anything
+ * *derived* from them (ratios, means) degrades to NaN/FAIL instead
+ * of silently poisoning aggregates.
+ */
+enum class RunStatus
+{
+    Ok = 0,
+    Failed = 1,
+    TimedOut = 2,
+};
+
 /** Everything a benchmark needs from one simulation run. */
 struct SimResults
 {
     std::string workload;
     std::string scheme;
+
+    RunStatus status = RunStatus::Ok;
+    /** what() of the final failed attempt (empty when status is Ok). */
+    std::string failReason;
 
     Cycle cycles = 0;
     std::uint64_t instructions = 0;

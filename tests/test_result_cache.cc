@@ -221,12 +221,11 @@ TEST(ResultCache, StaleFingerprintEntryRejectedWithWarning)
 
 TEST(ResultCache, OldFormatVersionEntriesRejectedWithWarning)
 {
-    // The prefetch-lifecycle-attribution work extended the entry
-    // format (timely/late/pollution fields, pf_timeliness histogram,
-    // pfattr.* counters) and bumped it to v3; any entry left on disk
-    // by an older build must be rejected as stale, warned about, and
+    // The robustness work added the build-identity header line and
+    // bumped the format to v4; any entry left on disk by an older
+    // build must be rejected as stale, warned about, and
     // re-simulated.
-    ASSERT_EQ(ResultCache::kFormatVersion, 3u);
+    ASSERT_EQ(ResultCache::kFormatVersion, 4u);
 
     std::string dir = freshCacheDir("oldversion");
     ResultCache cache(dir);
@@ -252,7 +251,7 @@ TEST(ResultCache, OldFormatVersionEntriesRejectedWithWarning)
                              cfg.measureInsts);
     std::string err = ::testing::internal::GetCapturedStderr();
     EXPECT_FALSE(loaded.has_value());
-    EXPECT_NE(err.find("format version 2, want 3"), std::string::npos)
+    EXPECT_NE(err.find("format version 2, want 4"), std::string::npos)
         << err;
 }
 
