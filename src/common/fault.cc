@@ -22,11 +22,21 @@ struct ThrowFault
     std::uint64_t failCount; ///< attempts 1..failCount throw
 };
 
+struct TruncateFault
+{
+    std::uint64_t point;
+    std::uint64_t afterRecords; ///< next() throws once this many delivered
+};
+
+/** truncate-trace@ default: far enough in that warmup is underway. */
+constexpr std::uint64_t kDefaultTruncateAfter = 1024;
+
 /** The armed plan. Written only by configure() (before a sweep runs);
  *  read lock-free from worker threads during the sweep. */
 std::vector<ThrowFault> throwFaults;
 std::vector<std::uint64_t> hangFaults;
 std::vector<std::uint64_t> corruptStores;
+std::vector<TruncateFault> truncateFaults;
 std::atomic<std::uint64_t> storeCounter{0};
 
 struct PointContext
@@ -89,6 +99,20 @@ parseToken(const std::string &tok)
         corruptStores.push_back(idx);
         return true;
     }
+    if (eat("truncate-trace@")) {
+        if (!parseNum(s, idx))
+            return false;
+        std::uint64_t after = kDefaultTruncateAfter;
+        if (*s == 'x') {
+            ++s;
+            if (!parseNum(s, after))
+                return false;
+        }
+        if (*s != '\0')
+            return false;
+        truncateFaults.push_back({idx, after});
+        return true;
+    }
     return false;
 }
 
@@ -113,6 +137,7 @@ FaultInjector::configure(const std::string &spec)
     throwFaults.clear();
     hangFaults.clear();
     corruptStores.clear();
+    truncateFaults.clear();
     storeCounter.store(0, std::memory_order_relaxed);
     size_t pos = 0;
     while (pos <= spec.size()) {
@@ -122,13 +147,14 @@ FaultInjector::configure(const std::string &spec)
         std::string tok = spec.substr(pos, comma - pos);
         if (!tok.empty() && !parseToken(tok)) {
             warn("ignoring unrecognized FDIP_FAULT token '%s' (want "
-                 "throw@<idx>[x<n>], hang@<idx>, or corrupt-cache@<n>)",
+                 "throw@<idx>[x<n>], hang@<idx>, corrupt-cache@<n>, or "
+                 "truncate-trace@<idx>[x<n>])",
                  tok.c_str());
         }
         pos = comma + 1;
     }
     armed_ = !throwFaults.empty() || !hangFaults.empty() ||
-             !corruptStores.empty();
+             !corruptStores.empty() || !truncateFaults.empty();
 }
 
 FaultInjector::PointScope::PointScope(std::uint64_t point_index,
@@ -182,6 +208,24 @@ FaultInjector::maybeHang(double timeout_s)
                 "%.1f s",
                 static_cast<unsigned long long>(tlPoint.point),
                 timeout_s));
+        }
+    }
+}
+
+void
+FaultInjector::maybeTruncateTrace(std::uint64_t records_delivered,
+                                  const std::string &path)
+{
+    if (!armed_ || !tlPoint.active)
+        return;
+    for (const TruncateFault &f : truncateFaults) {
+        if (f.point == tlPoint.point &&
+            records_delivered >= f.afterRecords) {
+            throw SimError(strprintf(
+                "injected fault: truncate-trace@%llu — trace '%s' died "
+                "mid-stream after %llu records",
+                static_cast<unsigned long long>(f.point), path.c_str(),
+                static_cast<unsigned long long>(records_delivered)));
         }
     }
 }

@@ -14,6 +14,11 @@
  *                      SimTimeout (forever if no deadline is set).
  *   corrupt-cache@<n>  the <n>-th ResultCache::store() of the process
  *                      (counting from 0) writes a torn entry.
+ *   truncate-trace@<idx>[x<n>]
+ *                      the trace source feeding sweep point <idx>
+ *                      throws SimError ("dies mid-stream") once it has
+ *                      delivered <n> records (default 1024) — models a
+ *                      trace file truncated behind the reader's back.
  *
  * Point indices are the deterministic enqueue order of *distinct*
  * grid points in a Runner sweep (Runner::Point::index). Faults are
@@ -79,6 +84,15 @@ class FaultInjector
     /** Hook in ResultCache::store(): true if this store (the process-
      *  wide counter matches corrupt-cache@<n>) should be torn. */
     bool corruptThisStore();
+
+    /**
+     * Hook in trace-source next(): throws SimError if a truncate-trace@
+     * fault is armed for the current point and the source has already
+     * delivered @p records_delivered records. @p path names the trace
+     * in the error message.
+     */
+    void maybeTruncateTrace(std::uint64_t records_delivered,
+                            const std::string &path);
 
   private:
     FaultInjector();

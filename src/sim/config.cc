@@ -84,6 +84,8 @@ SimConfig::fingerprint() const
     f.b(customProfile.has_value());
     if (customProfile)
         hashProfile(f, *customProfile);
+    f.s(tracePath);
+    f.u64(skipInsts);
     f.u64(warmupInsts);
     f.u64(measureInsts);
     f.u64(seedOffset);

@@ -51,6 +51,20 @@ struct SimConfig
      * label). This is the hook for user-defined workloads.
      */
     std::optional<WorkloadProfile> customProfile;
+    /**
+     * When non-empty, the workload is replayed from this trace file
+     * (native v1/v2 via TraceFileReader, or ChampSim format via
+     * ChampSimTraceReader — dispatched on extension) instead of the
+     * synthetic executor; @c workload is then only a label. See
+     * docs/TRACES.md.
+     */
+    std::string tracePath;
+    /**
+     * Fast-forward: discard this many instructions from the source
+     * before the warmup phase begins (trace positioning into a region
+     * of interest; also honored for synthetic workloads).
+     */
+    std::uint64_t skipInsts = 0;
     std::uint64_t warmupInsts = 300 * 1000;
     std::uint64_t measureInsts = 1000 * 1000;
     std::uint64_t seedOffset = 0; ///< extra seed entropy for replicates

@@ -11,6 +11,10 @@ makeBaselineConfig(const std::string &workload, PrefetchScheme scheme)
 {
     SimConfig cfg;
     cfg.workload = workload;
+    // "trace:<path>" names a trace-file workload: the full label keys
+    // memos/result rows, the path drives the replay (docs/TRACES.md).
+    if (workload.rfind("trace:", 0) == 0)
+        cfg.tracePath = workload.substr(6);
     cfg.scheme = scheme;
 
     cfg.ftqEntries = 32;

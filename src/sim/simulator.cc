@@ -9,6 +9,7 @@
 #include "common/fault.hh"
 #include "common/logging.hh"
 #include "obs/telemetry.hh"
+#include "trace/champsim.hh"
 #include "trace/profile.hh"
 #include "vm/tlb_prefetcher.hh"
 
@@ -45,13 +46,27 @@ Simulator::Simulator(const SimConfig &config)
 {
     cfg.validate();
 
-    WorkloadProfile profile = cfg.customProfile
-        ? *cfg.customProfile
-        : findProfile(cfg.workload);
-    profile.seed += cfg.seedOffset;
-    prog = buildProgram(profile);
-    image = std::make_unique<CodeImage>(*prog);
-    exec = std::make_unique<SyntheticExecutor>(*prog, profile);
+    Addr trace_code_base = 0;
+    Addr trace_code_end = 0;
+    if (!cfg.tracePath.empty()) {
+        auto src = openTraceWorkload(cfg.tracePath);
+        trace_code_base = src->codeBase();
+        trace_code_end = src->codeEnd();
+        exec = std::move(src);
+    } else {
+        WorkloadProfile profile = cfg.customProfile
+            ? *cfg.customProfile
+            : findProfile(cfg.workload);
+        profile.seed += cfg.seedOffset;
+        prog = buildProgram(profile);
+        image = std::make_unique<CodeImage>(*prog);
+        exec = std::make_unique<SyntheticExecutor>(*prog, profile);
+    }
+    // Fast-forward happens before any component sees the stream, so
+    // skip-N positions the region of interest identically for trace
+    // and synthetic sources.
+    for (std::uint64_t i = 0; i < cfg.skipInsts; ++i)
+        exec->next();
     trace = std::make_unique<TraceWindow>(*exec);
 
     std::unique_ptr<BtbIface> custom_btb;
@@ -59,7 +74,9 @@ Simulator::Simulator(const SimConfig &config)
         custom_btb = std::make_unique<PartitionedBtb>(cfg.pbtb);
     bpu_ = std::make_unique<Bpu>(*trace, cfg.bpu, std::move(custom_btb));
 
-    mmu_ = std::make_unique<Mmu>(cfg.vm, *prog);
+    mmu_ = cfg.tracePath.empty()
+        ? std::make_unique<Mmu>(cfg.vm, *prog)
+        : std::make_unique<Mmu>(cfg.vm, trace_code_base, trace_code_end);
     mem_ = std::make_unique<MemHierarchy>(cfg.mem);
     mem_->setMaxOutstandingPrefetches(cfg.maxOutstandingPrefetches);
     ftq_ = std::make_unique<Ftq>(cfg.ftqEntries,

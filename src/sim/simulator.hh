@@ -115,7 +115,8 @@ class Simulator
     /** Run warmup + measurement; returns measurement-window results. */
     SimResults run();
 
-    /** Access for white-box integration tests. */
+    /** Access for white-box integration tests. program()/codeImage()
+     *  are only valid for synthetic workloads (tracePath empty). */
     Bpu &bpu() { return *bpu_; }
     Ftq &ftq() { return *ftq_; }
     MemHierarchy &mem() { return *mem_; }
@@ -160,9 +161,12 @@ class Simulator
     void recordSample();
 
     SimConfig cfg;
+    /** Synthetic workloads only; null when replaying a trace file. */
     std::unique_ptr<Program> prog;
     std::unique_ptr<CodeImage> image;
-    std::unique_ptr<SyntheticExecutor> exec;
+    /** The instruction stream: a SyntheticExecutor, or a trace reader
+     *  when cfg.tracePath is set (see trace/champsim.hh). */
+    std::unique_ptr<TraceSource> exec;
     std::unique_ptr<TraceWindow> trace;
     std::unique_ptr<Bpu> bpu_;
     std::unique_ptr<Ftq> ftq_;

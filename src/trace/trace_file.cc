@@ -1,51 +1,193 @@
 #include "trace/trace_file.hh"
 
+#include <cstdarg>
+#include <cstring>
+
+#include "common/error.hh"
+#include "common/fault.hh"
 #include "common/logging.hh"
 
 namespace fdip
 {
 
-void
-writeTraceFile(const std::string &path, TraceSource &source,
-               std::uint64_t count)
+namespace
 {
-    std::FILE *f = std::fopen(path.c_str(), "wb");
-    fatal_if(f == nullptr, "cannot open trace file '%s' for writing",
-             path.c_str());
 
-    TraceFileHeader hdr;
-    hdr.numInsts = count;
-    fatal_if(std::fwrite(&hdr, sizeof(hdr), 1, f) != 1,
-             "short write on trace header");
+/** Read-buffer size: bounded memory however long the trace is. */
+constexpr std::size_t kReadBufBytes = 64 * 1024;
 
-    for (std::uint64_t i = 0; i < count; ++i) {
-        TraceInstr ti = source.next();
-        TraceFileRecord rec{};
-        rec.pc = ti.pc;
-        rec.target = ti.target;
-        rec.cls = static_cast<std::uint8_t>(ti.cls);
-        rec.taken = ti.taken ? 1 : 0;
-        fatal_if(std::fwrite(&rec, sizeof(rec), 1, f) != 1,
-                 "short write on trace record %llu",
-                 static_cast<unsigned long long>(i));
-    }
-    std::fclose(f);
+/**
+ * Code-range reserve reported for v1 files, whose header predates the
+ * range fields: base matches the synthetic Program default, and the
+ * span is generous enough for every workload the v1 writer ever
+ * produced (docs/TRACES.md).
+ */
+constexpr Addr kV1CodeBase = 0x400000;
+constexpr std::uint64_t kV1CodeReserveBytes = 32ULL * 1024 * 1024;
+
+[[noreturn]] void
+corrupt(const std::string &path, const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string detail = vstrprintf(fmt, args);
+    va_end(args);
+    throw SimError("trace file '" + path + "': " + detail);
 }
 
-TraceFileReader::TraceFileReader(const std::string &path)
+} // namespace
+
+// ---------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------
+
+TraceFileWriter::TraceFileWriter(const std::string &path, Addr code_base,
+                                 Addr code_end)
     : path_(path)
 {
+    header.codeBase = code_base;
+    header.codeEnd = code_end;
+    file = std::fopen(path.c_str(), "wb");
+    if (file == nullptr) {
+        throw SimError("cannot open trace file '" + path +
+                       "' for writing");
+    }
+    // Placeholder header; close() backpatches numInsts and the range.
+    if (std::fwrite(&header, sizeof(header), 1, file) != 1) {
+        std::fclose(file);
+        file = nullptr;
+        corrupt(path_, "short write on header");
+    }
+}
+
+TraceFileWriter::~TraceFileWriter()
+{
+    try {
+        close();
+    } catch (const SimError &e) {
+        warn("%s", e.what());
+    }
+}
+
+void
+TraceFileWriter::append(const TraceInstr &ti)
+{
+    if (file == nullptr)
+        corrupt(path_, "append after close");
+    if (ti.pc % instBytes != 0) {
+        corrupt(path_, "word-unaligned pc %#llx at record %llu",
+                static_cast<unsigned long long>(ti.pc),
+                static_cast<unsigned long long>(count));
+    }
+    bool has_target = ti.target != invalidAddr;
+    if (has_target && ti.target % instBytes != 0) {
+        corrupt(path_, "word-unaligned target %#llx at record %llu",
+                static_cast<unsigned long long>(ti.target),
+                static_cast<unsigned long long>(count));
+    }
+
+    TraceFileRecordV2 rec{};
+    rec.pcAndFlags = (ti.pc >> 2) << 2;
+    if (has_target)
+        rec.pcAndFlags |= traceRecordHasTarget;
+    rec.cls = static_cast<std::uint8_t>(ti.cls);
+    rec.taken = ti.taken ? 1 : 0;
+
+    bool far = false;
+    if (has_target) {
+        // Wraparound-safe signed word delta; both addresses aligned.
+        auto sdiff = static_cast<std::int64_t>(ti.target - ti.pc);
+        std::int64_t words = sdiff / static_cast<std::int64_t>(instBytes);
+        if (words > traceFarTargetSentinel &&
+            words <= std::numeric_limits<std::int32_t>::max()) {
+            rec.targetDelta = static_cast<std::int32_t>(words);
+        } else {
+            rec.targetDelta = traceFarTargetSentinel;
+            far = true;
+        }
+    }
+
+    if (std::fwrite(&rec, sizeof(rec), 1, file) != 1) {
+        corrupt(path_, "short write on record %llu",
+                static_cast<unsigned long long>(count));
+    }
+    if (far && std::fwrite(&ti.target, sizeof(ti.target), 1, file) != 1) {
+        corrupt(path_, "short write on far target of record %llu",
+                static_cast<unsigned long long>(count));
+    }
+    ++count;
+}
+
+void
+TraceFileWriter::setCodeRange(Addr code_base, Addr code_end)
+{
+    header.codeBase = code_base;
+    header.codeEnd = code_end;
+}
+
+void
+TraceFileWriter::close()
+{
+    if (file == nullptr)
+        return;
+    header.numInsts = count;
+    bool ok = std::fseek(file, 0, SEEK_SET) == 0 &&
+        std::fwrite(&header, sizeof(header), 1, file) == 1;
+    ok = (std::fclose(file) == 0) && ok;
+    file = nullptr;
+    if (!ok)
+        corrupt(path_, "failed to finalize header");
+}
+
+void
+writeTraceFile(const std::string &path, TraceSource &source,
+               std::uint64_t count, Addr code_base, Addr code_end)
+{
+    TraceFileWriter w(path, code_base, code_end);
+    for (std::uint64_t i = 0; i < count; ++i)
+        w.append(source.next());
+    w.close();
+}
+
+// ---------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------
+
+TraceFileReader::TraceFileReader(const std::string &path)
+    : path_(path), buf(kReadBufBytes)
+{
     file = std::fopen(path.c_str(), "rb");
-    fatal_if(file == nullptr, "cannot open trace file '%s'",
-             path.c_str());
-    fatal_if(std::fread(&header, sizeof(header), 1, file) != 1,
-             "trace file '%s' too short for a header", path.c_str());
-    fatal_if(header.magic != traceFileMagic,
-             "'%s' is not a trace file (bad magic)", path.c_str());
-    fatal_if(header.version != 1, "trace file version %u unsupported",
-             header.version);
-    fatal_if(header.numInsts == 0, "trace file '%s' is empty",
-             path.c_str());
+    if (file == nullptr)
+        throw SimError("cannot open trace file '" + path + "'");
+
+    // The two header layouts share their first 24 bytes; read those,
+    // then the v2 tail once the version is known.
+    TraceFileHeaderV1 common;
+    if (std::fread(&common, sizeof(common), 1, file) != 1)
+        corrupt(path_, "too short for a header");
+    if (common.magic != traceFileMagic)
+        corrupt(path_, "not a trace file (bad magic)");
+    header.magic = common.magic;
+    header.version = common.version;
+    header.reserved = common.reserved;
+    header.numInsts = common.numInsts;
+    if (common.version == 1) {
+        headerBytes = sizeof(TraceFileHeaderV1);
+        header.codeBase = kV1CodeBase;
+        header.codeEnd = kV1CodeBase + kV1CodeReserveBytes;
+    } else if (common.version == traceFileVersion) {
+        headerBytes = sizeof(TraceFileHeader);
+        std::uint64_t range[2];
+        if (std::fread(range, sizeof(range), 1, file) != 1)
+            corrupt(path_, "too short for a v2 header");
+        header.codeBase = range[0];
+        header.codeEnd = range[1];
+    } else {
+        corrupt(path_, "version %u unsupported (reader knows 1 and %u)",
+                common.version, traceFileVersion);
+    }
+    if (header.numInsts == 0)
+        corrupt(path_, "empty (zero instructions)");
 }
 
 TraceFileReader::~TraceFileReader()
@@ -57,29 +199,110 @@ TraceFileReader::~TraceFileReader()
 void
 TraceFileReader::rewindToFirstRecord()
 {
-    fatal_if(std::fseek(file, sizeof(TraceFileHeader), SEEK_SET) != 0,
-             "seek failed on '%s'", path_.c_str());
+    if (std::fseek(file, static_cast<long>(headerBytes), SEEK_SET) != 0)
+        corrupt(path_, "seek failed");
+    bufPos = 0;
+    bufLen = 0;
     position = 0;
     ++loops;
 }
 
-TraceInstr
-TraceFileReader::next()
+void
+TraceFileReader::readBytes(void *out, std::size_t n)
 {
-    if (position == header.numInsts)
-        rewindToFirstRecord();
+    auto *dst = static_cast<unsigned char *>(out);
+    while (n > 0) {
+        if (bufPos == bufLen) {
+            bufLen = std::fread(buf.data(), 1, buf.size(), file);
+            bufPos = 0;
+            if (bufLen == 0) {
+                corrupt(path_, "truncated at record %llu "
+                        "(header promises %llu)",
+                        static_cast<unsigned long long>(position),
+                        static_cast<unsigned long long>(header.numInsts));
+            }
+        }
+        std::size_t take = std::min(n, bufLen - bufPos);
+        std::memcpy(dst, buf.data() + bufPos, take);
+        bufPos += take;
+        dst += take;
+        n -= take;
+    }
+}
 
-    TraceFileRecord rec;
-    fatal_if(std::fread(&rec, sizeof(rec), 1, file) != 1,
-             "trace file '%s' truncated at record %llu", path_.c_str(),
-             static_cast<unsigned long long>(position));
-    ++position;
-
+TraceInstr
+TraceFileReader::decodeV1()
+{
+    TraceFileRecordV1 rec;
+    readBytes(&rec, sizeof(rec));
+    if (rec.cls > static_cast<std::uint8_t>(InstClass::IndCall)) {
+        corrupt(path_, "corrupt record %llu (class %u)",
+                static_cast<unsigned long long>(position), rec.cls);
+    }
     TraceInstr ti;
     ti.pc = rec.pc;
     ti.target = rec.target;
     ti.cls = static_cast<InstClass>(rec.cls);
     ti.taken = rec.taken != 0;
+    return ti;
+}
+
+TraceInstr
+TraceFileReader::decodeV2()
+{
+    TraceFileRecordV2 rec;
+    readBytes(&rec, sizeof(rec));
+    if ((rec.pcAndFlags & 0x2) != 0 || rec.reserved != 0 ||
+        rec.taken > 1 ||
+        rec.cls > static_cast<std::uint8_t>(InstClass::IndCall)) {
+        corrupt(path_, "corrupt record %llu (flags/class/taken)",
+                static_cast<unsigned long long>(position));
+    }
+    TraceInstr ti;
+    ti.pc = (rec.pcAndFlags >> 2) << 2;
+    ti.cls = static_cast<InstClass>(rec.cls);
+    ti.taken = rec.taken != 0;
+    if (rec.pcAndFlags & traceRecordHasTarget) {
+        if (rec.targetDelta == traceFarTargetSentinel) {
+            std::uint64_t target;
+            readBytes(&target, sizeof(target));
+            if (target % instBytes != 0) {
+                corrupt(path_, "corrupt record %llu "
+                        "(unaligned far target %#llx)",
+                        static_cast<unsigned long long>(position),
+                        static_cast<unsigned long long>(target));
+            }
+            ti.target = target;
+        } else {
+            ti.target = ti.pc +
+                static_cast<std::uint64_t>(
+                    static_cast<std::int64_t>(rec.targetDelta) *
+                    static_cast<std::int64_t>(instBytes));
+        }
+    } else {
+        if (rec.targetDelta != 0) {
+            corrupt(path_, "corrupt record %llu "
+                    "(delta without target-valid)",
+                    static_cast<unsigned long long>(position));
+        }
+        ti.target = invalidAddr;
+    }
+    return ti;
+}
+
+TraceInstr
+TraceFileReader::next()
+{
+    FaultInjector &faults = FaultInjector::instance();
+    if (faults.any())
+        faults.maybeTruncateTrace(position, path_);
+
+    if (position == header.numInsts)
+        rewindToFirstRecord();
+
+    TraceInstr ti =
+        header.version == 1 ? decodeV1() : decodeV2();
+    ++position;
     return ti;
 }
 

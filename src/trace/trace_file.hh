@@ -1,42 +1,67 @@
 /**
  * @file trace_file.hh
- * Binary instruction-trace record/replay.
+ * Binary instruction-trace record/replay: the native on-disk format.
  *
  * Record: drain any TraceSource into a compact on-disk format.
  * Replay: a TraceFileReader is itself a TraceSource, so recorded (or
- * externally generated) traces drive the simulator exactly like the
- * synthetic executor. The format is self-describing with a magic,
- * version, and instruction count; records are fixed 16-byte entries:
+ * converted — see trace/champsim.hh) traces drive the simulator
+ * exactly like the synthetic executor.
  *
- *   u64 pc_and_flags   bits[63:4] pc>>4? -- no: pc is word aligned, so
- *                      bits[63:2] hold pc>>2, bits[1:0] spare
- *   u8  cls            InstClass
- *   u8  taken
- *   u16 reserved
- *   u32 target_delta   (target - pc)/4 as signed 32-bit; the sentinel
- *                      INT32_MIN means "far target": a full 8-byte
- *                      target record follows
+ * Two format versions share one magic:
  *
- * For simplicity and robustness this implementation stores fixed
- * 24-byte records (pc, target, cls, taken) — traces are short-lived
- * experiment artifacts, not archives.
+ *  v1 (legacy, read-only): 24-byte header {magic, version, reserved,
+ *     numInsts}; fixed 24-byte records {u64 pc, u64 target, u8 cls,
+ *     u8 taken, pad[6]}. No code-range metadata.
+ *
+ *  v2 (current, written by TraceFileWriter): 40-byte header that adds
+ *     the code range the trace's PCs inhabit — {u64 magic,
+ *     u32 version=2, u32 reserved, u64 numInsts, u64 codeBase,
+ *     u64 codeEnd} — so a replaying simulator can build its MMU page
+ *     table without scanning the stream. Records are delta-encoded
+ *     16-byte entries:
+ *
+ *       u64 pc_and_flags   bits[63:2] hold pc>>2 (pc is word aligned),
+ *                          bit0 = target-valid, bit1 must be zero
+ *       u8  cls            InstClass
+ *       u8  taken          0 or 1
+ *       u16 reserved       must be zero
+ *       i32 target_delta   (target - pc)/4 as signed 32-bit; the
+ *                          sentinel INT32_MIN means "far target": a
+ *                          full 8-byte target follows the record
+ *
+ *     A record with target-valid clear replays target == invalidAddr
+ *     (its target_delta must be zero). Word-unaligned PCs (and valid
+ *     unaligned targets) are rejected at write time; every corrupt or
+ *     truncated input is rejected with SimError at read time — never
+ *     UB, never a silent garbage stream — so a sweep isolates a bad
+ *     trace as one FAIL cell (docs/TRACES.md, docs/ROBUSTNESS.md).
+ *
+ * The reader streams through a fixed-size buffer (bounded memory
+ * regardless of trace length) and loops back to the first record at
+ * end of stream — experiments need endless sources.
  */
 
 #ifndef FDIP_TRACE_TRACE_FILE_HH
 #define FDIP_TRACE_TRACE_FILE_HH
 
 #include <cstdio>
+#include <limits>
 #include <string>
+#include <vector>
 
 #include "trace/executor.hh"
 
 namespace fdip
 {
 
-/** Magic bytes at the start of every trace file. */
+/** Magic bytes at the start of every trace file (all versions). */
 constexpr std::uint64_t traceFileMagic = 0x46444950'54524331ULL;
 
-struct TraceFileHeader
+/** Current (written) trace-file format version. */
+constexpr std::uint32_t traceFileVersion = 2;
+
+/** v1 header: no code-range metadata. Retained for reading. */
+struct TraceFileHeaderV1
 {
     std::uint64_t magic = traceFileMagic;
     std::uint32_t version = 1;
@@ -44,7 +69,23 @@ struct TraceFileHeader
     std::uint64_t numInsts = 0;
 };
 
-struct TraceFileRecord
+static_assert(sizeof(TraceFileHeaderV1) == 24, "v1 header layout");
+
+/** v2 header: adds the code range [codeBase, codeEnd) of the PCs. */
+struct TraceFileHeader
+{
+    std::uint64_t magic = traceFileMagic;
+    std::uint32_t version = traceFileVersion;
+    std::uint32_t reserved = 0;
+    std::uint64_t numInsts = 0;
+    std::uint64_t codeBase = 0;
+    std::uint64_t codeEnd = 0;
+};
+
+static_assert(sizeof(TraceFileHeader) == 40, "v2 header layout");
+
+/** v1 record: plain (pc, target, cls, taken). Retained for reading. */
+struct TraceFileRecordV1
 {
     std::uint64_t pc;
     std::uint64_t target;
@@ -53,18 +94,90 @@ struct TraceFileRecord
     std::uint8_t pad[6];
 };
 
-static_assert(sizeof(TraceFileRecord) == 24, "record layout");
+static_assert(sizeof(TraceFileRecordV1) == 24, "v1 record layout");
 
-/** Record @p count instructions from @p source into @p path. */
-void writeTraceFile(const std::string &path, TraceSource &source,
-                    std::uint64_t count);
+/** v2 record: delta-encoded; see the file comment for field rules. */
+struct TraceFileRecordV2
+{
+    std::uint64_t pcAndFlags;
+    std::uint8_t cls;
+    std::uint8_t taken;
+    std::uint16_t reserved;
+    std::int32_t targetDelta;
+};
+
+static_assert(sizeof(TraceFileRecordV2) == 16, "v2 record layout");
+
+/** pc_and_flags bit 0: this record's target is valid. */
+constexpr std::uint64_t traceRecordHasTarget = 1ULL << 0;
+
+/** target_delta sentinel: full 8-byte target follows the record. */
+constexpr std::int32_t traceFarTargetSentinel =
+    std::numeric_limits<std::int32_t>::min();
 
 /**
- * Replays a recorded trace. When the file is exhausted the reader
- * loops back to the beginning (experiments need endless streams);
- * loopCount() reports how often that happened.
+ * Streaming v2 writer: append records one at a time, then close() to
+ * backpatch the header's instruction count. Unaligned PCs/targets and
+ * I/O failures raise SimError.
  */
-class TraceFileReader : public TraceSource
+class TraceFileWriter
+{
+  public:
+    /** @p code_base / @p code_end describe the range the trace's PCs
+     *  live in (the replaying simulator's MMU covers exactly this
+     *  range); setCodeRange() may revise them before close(). */
+    explicit TraceFileWriter(const std::string &path, Addr code_base = 0,
+                             Addr code_end = 0);
+    ~TraceFileWriter();
+
+    TraceFileWriter(const TraceFileWriter &) = delete;
+    TraceFileWriter &operator=(const TraceFileWriter &) = delete;
+
+    void append(const TraceInstr &ti);
+
+    /** Revise the header's code range (converters only learn the
+     *  allocated extent after streaming the input). */
+    void setCodeRange(Addr code_base, Addr code_end);
+
+    /** Backpatch the header and close the file. Idempotent; the
+     *  destructor calls it, but errors there cannot throw — call
+     *  close() explicitly to observe them. */
+    void close();
+
+    std::uint64_t written() const { return count; }
+
+  private:
+    std::FILE *file = nullptr;
+    TraceFileHeader header;
+    std::uint64_t count = 0;
+    std::string path_;
+};
+
+/** Record @p count instructions from @p source into @p path (v2). */
+void writeTraceFile(const std::string &path, TraceSource &source,
+                    std::uint64_t count, Addr code_base = 0,
+                    Addr code_end = 0);
+
+/**
+ * A TraceSource backed by a file, carrying the code range its PCs
+ * inhabit so a simulator can size its page table before streaming.
+ */
+class FileTraceSource : public TraceSource
+{
+  public:
+    virtual Addr codeBase() const = 0;
+    virtual Addr codeEnd() const = 0;
+};
+
+/**
+ * Replays a recorded trace (v1 or v2) through a fixed-size read
+ * buffer. When the stream is exhausted the reader loops back to the
+ * first record (experiments need endless streams); loopCount()
+ * reports how often that happened. Every structural defect — bad
+ * magic, unknown version, truncated stream, corrupt record fields —
+ * raises SimError.
+ */
+class TraceFileReader : public FileTraceSource
 {
   public:
     explicit TraceFileReader(const std::string &path);
@@ -77,15 +190,31 @@ class TraceFileReader : public TraceSource
 
     std::uint64_t numInsts() const { return header.numInsts; }
     std::uint64_t loopCount() const { return loops; }
+    std::uint32_t version() const { return header.version; }
+
+    /** v2: from the header. v1 files carry no range; a fixed reserve
+     *  region is reported instead (see trace_file.cc). */
+    Addr codeBase() const override { return header.codeBase; }
+    Addr codeEnd() const override { return header.codeEnd; }
 
   private:
     void rewindToFirstRecord();
+    /** Copy @p n bytes out of the read buffer, refilling from the
+     *  file as needed; SimError on short read. */
+    void readBytes(void *out, std::size_t n);
+    TraceInstr decodeV1();
+    TraceInstr decodeV2();
 
     std::FILE *file = nullptr;
     TraceFileHeader header;
+    std::size_t headerBytes = 0;
     std::uint64_t position = 0;
     std::uint64_t loops = 0;
     std::string path_;
+
+    std::vector<unsigned char> buf;
+    std::size_t bufPos = 0;
+    std::size_t bufLen = 0;
 };
 
 } // namespace fdip

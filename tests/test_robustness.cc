@@ -25,6 +25,9 @@
 #include "sim/report.hh"
 #include "sim/result_cache.hh"
 #include "sim/runner.hh"
+#include "trace/profile.hh"
+#include "trace/synth_builder.hh"
+#include "trace/trace_file.hh"
 
 using namespace fdip;
 
@@ -542,6 +545,101 @@ TEST_F(Robustness, CorruptCacheFaultTearsExactlyOneStore)
 }
 
 // ---------------------------------------------------------------------
+// Trace-stream faults: a trace that dies mid-stream is one FAIL cell.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** Record a small native trace to replay under fault injection. */
+std::string
+captureRobustnessTrace(const std::string &tag)
+{
+    std::string path =
+        ::testing::TempDir() + "fdip-robustness-" + tag + ".fdip.trace";
+    WorkloadProfile profile = findProfile("gcc");
+    auto prog = buildProgram(profile);
+    SyntheticExecutor exec(*prog, profile);
+    writeTraceFile(path, exec, kWarmup + kMeasure, prog->base,
+                   prog->codeEnd());
+    return path;
+}
+
+} // namespace
+
+TEST_F(Robustness, TruncateTraceFaultGrammarAndScoping)
+{
+    auto &faults = FaultInjector::instance();
+    faults.configure("truncate-trace@1x100");
+    EXPECT_TRUE(faults.any());
+    // Outside a PointScope nothing fires, whatever the position.
+    EXPECT_NO_THROW(faults.maybeTruncateTrace(5000, "x.trace"));
+    {
+        FaultInjector::PointScope scope(0, 1);
+        EXPECT_NO_THROW(faults.maybeTruncateTrace(5000, "x.trace"));
+    }
+    {
+        FaultInjector::PointScope scope(1, 1);
+        // Fires only once the reader is past the threshold: the trace
+        // serves N records, then "dies".
+        EXPECT_NO_THROW(faults.maybeTruncateTrace(99, "x.trace"));
+        bool caught = false;
+        try {
+            faults.maybeTruncateTrace(100, "x.trace");
+        } catch (const SimError &e) {
+            caught = true;
+            std::string what = e.what();
+            EXPECT_NE(what.find("injected fault"), std::string::npos)
+                << what;
+            EXPECT_NE(what.find("x.trace"), std::string::npos) << what;
+            EXPECT_NE(what.find("mid-stream"), std::string::npos) << what;
+        }
+        EXPECT_TRUE(caught);
+    }
+    faults.reset();
+    EXPECT_FALSE(faults.any());
+}
+
+TEST_F(Robustness, SweepIsolatesTraceDyingMidStream)
+{
+    std::string path = captureRobustnessTrace("midstream");
+    // Point 0 (the trace replay) loses its stream 2000 records in —
+    // during warmup; point 1 is a healthy synthetic sibling.
+    FaultInjector::instance().configure("truncate-trace@0x2000");
+
+    Runner r(kWarmup, kMeasure);
+    r.disableCache();
+    r.setJobs(1);
+    r.setRetryPolicy(0, 1);
+    r.enqueue("trace:" + path, PrefetchScheme::None);
+    r.enqueue("go", PrefetchScheme::None);
+    ::testing::internal::CaptureStderr(); // attempt warns
+    r.runPending();
+    ::testing::internal::GetCapturedStderr();
+
+    ASSERT_EQ(r.failures().size(), 1u);
+    const Runner::FailedPoint &dead = r.failures()[0];
+    EXPECT_EQ(dead.workload, "trace:" + path);
+    EXPECT_NE(dead.error.find("injected fault"), std::string::npos)
+        << dead.error;
+    EXPECT_NE(dead.error.find("mid-stream"), std::string::npos)
+        << dead.error;
+
+    // The dead trace renders as a FAIL cell, not a crash or garbage.
+    const SimResults &fail = r.run("trace:" + path, PrefetchScheme::None);
+    EXPECT_EQ(fail.status, RunStatus::Failed);
+    EXPECT_EQ(AsciiTable::num(fail.ipc), "FAIL");
+
+    // The healthy sibling is byte-identical to an undisturbed run.
+    FaultInjector::instance().reset();
+    Runner clean(kWarmup, kMeasure);
+    clean.disableCache();
+    EXPECT_EQ(serializeResults(clean.run("go", PrefetchScheme::None)),
+              serializeResults(r.run("go", PrefetchScheme::None)));
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
 // experimentMain: exit code distinguishes clean from damaged sweeps.
 // ---------------------------------------------------------------------
 
@@ -596,4 +694,30 @@ TEST_F(Robustness, ExperimentExitCodeDistinguishesFailedSweeps)
         << faulted_out;
     EXPECT_NE(faulted_out.find("injected fault"), std::string::npos)
         << faulted_out;
+}
+
+// The same exit-code contract covers a trace workload whose stream
+// dies mid-run: the sweep completes, names the dead trace, exits 3.
+TEST_F(Robustness, ExperimentExitCodeCoversTraceStreamDeath)
+{
+    std::string path = captureRobustnessTrace("exitcode");
+    ExperimentSpec spec = tinySpec();
+    spec.grids[0].workloads = {"trace:" + path};
+
+    setenv("FDIP_RETRIES", "0", 1);
+    FaultInjector::instance().configure("truncate-trace@0x1000");
+    const char *argv[] = {"test_robustness"};
+    auto args = const_cast<char **>(argv);
+    ::testing::internal::CaptureStdout();
+    ::testing::internal::CaptureStderr();
+    int rc = experimentMain(spec, 1, args);
+    ::testing::internal::GetCapturedStderr();
+    std::string out = ::testing::internal::GetCapturedStdout();
+    FaultInjector::instance().reset();
+    unsetenv("FDIP_RETRIES");
+
+    EXPECT_EQ(rc, 3);
+    EXPECT_NE(out.find("failed points:"), std::string::npos) << out;
+    EXPECT_NE(out.find("mid-stream"), std::string::npos) << out;
+    std::remove(path.c_str());
 }

@@ -1,10 +1,11 @@
-/** Tests for binary trace record/replay. */
+/** Tests for binary trace record/replay (v1 + v2 formats). */
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
 #include <string>
 
+#include "common/error.hh"
 #include "test_helpers.hh"
 #include "trace/trace_file.hh"
 
@@ -33,16 +34,37 @@ miniProfile()
 
 } // namespace
 
+// The on-disk layouts are a compatibility contract: pin both versions'
+// header/record sizes and the v2 field rules so drift between the doc
+// in trace_file.hh and the shipped structs cannot recur.
+TEST(TraceFile, PinsBothFormatVersions)
+{
+    EXPECT_EQ(sizeof(TraceFileHeaderV1), 24u);
+    EXPECT_EQ(sizeof(TraceFileRecordV1), 24u);
+    EXPECT_EQ(sizeof(TraceFileHeader), 40u);
+    EXPECT_EQ(sizeof(TraceFileRecordV2), 16u);
+    EXPECT_EQ(traceFileVersion, 2u);
+    EXPECT_EQ(TraceFileHeaderV1{}.magic, traceFileMagic);
+    EXPECT_EQ(TraceFileHeader{}.magic, traceFileMagic);
+    EXPECT_EQ(traceRecordHasTarget, 1ull);
+    EXPECT_EQ(traceFarTargetSentinel,
+              std::numeric_limits<std::int32_t>::min());
+}
+
 TEST(TraceFile, RoundTripPreservesInstructions)
 {
     TempPath tmp("roundtrip");
     auto prog = testutil::makeCallPattern();
     SyntheticExecutor writer_src(*prog, miniProfile());
-    writeTraceFile(tmp.path, writer_src, 500);
+    writeTraceFile(tmp.path, writer_src, 500, prog->base,
+                   prog->codeEnd());
 
     SyntheticExecutor ref(*prog, miniProfile());
     TraceFileReader reader(tmp.path);
     EXPECT_EQ(reader.numInsts(), 500u);
+    EXPECT_EQ(reader.version(), traceFileVersion);
+    EXPECT_EQ(reader.codeBase(), prog->base);
+    EXPECT_EQ(reader.codeEnd(), prog->codeEnd());
     for (int i = 0; i < 500; ++i) {
         TraceInstr a = ref.next();
         TraceInstr b = reader.next();
@@ -85,30 +107,43 @@ TEST(TraceFile, ReaderIsATraceSource)
     EXPECT_EQ(win.baseSeq(), 5u);
 }
 
-TEST(TraceFileDeath, RejectsGarbageFile)
+// Corrupt inputs raise SimError unconditionally (not the FDIP_FATAL
+// abort path): a sweep must be able to isolate one bad trace as a
+// FAIL cell instead of dying (docs/ROBUSTNESS.md).
+TEST(TraceFile, RejectsGarbageFile)
 {
     TempPath tmp("garbage");
     std::FILE *f = std::fopen(tmp.path.c_str(), "wb");
     const char junk[] = "not a trace file at all, sorry";
     std::fwrite(junk, sizeof(junk), 1, f);
     std::fclose(f);
-    EXPECT_EXIT({ TraceFileReader r(tmp.path); },
-                ::testing::ExitedWithCode(1), "bad magic");
+    EXPECT_THROW({ TraceFileReader r(tmp.path); }, SimError);
 }
 
-TEST(TraceFileDeath, RejectsMissingFile)
+TEST(TraceFile, RejectsMissingFile)
 {
-    EXPECT_EXIT({ TraceFileReader r("/nonexistent/path.trace"); },
-                ::testing::ExitedWithCode(1), "cannot open");
+    EXPECT_THROW({ TraceFileReader r("/nonexistent/path.trace"); },
+                 SimError);
 }
 
-TEST(TraceFileDeath, RejectsTruncatedHeader)
+TEST(TraceFile, RejectsTruncatedHeader)
 {
     TempPath tmp("short");
     std::FILE *f = std::fopen(tmp.path.c_str(), "wb");
     std::uint32_t partial = 42;
     std::fwrite(&partial, sizeof(partial), 1, f);
     std::fclose(f);
-    EXPECT_EXIT({ TraceFileReader r(tmp.path); },
-                ::testing::ExitedWithCode(1), "too short");
+    EXPECT_THROW({ TraceFileReader r(tmp.path); }, SimError);
+}
+
+TEST(TraceFile, RejectsUnsupportedVersion)
+{
+    TempPath tmp("badver");
+    TraceFileHeader h;
+    h.version = 99;
+    h.numInsts = 1;
+    std::FILE *f = std::fopen(tmp.path.c_str(), "wb");
+    std::fwrite(&h, sizeof(h), 1, f);
+    std::fclose(f);
+    EXPECT_THROW({ TraceFileReader r(tmp.path); }, SimError);
 }

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Generate tests/fixtures/mini.champsim.trace — a small, deterministic
+ChampSim-format trace that exercises every branch-classification
+heuristic and the PC-canonicalizer's interesting paths (taken targets,
+cond taken/not-taken, call/return, alternating indirect-call targets, a
+fall-through into already-mapped code, a heuristic-fallback branch).
+
+Record layout (64 bytes, matching trace/champsim.hh):
+  u64 ip; u8 is_branch; u8 branch_taken;
+  u8 dst_regs[2]; u8 src_regs[4]; u64 dst_mem[2]; u64 src_mem[4]
+
+Regenerate with:  python3 tools/gen_champsim_fixture.py
+The byte-level golden decode in tests/test_trace_ingest.cc pins the
+result; rerun it with FDIP_UPDATE_GOLDEN=1 after regenerating.
+"""
+
+import os
+import struct
+
+SP, FLAGS, IP = 6, 25, 26
+GPR = 3  # an "other" register
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+OUT = os.path.join(HERE, "..", "tests", "fixtures", "mini.champsim.trace")
+
+
+def rec(ip, is_branch=0, taken=0, dst=(), src=()):
+    dst = list(dst) + [0] * (2 - len(dst))
+    src = list(src) + [0] * (4 - len(src))
+    return struct.pack(
+        "<QBB2B4B2Q4Q", ip, is_branch, taken, *dst, *src, 0, 0, 0, 0, 0, 0
+    )
+
+
+def noncf(ip):
+    return rec(ip, dst=[GPR], src=[GPR])
+
+
+def jump(ip):
+    return rec(ip, 1, 1, dst=[IP], src=[IP])
+
+
+def indjump(ip):
+    return rec(ip, 1, 1, dst=[IP], src=[GPR])
+
+
+def cond(ip, taken):
+    return rec(ip, 1, taken, dst=[IP], src=[IP, FLAGS])
+
+
+def call(ip):
+    return rec(ip, 1, 1, dst=[IP, SP], src=[IP, SP])
+
+
+def indcall(ip):
+    return rec(ip, 1, 1, dst=[IP, SP], src=[SP, GPR])
+
+
+def ret(ip):
+    return rec(ip, 1, 1, dst=[IP, SP], src=[SP])
+
+
+def fallback_branch(ip):
+    # is_branch set but no IP write: the heuristics cannot place it, so
+    # the reader degrades it to a conditional branch.
+    return rec(ip, 1, 0, dst=[GPR], src=[GPR])
+
+
+# The dynamic stream: each entry's successor is the next entry's ip
+# (ChampSim stores no targets); the trace loops, so the last record's
+# successor is the first record again.
+records = [
+    noncf(0x401000),
+    noncf(0x401003),
+    call(0x401008),        # -> 0x402000
+    noncf(0x402000),
+    ret(0x402004),         # -> 0x40100D (return site)
+    cond(0x40100D, 1),     # taken -> 0x401020
+    noncf(0x401020),
+    jump(0x401023),        # -> 0x401030
+    indcall(0x401030),     # -> 0x403000
+    ret(0x403000),         # -> 0x401035
+    cond(0x401035, 1),     # taken back-edge -> 0x40100D (already mapped)
+    cond(0x40100D, 1),     # taken -> 0x401020 again
+    noncf(0x401020),
+    jump(0x401023),        # -> 0x401030
+    indcall(0x401030),     # alternating target -> 0x404000
+    indjump(0x404000),     # -> 0x401035
+    cond(0x401035, 0),     # NOT taken -> 0x40103A
+    noncf(0x40103A),
+    noncf(0x40103D),       # gap: "falls through" to mapped 0x401000
+    noncf(0x401000),
+    noncf(0x401003),
+    call(0x401008),        # -> 0x402000
+    noncf(0x402000),
+    ret(0x402004),         # -> 0x40100D
+    cond(0x40100D, 0),     # NOT taken -> 0x401012
+    fallback_branch(0x401012),  # heuristic fallback, not taken
+    noncf(0x401015),
+    jump(0x401018),        # -> 0x401030
+    indcall(0x401030),     # -> 0x403000
+    ret(0x403000),         # -> 0x401035
+    cond(0x401035, 0),     # NOT taken -> 0x40103A
+    noncf(0x40103A),
+    # Last record: its successor wraps to 0x401000 — the same gap the
+    # canonicalizer already resolved for this ip at record 19.
+    noncf(0x40103D),
+]
+
+os.makedirs(os.path.dirname(OUT), exist_ok=True)
+with open(OUT, "wb") as f:
+    for r in records:
+        assert len(r) == 64
+        f.write(r)
+print(f"wrote {len(records)} records ({len(records) * 64} bytes) to {OUT}")
