@@ -1,21 +1,39 @@
 #include "mem/hierarchy.hh"
 
+#include "common/intmath.hh"
 #include "common/logging.hh"
 
 namespace fdip
 {
 
 MemHierarchy::MemHierarchy(const MemConfig &config)
-    : cfg(config), l1i_(cfg.l1i), l2_(cfg.l2),
+    : cfg(config), ownedShared(std::make_unique<SharedMem>(cfg)),
+      l1i_(cfg.l1i), l2_(ownedShared->l2),
       vc(cfg.victimCacheEntries),
       pfBuf(cfg.prefetchBufferEntries),
-      l2Bus_("l2bus", cfg.l2BusBytesPerCycle),
-      memBus_("membus", cfg.memBusBytesPerCycle),
-      mshrFile(cfg.mshrs), dram(cfg.dramLatency)
+      l2Bus_(ownedShared->l2Bus),
+      memBus_(ownedShared->memBus),
+      mshrFile(cfg.mshrs), dram(ownedShared->dram)
 {
     fatal_if(cfg.l1TagPorts == 0, "L1-I needs at least one tag port");
     fatal_if(cfg.l1i.blockBytes != cfg.l2.blockBytes,
              "L1/L2 block size mismatch not supported");
+}
+
+MemHierarchy::MemHierarchy(const MemConfig &config, SharedMem &shared,
+                           unsigned core_id, unsigned num_cores)
+    : cfg(config), l1i_(cfg.l1i), l2_(shared.l2),
+      vc(cfg.victimCacheEntries),
+      pfBuf(cfg.prefetchBufferEntries),
+      l2Bus_(shared.l2Bus),
+      memBus_(shared.memBus),
+      mshrFile(cfg.mshrs), dram(shared.dram),
+      coreId_(core_id), multiCore_(num_cores > 1)
+{
+    fatal_if(cfg.l1TagPorts == 0, "L1-I needs at least one tag port");
+    fatal_if(cfg.l1i.blockBytes != cfg.l2.blockBytes,
+             "L1/L2 block size mismatch not supported");
+    fatal_if(core_id >= num_cores, "core id out of range");
 }
 
 void
@@ -24,8 +42,9 @@ MemHierarchy::tick(Cycle now)
     portsUsed = 0;
     for (MshrEntry *e : mshrFile.ready(now)) {
         if (e->fillL2) {
-            auto victim = l2_.insert(e->blockAddr);
-            attr_.onL2Fill(e->blockAddr, victim, e->isPrefetch);
+            auto victim = l2_.insert(sharedTag(e->blockAddr));
+            attr_.onL2Fill(sharedTag(e->blockAddr), victim,
+                           e->isPrefetch);
         }
         switch (e->dest) {
           case FillDest::DemandL1:
@@ -110,7 +129,23 @@ MemHierarchy::fillLatency(Addr block_addr, Cycle now, bool is_prefetch,
     granted = true;
     fills_l2 = false;
     bool idle_only = is_prefetch && !cfg.prefetchMayQueueOnBus;
-    if (l2_.access(block_addr)) {
+    // The per-core bus-share counters stay silent on a single-core
+    // machine so its stat output is unchanged.
+    auto charge_l2bus = [this] {
+        if (multiCore_) {
+            stL2BusShareCycles.inc(
+                divCeil(cfg.l1i.blockBytes, cfg.l2BusBytesPerCycle));
+            stL2BusShareTransfers.inc();
+        }
+    };
+    auto charge_membus = [this] {
+        if (multiCore_) {
+            stMemBusShareCycles.inc(
+                divCeil(cfg.l2.blockBytes, cfg.memBusBytesPerCycle));
+            stMemBusShareTransfers.inc();
+        }
+    };
+    if (l2_.access(sharedTag(block_addr))) {
         // L2 hit: pay L2 latency plus the L1<->L2 transfer.
         if (idle_only) {
             auto done = l2Bus_.tryTransfer(now + cfg.l2HitLatency,
@@ -119,15 +154,17 @@ MemHierarchy::fillLatency(Addr block_addr, Cycle now, bool is_prefetch,
                 granted = false;
                 return neverCycle;
             }
+            charge_l2bus();
             return *done;
         }
+        charge_l2bus();
         return l2Bus_.transfer(now + cfg.l2HitLatency,
                                cfg.l1i.blockBytes);
     }
     // L2 miss: memory access plus both bus transfers.
     fills_l2 = true;
     if (!is_prefetch)
-        attr_.onL2DemandMiss(block_addr);
+        attr_.onL2DemandMiss(sharedTag(block_addr));
     Cycle dram_lat = dram.accessLatency(now, is_prefetch);
     Cycle mem_done;
     if (idle_only) {
@@ -143,8 +180,12 @@ MemHierarchy::fillLatency(Addr block_addr, Cycle now, bool is_prefetch,
             granted = false;
             return neverCycle;
         }
+        charge_membus();
+        charge_l2bus();
         return *l1_done;
     }
+    charge_membus();
+    charge_l2bus();
     mem_done = memBus_.transfer(now + cfg.l2HitLatency + dram_lat,
                                 cfg.l2.blockBytes);
     return l2Bus_.transfer(mem_done, cfg.l1i.blockBytes);
@@ -272,17 +313,21 @@ MemHierarchy::issuePrefetch(Addr addr, Cycle now, FillDest dest,
 }
 
 void
-MemHierarchy::collectStats(StatSet &out) const
+MemHierarchy::collectStats(StatSet &out, bool include_shared) const
 {
     out.merge(stats);
     out.merge(l1i_.stats, "l1i.");
-    out.merge(l2_.stats, "l2.");
+    if (include_shared)
+        out.merge(l2_.stats, "l2.");
     out.merge(vc.stats);
     out.merge(pfBuf.stats);
-    out.merge(l2Bus_.stats, "l2bus.");
-    out.merge(memBus_.stats, "membus.");
+    if (include_shared) {
+        out.merge(l2Bus_.stats, "l2bus.");
+        out.merge(memBus_.stats, "membus.");
+    }
     out.merge(mshrFile.stats);
-    out.merge(dram.stats);
+    if (include_shared)
+        out.merge(dram.stats);
     out.merge(attr_.stats);
 }
 

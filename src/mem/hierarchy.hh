@@ -19,6 +19,7 @@
 #include "mem/dram.hh"
 #include "mem/mshr.hh"
 #include "mem/prefetch_buffer.hh"
+#include "mem/shared_mem.hh"
 #include "mem/victim_cache.hh"
 #include "obs/attribution.hh"
 
@@ -85,7 +86,19 @@ struct FetchAccess
 class MemHierarchy
 {
   public:
+    /** Single-core form: owns a private SharedMem (L2/buses/DRAM). */
     explicit MemHierarchy(const MemConfig &config);
+
+    /**
+     * Multi-core form: core @p core_id's private L1-I/MSHRs/buffers in
+     * front of externally owned shared components. Requests reaching
+     * the shared L2 are tagged with the core id (private address
+     * spaces: no constructive sharing between cores), and the per-core
+     * mem.l2bus_* and mem.membus_* share counters are enabled when
+     * @p num_cores > 1.
+     */
+    MemHierarchy(const MemConfig &config, SharedMem &shared,
+                 unsigned core_id, unsigned num_cores);
 
     /** Per-cycle maintenance: complete fills, reset tag ports. */
     void tick(Cycle now);
@@ -164,9 +177,14 @@ class MemHierarchy
     Bus &memBus() { return memBus_; }
     MshrFile &mshrs() { return mshrFile; }
     const MemConfig &config() const { return cfg; }
+    unsigned coreId() const { return coreId_; }
 
-    /** Aggregate every component's statistics into @p out. */
-    void collectStats(StatSet &out) const;
+    /**
+     * Aggregate statistics into @p out. With @p include_shared false,
+     * only this core's private components are collected (the caller
+     * merges the SharedMem stats once, not once per core).
+     */
+    void collectStats(StatSet &out, bool include_shared = true) const;
 
     StatSet stats;
 
@@ -197,6 +215,20 @@ class MemHierarchy
         stats.registerCounter("mem.prefetch_bus_stalls");
     StatSet::Counter stPrefetchesIssued =
         stats.registerCounter("mem.prefetches_issued");
+    /**
+     * Per-core share of the shared buses, incremented only on a
+     * multi-core machine (so single-core stat output is unchanged):
+     * the cycles and transfer counts this core's fills occupied each
+     * bus for. The bus's own bus.busy_cycles counters keep the total.
+     */
+    StatSet::Counter stL2BusShareCycles =
+        stats.registerCounter("mem.l2bus_busy_cycles");
+    StatSet::Counter stL2BusShareTransfers =
+        stats.registerCounter("mem.l2bus_transfers");
+    StatSet::Counter stMemBusShareCycles =
+        stats.registerCounter("mem.membus_busy_cycles");
+    StatSet::Counter stMemBusShareTransfers =
+        stats.registerCounter("mem.membus_transfers");
 
     /** L2 lookup + bus/memory scheduling for a missing block. */
     Cycle fillLatency(Addr block_addr, Cycle now, bool is_prefetch,
@@ -205,20 +237,37 @@ class MemHierarchy
     /** Install into the L1, spilling any victim to the victim cache. */
     void installL1(Addr block_addr, bool first_use_tag);
 
+    /**
+     * Tag an L1-side block address with this core's id before it
+     * reaches the shared L2 / attribution victim map. Cores model
+     * private address spaces, so same-numbered blocks from different
+     * cores are distinct lines. Identity for core 0, hence for every
+     * single-core machine.
+     */
+    Addr sharedTag(Addr block_addr) const
+    {
+        return block_addr | (static_cast<Addr>(coreId_) << 56);
+    }
+
     MemConfig cfg;
+    /** Non-null only for the single-core ctor. */
+    std::unique_ptr<SharedMem> ownedShared;
     Cache l1i_;
-    Cache l2_;
+    Cache &l2_;
     VictimCache vc;
     PrefetchBuffer pfBuf;
-    Bus l2Bus_;
-    Bus memBus_;
+    Bus &l2Bus_;
+    Bus &memBus_;
     MshrFile mshrFile;
-    Dram dram;
+    Dram &dram;
     PrefetchAttribution attr_;
     StreamFillClient *streamFill = nullptr;
     StreamProbeClient *streamProbe = nullptr;
     unsigned portsUsed = 0;
     unsigned maxPrefetches = 8;
+    unsigned coreId_ = 0;
+    /** True when this hierarchy shares its L2/buses with other cores. */
+    bool multiCore_ = false;
 };
 
 } // namespace fdip

@@ -1,0 +1,37 @@
+#include "mem/shared_mem.hh"
+
+#include "mem/hierarchy.hh"
+
+namespace fdip
+{
+
+SharedMem::SharedMem(const MemConfig &config)
+    : l2(config.l2),
+      l2Bus("l2bus", config.l2BusBytesPerCycle),
+      memBus("membus", config.memBusBytesPerCycle),
+      dram(config.dramLatency)
+{
+}
+
+Cycle
+SharedMem::nextEventCycle(Cycle now) const
+{
+    Cycle next = kNever;
+    for (const Bus *bus : {&l2Bus, &memBus}) {
+        Cycle free_at = bus->freeAtCycle();
+        if (free_at > now && free_at < next)
+            next = free_at;
+    }
+    return next;
+}
+
+void
+SharedMem::collectStats(StatSet &out) const
+{
+    out.merge(l2.stats, "l2.");
+    out.merge(l2Bus.stats, "l2bus.");
+    out.merge(memBus.stats, "membus.");
+    out.merge(dram.stats);
+}
+
+} // namespace fdip

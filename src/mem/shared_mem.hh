@@ -1,0 +1,49 @@
+/**
+ * @file shared_mem.hh
+ * The memory-system components shared by every core: the unified L2,
+ * the L1<->L2 and L2<->memory buses, and DRAM. A single-core machine
+ * owns one of these privately inside its MemHierarchy; a multi-core
+ * machine (SimConfig::numCores > 1) builds one SharedMem up front and
+ * hands every core's MemHierarchy a reference, so all cores contend
+ * for the same capacity and bandwidth (docs/MULTICORE.md).
+ */
+
+#ifndef FDIP_MEM_SHARED_MEM_HH
+#define FDIP_MEM_SHARED_MEM_HH
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/bus.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+
+namespace fdip
+{
+
+struct MemConfig;
+
+class SharedMem
+{
+  public:
+    explicit SharedMem(const struct MemConfig &config);
+
+    /**
+     * Quiescence protocol: the earliest future bus-release cycle, or
+     * kNever when both buses are idle. The L2 and DRAM are purely
+     * reactive (no self-driven state changes), so bus releases are the
+     * only events this subsystem contributes. Never returns <= @p now.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
+    /** Aggregate the shared components' statistics into @p out. */
+    void collectStats(StatSet &out) const;
+
+    Cache l2;
+    Bus l2Bus;
+    Bus memBus;
+    Dram dram;
+};
+
+} // namespace fdip
+
+#endif // FDIP_MEM_SHARED_MEM_HH

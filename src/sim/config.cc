@@ -89,6 +89,10 @@ SimConfig::fingerprint() const
     f.u64(warmupInsts);
     f.u64(measureInsts);
     f.u64(seedOffset);
+    f.u64(numCores);
+    f.u64(coreWorkloads.size());
+    for (const auto &w : coreWorkloads)
+        f.s(w);
     f.u64(ftqEntries);
 
     f.u64(fetch.fetchWidth);
@@ -188,6 +192,11 @@ void
 SimConfig::validate() const
 {
     fatal_if(measureInsts == 0, "measureInsts must be nonzero");
+    fatal_if(numCores == 0, "numCores must be at least 1");
+    fatal_if(numCores > 64, "numCores out of range (max 64)");
+    fatal_if(!coreWorkloads.empty() &&
+                 coreWorkloads.size() != numCores,
+             "coreWorkloads must name exactly numCores workloads");
     fatal_if(ftqEntries == 0, "FTQ needs at least one entry");
     fatal_if(bpu.maxBlockInsts == 0, "fetch block size must be nonzero");
     fatal_if(cycleLimitPerInst <= 1.0, "cycle limit too low to finish");

@@ -9,6 +9,7 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "bpu/bpu.hh"
 #include "bpu/partitioned_btb.hh"
@@ -68,6 +69,23 @@ struct SimConfig
     std::uint64_t warmupInsts = 300 * 1000;
     std::uint64_t measureInsts = 1000 * 1000;
     std::uint64_t seedOffset = 0; ///< extra seed entropy for replicates
+
+    /**
+     * Number of cores sharing one L2/bus/DRAM (docs/MULTICORE.md).
+     * Each core gets a private frontend (BPU/FTQ/fetch/backend/MMU +
+     * prefetchers) and a private L1-I; 1 is the classic single-core
+     * machine and is bit-identical to the pre-multicore simulator.
+     */
+    unsigned numCores = 1;
+    /**
+     * Per-core workload labels for heterogeneous mixes. Empty (the
+     * default) runs @c workload on every core; otherwise it must name
+     * exactly numCores workloads, each either a built-in profile name
+     * or "trace:<path>". Per-core seeds are offset by the core id so
+     * homogeneous cores still execute distinct instruction streams.
+     * customProfile is honored only when this is empty.
+     */
+    std::vector<std::string> coreWorkloads;
 
     std::size_t ftqEntries = 32;
     FetchEngine::Config fetch;

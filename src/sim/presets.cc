@@ -126,4 +126,15 @@ applyTlbHierarchy(SimConfig &cfg, unsigned l2_entries,
     cfg.vm.tlbPrefetch = tlb_prefetch;
 }
 
+void
+applyMultiCore(SimConfig &cfg, unsigned cores,
+               std::vector<std::string> core_workloads)
+{
+    fatal_if(cores == 0, "numCores must be at least 1");
+    fatal_if(!core_workloads.empty() && core_workloads.size() != cores,
+             "core workload list must name one workload per core");
+    cfg.numCores = cores;
+    cfg.coreWorkloads = std::move(core_workloads);
+}
+
 } // namespace fdip

@@ -72,6 +72,16 @@ void applyVmConfig(SimConfig &cfg,
 void applyTlbHierarchy(SimConfig &cfg, unsigned l2_entries,
                        unsigned num_walkers, bool tlb_prefetch = false);
 
+/**
+ * Scale any preset out to @p cores cores sharing one L2/bus/DRAM
+ * (docs/MULTICORE.md). With @p core_workloads empty every core runs
+ * cfg.workload (distinct per-core seeds); otherwise it must name one
+ * workload — a profile name or "trace:<path>" — per core. cores == 1
+ * restores the classic single-core machine bit-identically.
+ */
+void applyMultiCore(SimConfig &cfg, unsigned cores,
+                    std::vector<std::string> core_workloads = {});
+
 } // namespace fdip
 
 #endif // FDIP_SIM_PRESETS_HH

@@ -57,6 +57,20 @@ serializeResults(const SimResults &r)
     out += "\n";
     for (const auto &[name, val] : r.stats.entries())
         out += strprintf("stat %s %.17g\n", name.c_str(), val);
+    // Multi-core machines append one nested row per core; single-core
+    // results emit nothing here, keeping their serialization
+    // byte-identical to the pre-multicore format.
+    if (!r.perCore.empty()) {
+        out += strprintf("per_core %llu\n",
+                         static_cast<unsigned long long>(
+                             r.perCore.size()));
+        for (std::size_t i = 0; i < r.perCore.size(); ++i) {
+            out += strprintf("core %llu\n",
+                             static_cast<unsigned long long>(i));
+            out += serializeResults(r.perCore[i]);
+            out += "core_end\n";
+        }
+    }
     return out;
 }
 

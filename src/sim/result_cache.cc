@@ -130,21 +130,14 @@ class EntryReader
     std::string error;
 };
 
-} // namespace
-
-std::string
-encodeCacheEntry(std::uint64_t fingerprint, std::uint64_t warmup_insts,
-                 std::uint64_t measure_insts, const SimResults &r)
+/**
+ * The per-result body shared by the top-level entry and each nested
+ * per-core row: every simulated field of one SimResults minus the
+ * perCore list itself.
+ */
+void
+encodeResultsBody(std::string &out, const SimResults &r)
 {
-    std::string out;
-    kv(out, "fdip-result-cache",
-       u64str(ResultCache::kFormatVersion));
-    kv(out, "build", strprintf("%016llx",
-       static_cast<unsigned long long>(buildIdentity())));
-    kv(out, "fingerprint", strprintf("%016llx",
-       static_cast<unsigned long long>(fingerprint)));
-    kv(out, "warmup", u64str(warmup_insts));
-    kv(out, "measure", u64str(measure_insts));
     kv(out, "workload", r.workload);
     kv(out, "scheme", r.scheme);
     kv(out, "cycles", u64str(r.cycles));
@@ -182,6 +175,124 @@ encodeCacheEntry(std::uint64_t fingerprint, std::uint64_t warmup_insts,
     kv(out, "stats", u64str(entries.size()));
     for (const auto &[name, val] : entries)
         out += "stat " + name + " " + dblstr(val) + "\n";
+}
+
+/** Mirror of encodeResultsBody; errors accumulate in @p rd. */
+void
+decodeResultsBody(EntryReader &rd, SimResults &r)
+{
+    r.workload = rd.expect("workload");
+    r.scheme = rd.expect("scheme");
+    r.cycles = rd.expectU64("cycles");
+    r.instructions = rd.expectU64("instructions");
+    r.ipc = rd.expectDouble("ipc");
+    r.mpki = rd.expectDouble("mpki");
+    r.l2BusUtil = rd.expectDouble("l2_bus_util");
+    r.memBusUtil = rd.expectDouble("mem_bus_util");
+    r.prefetchAccuracy = rd.expectDouble("prefetch_accuracy");
+    r.prefetchCoverage = rd.expectDouble("prefetch_coverage");
+    r.prefetchTimely = rd.expectDouble("prefetch_timely");
+    r.prefetchLate = rd.expectDouble("prefetch_late");
+    r.prefetchPollution = rd.expectDouble("prefetch_pollution");
+    r.condMispredictPerKilo =
+        rd.expectDouble("cond_mispredict_per_kilo");
+    r.hostSeconds = rd.expectDouble("host_seconds");
+    r.hostKcyclesPerSec = rd.expectDouble("host_kcycles_per_sec");
+    r.skippedCycles = rd.expectU64("skipped_cycles");
+    r.totalCycles = rd.expectU64("total_cycles");
+
+    std::string occ = rd.expect("ftq_occupancy");
+    if (!rd.ok())
+        return;
+    {
+        std::istringstream os(occ);
+        std::uint64_t buckets = 0;
+        if (!(os >> buckets) || buckets == 0) {
+            rd.fail("bad ftq_occupancy bucket count");
+            return;
+        }
+        Histogram h(buckets - 1);
+        for (std::uint64_t v = 0; v < buckets; ++v) {
+            std::uint64_t count = 0;
+            if (!(os >> count)) {
+                rd.fail("truncated ftq_occupancy buckets");
+                return;
+            }
+            if (count > 0)
+                h.sample(v, count);
+        }
+        r.ftqOccupancy = h;
+    }
+
+    std::string pft = rd.expect("pf_timeliness");
+    if (!rd.ok())
+        return;
+    {
+        std::istringstream os(pft);
+        std::uint64_t buckets = 0;
+        if (!(os >> buckets) || buckets == 0) {
+            rd.fail("bad pf_timeliness bucket count");
+            return;
+        }
+        Histogram h(buckets - 1);
+        for (std::uint64_t v = 0; v < buckets; ++v) {
+            std::uint64_t count = 0;
+            if (!(os >> count)) {
+                rd.fail("truncated pf_timeliness buckets");
+                return;
+            }
+            if (count > 0)
+                h.sample(v, count);
+        }
+        r.pfTimeliness = h;
+    }
+
+    std::uint64_t num_stats = rd.expectU64("stats");
+    for (std::uint64_t i = 0; rd.ok() && i < num_stats; ++i) {
+        std::string line;
+        if (!std::getline(rd.in, line)) {
+            rd.fail("truncated stat list");
+            break;
+        }
+        std::istringstream ls(line);
+        std::string tag, name, value;
+        if (!(ls >> tag >> name >> value) || tag != "stat") {
+            rd.fail(strprintf("bad stat line '%s'", line.c_str()));
+            break;
+        }
+        errno = 0;
+        char *end = nullptr;
+        double d = std::strtod(value.c_str(), &end);
+        if (end == value.c_str() || *end != '\0') {
+            rd.fail(strprintf("bad stat value '%s'", value.c_str()));
+            break;
+        }
+        r.stats.set(name, d);
+    }
+}
+
+} // namespace
+
+std::string
+encodeCacheEntry(std::uint64_t fingerprint, std::uint64_t warmup_insts,
+                 std::uint64_t measure_insts, const SimResults &r)
+{
+    std::string out;
+    kv(out, "fdip-result-cache",
+       u64str(ResultCache::kFormatVersion));
+    kv(out, "build", strprintf("%016llx",
+       static_cast<unsigned long long>(buildIdentity())));
+    kv(out, "fingerprint", strprintf("%016llx",
+       static_cast<unsigned long long>(fingerprint)));
+    kv(out, "warmup", u64str(warmup_insts));
+    kv(out, "measure", u64str(measure_insts));
+    encodeResultsBody(out, r);
+    // Nested per-core rows (multi-core machines; 0 on single-core).
+    kv(out, "per_core", u64str(r.perCore.size()));
+    for (std::size_t i = 0; i < r.perCore.size(); ++i) {
+        kv(out, "core", u64str(i));
+        encodeResultsBody(out, r.perCore[i]);
+    }
     // Hash of the canonical serialization of the *encoded* results.
     // The decoder recomputes it from the decoded SimResults, so any
     // divergence between this codec and serializeResults() — e.g. a
@@ -236,94 +347,27 @@ decodeCacheEntry(const std::string &text, std::uint64_t fingerprint,
         return failed();
 
     SimResults r;
-    r.workload = rd.expect("workload");
-    r.scheme = rd.expect("scheme");
-    r.cycles = rd.expectU64("cycles");
-    r.instructions = rd.expectU64("instructions");
-    r.ipc = rd.expectDouble("ipc");
-    r.mpki = rd.expectDouble("mpki");
-    r.l2BusUtil = rd.expectDouble("l2_bus_util");
-    r.memBusUtil = rd.expectDouble("mem_bus_util");
-    r.prefetchAccuracy = rd.expectDouble("prefetch_accuracy");
-    r.prefetchCoverage = rd.expectDouble("prefetch_coverage");
-    r.prefetchTimely = rd.expectDouble("prefetch_timely");
-    r.prefetchLate = rd.expectDouble("prefetch_late");
-    r.prefetchPollution = rd.expectDouble("prefetch_pollution");
-    r.condMispredictPerKilo =
-        rd.expectDouble("cond_mispredict_per_kilo");
-    r.hostSeconds = rd.expectDouble("host_seconds");
-    r.hostKcyclesPerSec = rd.expectDouble("host_kcycles_per_sec");
-    r.skippedCycles = rd.expectU64("skipped_cycles");
-    r.totalCycles = rd.expectU64("total_cycles");
-
-    std::string occ = rd.expect("ftq_occupancy");
+    decodeResultsBody(rd, r);
     if (!rd.ok())
         return failed();
-    {
-        std::istringstream os(occ);
-        std::uint64_t buckets = 0;
-        if (!(os >> buckets) || buckets == 0) {
-            rd.fail("bad ftq_occupancy bucket count");
-            return failed();
-        }
-        Histogram h(buckets - 1);
-        for (std::uint64_t v = 0; v < buckets; ++v) {
-            std::uint64_t count = 0;
-            if (!(os >> count)) {
-                rd.fail("truncated ftq_occupancy buckets");
-                return failed();
-            }
-            if (count > 0)
-                h.sample(v, count);
-        }
-        r.ftqOccupancy = h;
-    }
 
-    std::string pft = rd.expect("pf_timeliness");
+    std::uint64_t num_cores = rd.expectU64("per_core");
+    if (rd.ok() && num_cores > 64) {
+        rd.fail("implausible per_core count");
+        return failed();
+    }
+    for (std::uint64_t i = 0; rd.ok() && i < num_cores; ++i) {
+        std::uint64_t idx = rd.expectU64("core");
+        if (rd.ok() && idx != i)
+            rd.fail("per-core rows out of order");
+        SimResults row;
+        decodeResultsBody(rd, row);
+        if (rd.ok())
+            r.perCore.push_back(std::move(row));
+    }
     if (!rd.ok())
         return failed();
-    {
-        std::istringstream os(pft);
-        std::uint64_t buckets = 0;
-        if (!(os >> buckets) || buckets == 0) {
-            rd.fail("bad pf_timeliness bucket count");
-            return failed();
-        }
-        Histogram h(buckets - 1);
-        for (std::uint64_t v = 0; v < buckets; ++v) {
-            std::uint64_t count = 0;
-            if (!(os >> count)) {
-                rd.fail("truncated pf_timeliness buckets");
-                return failed();
-            }
-            if (count > 0)
-                h.sample(v, count);
-        }
-        r.pfTimeliness = h;
-    }
 
-    std::uint64_t num_stats = rd.expectU64("stats");
-    for (std::uint64_t i = 0; rd.ok() && i < num_stats; ++i) {
-        std::string line;
-        if (!std::getline(rd.in, line)) {
-            rd.fail("truncated stat list");
-            break;
-        }
-        std::istringstream ls(line);
-        std::string tag, name, value;
-        if (!(ls >> tag >> name >> value) || tag != "stat") {
-            rd.fail(strprintf("bad stat line '%s'", line.c_str()));
-            break;
-        }
-        errno = 0;
-        char *end = nullptr;
-        double d = std::strtod(value.c_str(), &end);
-        if (end == value.c_str() || *end != '\0') {
-            rd.fail(strprintf("bad stat value '%s'", value.c_str()));
-            break;
-        }
-        r.stats.set(name, d);
-    }
     std::string canonical = rd.expect("canonical");
     if (rd.ok() &&
         canonical != strprintf("%016llx",

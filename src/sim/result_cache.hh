@@ -54,8 +54,12 @@ class ResultCache
      *      prefetch_timely/late/pollution fields, the pf_timeliness
      *      histogram, and the pfattr.* counters in the stat list.
      *  v4: a "build" header line carrying the derived build identity
-     *      (common/build_id.hh). */
-    static constexpr unsigned kFormatVersion = 4;
+     *      (common/build_id.hh).
+     *  v5: multi-core scale-out — a "per_core" count after the stat
+     *      list followed by one nested per-core result body per core
+     *      (0 on single-core machines), so bench_x17's per-core rows
+     *      round-trip through the cache. */
+    static constexpr unsigned kFormatVersion = 5;
 
     /** FDIP_CACHE_BUDGET_MB in bytes; 0 (the default) = unlimited. */
     static std::uint64_t budgetBytesFromEnv();

@@ -1,5 +1,6 @@
 #include "sim/simulator.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <limits>
@@ -29,6 +30,31 @@ envForceTick()
     return !(env[0] == '0' && env[1] == '\0');
 }
 
+constexpr const char kTracePrefix[] = "trace:";
+
+bool
+isTraceLabel(const std::string &label)
+{
+    return label.rfind(kTracePrefix, 0) == 0;
+}
+
+/** Bucket-wise sum of per-core histograms (same geometry per config). */
+Histogram
+sumHistograms(const std::vector<const Histogram *> &hists)
+{
+    std::size_t buckets = 1;
+    for (const Histogram *h : hists)
+        buckets = std::max(buckets, h->numBuckets());
+    Histogram out(buckets - 1);
+    for (const Histogram *h : hists) {
+        for (std::size_t v = 0; v < h->numBuckets(); ++v) {
+            if (h->bucket(v) > 0)
+                out.sample(v, h->bucket(v));
+        }
+    }
+    return out;
+}
+
 } // namespace
 
 double
@@ -46,49 +72,94 @@ Simulator::Simulator(const SimConfig &config)
 {
     cfg.validate();
 
+    shared_ = std::make_unique<SharedMem>(cfg.mem);
+    cores_.reserve(cfg.numCores);
+    for (unsigned i = 0; i < cfg.numCores; ++i) {
+        auto c = std::make_unique<Core>();
+        buildCore(*c, i);
+        cores_.push_back(std::move(c));
+    }
+
+    forceTick = cfg.forceTick || envForceTick();
+
+    ObsConfig obs = cfg.obs;
+    obs.applyEnv();
+    if (obs.enabled()) {
+        telem_ = std::make_unique<Telemetry>(obs, cfg.workload,
+                                             schemeName(cfg.scheme));
+        tracer_ = telem_->tracer();
+        sampler_ = telem_->sampler();
+        if (tracer_ != nullptr) {
+            // Trace lanes are single-machine shaped; attach them to
+            // core 0 so multi-core traces stay readable.
+            Core &c0 = *cores_.front();
+            c0.ftq->setTracer(tracer_);
+            c0.mmu->setTracer(tracer_);
+            c0.mem->setTracer(tracer_);
+        }
+    }
+}
+
+void
+Simulator::buildCore(Core &c, unsigned id)
+{
+    c.id = id;
+    c.workload = cfg.coreWorkloads.empty() ? cfg.workload
+        : cfg.coreWorkloads[id];
+    std::string trace_path = cfg.tracePath;
+    if (!cfg.coreWorkloads.empty())
+        trace_path = isTraceLabel(c.workload)
+            ? c.workload.substr(sizeof(kTracePrefix) - 1) : "";
+
     Addr trace_code_base = 0;
     Addr trace_code_end = 0;
-    if (!cfg.tracePath.empty()) {
-        auto src = openTraceWorkload(cfg.tracePath);
+    if (!trace_path.empty()) {
+        auto src = openTraceWorkload(trace_path);
         trace_code_base = src->codeBase();
         trace_code_end = src->codeEnd();
-        exec = std::move(src);
+        c.exec = std::move(src);
     } else {
-        WorkloadProfile profile = cfg.customProfile
+        WorkloadProfile profile =
+            cfg.customProfile && cfg.coreWorkloads.empty()
             ? *cfg.customProfile
-            : findProfile(cfg.workload);
-        profile.seed += cfg.seedOffset;
-        prog = buildProgram(profile);
-        image = std::make_unique<CodeImage>(*prog);
-        exec = std::make_unique<SyntheticExecutor>(*prog, profile);
+            : findProfile(c.workload);
+        // Homogeneous multi-core mixes still run distinct instruction
+        // streams: each core's seed is offset by its id (identity for
+        // core 0, so a single-core machine is unchanged).
+        profile.seed += cfg.seedOffset + id;
+        c.prog = buildProgram(profile);
+        c.image = std::make_unique<CodeImage>(*c.prog);
+        c.exec = std::make_unique<SyntheticExecutor>(*c.prog, profile);
     }
     // Fast-forward happens before any component sees the stream, so
     // skip-N positions the region of interest identically for trace
     // and synthetic sources.
     for (std::uint64_t i = 0; i < cfg.skipInsts; ++i)
-        exec->next();
-    trace = std::make_unique<TraceWindow>(*exec);
+        c.exec->next();
+    c.trace = std::make_unique<TraceWindow>(*c.exec);
 
     std::unique_ptr<BtbIface> custom_btb;
     if (cfg.usePartitionedBtb)
         custom_btb = std::make_unique<PartitionedBtb>(cfg.pbtb);
-    bpu_ = std::make_unique<Bpu>(*trace, cfg.bpu, std::move(custom_btb));
+    c.bpu = std::make_unique<Bpu>(*c.trace, cfg.bpu,
+                                  std::move(custom_btb));
 
-    mmu_ = cfg.tracePath.empty()
-        ? std::make_unique<Mmu>(cfg.vm, *prog)
+    c.mmu = c.prog != nullptr
+        ? std::make_unique<Mmu>(cfg.vm, *c.prog)
         : std::make_unique<Mmu>(cfg.vm, trace_code_base, trace_code_end);
-    mem_ = std::make_unique<MemHierarchy>(cfg.mem);
-    mem_->setMaxOutstandingPrefetches(cfg.maxOutstandingPrefetches);
-    ftq_ = std::make_unique<Ftq>(cfg.ftqEntries,
-                                 cfg.mem.l1i.blockBytes);
-    backend_ = std::make_unique<Backend>(cfg.backend);
-    fetch_ = std::make_unique<FetchEngine>(*ftq_, *mem_, *backend_,
-                                           cfg.fetch);
-    fetch_->setMmu(mmu_.get());
+    c.mem = std::make_unique<MemHierarchy>(cfg.mem, *shared_, id,
+                                           cfg.numCores);
+    c.mem->setMaxOutstandingPrefetches(cfg.maxOutstandingPrefetches);
+    c.ftq = std::make_unique<Ftq>(cfg.ftqEntries,
+                                  cfg.mem.l1i.blockBytes);
+    c.backend = std::make_unique<Backend>(cfg.backend);
+    c.fetch = std::make_unique<FetchEngine>(*c.ftq, *c.mem, *c.backend,
+                                            cfg.fetch);
+    c.fetch->setMmu(c.mmu.get());
 
     if (cfg.vm.enable && cfg.vm.tlbPrefetch) {
-        tlbPf_ = std::make_unique<TlbPrefetcher>(
-            *ftq_, *mmu_,
+        c.tlbPf = std::make_unique<TlbPrefetcher>(
+            *c.ftq, *c.mmu,
             TlbPrefetcher::Config{cfg.vm.tlbPrefetchWidth,
                                   cfg.vm.tlbPrefetchFilterEntries});
     }
@@ -97,16 +168,16 @@ Simulator::Simulator(const SimConfig &config)
       case PrefetchScheme::None:
         break;
       case PrefetchScheme::Nlp:
-        prefetchers.push_back(
-            std::make_unique<NlpPrefetcher>(*mem_, cfg.nlp));
+        c.prefetchers.push_back(
+            std::make_unique<NlpPrefetcher>(*c.mem, cfg.nlp));
         break;
       case PrefetchScheme::StreamBuffer:
-        prefetchers.push_back(
-            std::make_unique<StreamBufferPrefetcher>(*mem_, cfg.sb));
+        c.prefetchers.push_back(
+            std::make_unique<StreamBufferPrefetcher>(*c.mem, cfg.sb));
         break;
       case PrefetchScheme::Oracle:
-        prefetchers.push_back(std::make_unique<OraclePrefetcher>(
-            *trace, *bpu_, *mem_, cfg.oracle));
+        c.prefetchers.push_back(std::make_unique<OraclePrefetcher>(
+            *c.trace, *c.bpu, *c.mem, cfg.oracle));
         break;
       case PrefetchScheme::FdpNone:
       case PrefetchScheme::FdpEnqueue:
@@ -124,70 +195,81 @@ Simulator::Simulator(const SimConfig &config)
             fc.mode = CpfMode::Remove;
         else
             fc.mode = CpfMode::Ideal;
-        prefetchers.push_back(
-            std::make_unique<FdpPrefetcher>(*ftq_, *mem_, fc));
+        c.prefetchers.push_back(
+            std::make_unique<FdpPrefetcher>(*c.ftq, *c.mem, fc));
         if (cfg.combineNlp) {
-            prefetchers.push_back(
-                std::make_unique<NlpPrefetcher>(*mem_, cfg.nlp));
+            c.prefetchers.push_back(
+                std::make_unique<NlpPrefetcher>(*c.mem, cfg.nlp));
         }
         break;
       }
     }
 
-    for (auto &pf : prefetchers) {
-        pf->setMmu(mmu_.get());
-        fetch_->addPrefetcher(pf.get());
-    }
-
-    forceTick = cfg.forceTick || envForceTick();
-
-    ObsConfig obs = cfg.obs;
-    obs.applyEnv();
-    if (obs.enabled()) {
-        telem_ = std::make_unique<Telemetry>(obs, cfg.workload,
-                                             schemeName(cfg.scheme));
-        tracer_ = telem_->tracer();
-        sampler_ = telem_->sampler();
-        if (tracer_ != nullptr) {
-            ftq_->setTracer(tracer_);
-            mmu_->setTracer(tracer_);
-            mem_->setTracer(tracer_);
-        }
+    for (auto &pf : c.prefetchers) {
+        pf->setMmu(c.mmu.get());
+        c.fetch->addPrefetcher(pf.get());
     }
 }
 
 Simulator::~Simulator() = default;
 
+Simulator::Core &
+Simulator::core(std::size_t i)
+{
+    fatal_if(i >= cores_.size(),
+             "core index %zu out of range (numCores %zu)", i,
+             cores_.size());
+    return *cores_[i];
+}
+
+const Simulator::Core &
+Simulator::core(std::size_t i) const
+{
+    fatal_if(i >= cores_.size(),
+             "core index %zu out of range (numCores %zu)", i,
+             cores_.size());
+    return *cores_[i];
+}
+
 void
 Simulator::skipIdleCycles()
 {
-    // The BPU delivers a prediction every cycle the FTQ has room, so
-    // the frontier only freezes once the FTQ is full.
-    if (!ftq_->full())
-        return;
+    // Every BPU delivers a prediction every cycle its FTQ has room, so
+    // the frontier only freezes once ALL FTQs are full: one busy core
+    // pins the whole machine to per-cycle ticking.
+    for (const auto &c : cores_) {
+        if (!c->ftq->full())
+            return;
+    }
 
     // Gather the minimum next-event cycle, cheapest components first;
     // anything due next cycle ends the attempt immediately.
     Cycle now = curCycle;
-    Cycle next = fetch_->nextEventCycle(now);
+    Cycle next = cores_.front()->fetch->nextEventCycle(now);
     auto consider = [&next, now](Cycle ev) {
         if (ev < next)
             next = ev;
         return next > now + 1;
     };
-    if (next <= now + 1 ||
-        !consider(backend_->nextEventCycle(now)) ||
-        !consider(bpu_->nextEventCycle(now)) ||
-        !consider(ftq_->nextEventCycle(now)) ||
-        !consider(mmu_->nextEventCycle(now)) ||
-        !consider(mem_->nextEventCycle(now)) ||
-        (tlbPf_ != nullptr &&
-         !consider(tlbPf_->nextEventCycle(now)))) {
+    if (next <= now + 1)
         return;
-    }
-    for (auto &pf : prefetchers) {
-        if (!consider(pf->nextEventCycle(now)))
+    for (const auto &cp : cores_) {
+        Core &c = *cp;
+        if (c.id != 0 && !consider(c.fetch->nextEventCycle(now)))
             return;
+        if (!consider(c.backend->nextEventCycle(now)) ||
+            !consider(c.bpu->nextEventCycle(now)) ||
+            !consider(c.ftq->nextEventCycle(now)) ||
+            !consider(c.mmu->nextEventCycle(now)) ||
+            !consider(c.mem->nextEventCycle(now)) ||
+            (c.tlbPf != nullptr &&
+             !consider(c.tlbPf->nextEventCycle(now)))) {
+            return;
+        }
+        for (auto &pf : c.prefetchers) {
+            if (!consider(pf->nextEventCycle(now)))
+                return;
+        }
     }
     // Sample boundaries cap a jump so interval rows land at exactly
     // the same cycles as with per-cycle ticking; splitting one jump in
@@ -202,13 +284,49 @@ Simulator::skipIdleCycles()
 
     // Jump to just before the event; the normal step executes it.
     Cycle idle = next - now - 1;
-    backend_->chargeIdleCycles(now, idle);
-    fetch_->chargeIdleCycles(now, idle);
-    for (auto &pf : prefetchers)
-        pf->chargeIdleCycles(now, idle);
-    ftq_->sampleOccupancy(idle);
+    for (const auto &cp : cores_) {
+        Core &c = *cp;
+        c.backend->chargeIdleCycles(now, idle);
+        c.fetch->chargeIdleCycles(now, idle);
+        for (auto &pf : c.prefetchers)
+            pf->chargeIdleCycles(now, idle);
+        c.ftq->sampleOccupancy(idle);
+    }
     curCycle += idle;
     numSkipped += idle;
+}
+
+void
+Simulator::stepCore(Core &c)
+{
+    c.mem->tick(curCycle);
+    c.mmu->tick(curCycle);
+
+    if (c.fetch->redirectPending() &&
+        curCycle >= c.fetch->redirectTime()) {
+        if (tracer_ != nullptr && c.id == 0)
+            tracer_->instant("redirect", kTidFrontend);
+        c.bpu->redirect();
+        c.ftq->flush();
+        c.fetch->squash();
+        c.backend->squashWrongPath();
+        for (auto &pf : c.prefetchers)
+            pf->onRedirect(curCycle);
+    }
+
+    c.backend->tick(curCycle);
+    c.fetch->tick(curCycle);
+    // Translation lookahead runs ahead of the block prefetchers so a
+    // warmed page is visible to this cycle's prefetch probes.
+    if (c.tlbPf != nullptr)
+        c.tlbPf->tick(curCycle);
+    for (auto &pf : c.prefetchers)
+        pf->tick(curCycle);
+
+    if (!c.ftq->full())
+        c.ftq->push(c.bpu->predictBlock());
+
+    c.ftq->sampleOccupancy();
 }
 
 void
@@ -219,37 +337,21 @@ Simulator::step()
     ++curCycle;
     if (tracer_ != nullptr)
         tracer_->setNow(curCycle);
-    mem_->tick(curCycle);
-    mmu_->tick(curCycle);
 
-    if (fetch_->redirectPending() &&
-        curCycle >= fetch_->redirectTime()) {
-        if (tracer_ != nullptr)
-            tracer_->instant("redirect", kTidFrontend);
-        bpu_->redirect();
-        ftq_->flush();
-        fetch_->squash();
-        backend_->squashWrongPath();
-        for (auto &pf : prefetchers)
-            pf->onRedirect(curCycle);
-    }
+    // Round-robin bus/L2 arbitration: the core serviced first rotates
+    // every cycle, so no core gets a standing priority on the shared
+    // buses. A single-core machine always starts at core 0, keeping
+    // its step order exactly the classic sequence.
+    std::size_t n = cores_.size();
+    std::size_t first =
+        n == 1 ? 0 : static_cast<std::size_t>(curCycle % n);
+    for (std::size_t k = 0; k < n; ++k)
+        stepCore(*cores_[(first + k) % n]);
 
-    backend_->tick(curCycle);
-    fetch_->tick(curCycle);
-    // Translation lookahead runs ahead of the block prefetchers so a
-    // warmed page is visible to this cycle's prefetch probes.
-    if (tlbPf_ != nullptr)
-        tlbPf_->tick(curCycle);
-    for (auto &pf : prefetchers)
-        pf->tick(curCycle);
-
-    if (!ftq_->full())
-        ftq_->push(bpu_->predictBlock());
-
-    ftq_->sampleOccupancy();
     if (sampler_ != nullptr && sampler_->due(curCycle))
         recordSample();
-    trace->retireUpTo(backend_->committed());
+    for (const auto &c : cores_)
+        c->trace->retireUpTo(c->backend->committed());
 }
 
 void
@@ -257,40 +359,53 @@ Simulator::recordSample()
 {
     StatSet cum;
     collectAll(cum);
-    telem_->recordSample(curCycle, cum, ftq_->occupancyHist().count(),
-                         ftq_->occupancyHist().weightedTotal(),
-                         mmu_->walksQueued());
+    Core &c0 = *cores_.front();
+    telem_->recordSample(curCycle, cum, c0.ftq->occupancyHist().count(),
+                         c0.ftq->occupancyHist().weightedTotal(),
+                         c0.mmu->walksQueued());
+}
+
+void
+Simulator::collectCore(const Core &c, StatSet &out) const
+{
+    c.mem->collectStats(out, /*include_shared=*/false);
+    if (c.mmu->enabled())
+        c.mmu->collectStats(out);
+    if (c.tlbPf != nullptr)
+        out.merge(c.tlbPf->stats);
+    out.merge(c.bpu->stats);
+    if (c.bpu->ftb())
+        out.merge(c.bpu->ftb()->stats);
+    if (c.bpu->btb())
+        out.merge(c.bpu->btb()->stats);
+    out.merge(c.ftq->stats);
+    out.merge(c.fetch->stats);
+    out.merge(c.backend->stats);
+    for (const auto &pf : c.prefetchers)
+        out.merge(pf->stats);
 }
 
 void
 Simulator::collectAll(StatSet &out) const
 {
-    mem_->collectStats(out);
-    if (mmu_->enabled())
-        mmu_->collectStats(out);
-    if (tlbPf_ != nullptr)
-        out.merge(tlbPf_->stats);
-    out.merge(bpu_->stats);
-    if (bpu_->ftb())
-        out.merge(bpu_->ftb()->stats);
-    if (bpu_->btb())
-        out.merge(bpu_->btb()->stats);
-    out.merge(ftq_->stats);
-    out.merge(fetch_->stats);
-    out.merge(backend_->stats);
-    for (const auto &pf : prefetchers) {
-        out.merge(pf->stats);
+    std::uint64_t committed = 0;
+    for (const auto &c : cores_) {
+        collectCore(*c, out);
+        committed += c->backend->committed();
     }
+    shared_->collectStats(out);
     out.set("sim.cycles", static_cast<double>(curCycle));
-    out.set("sim.committed", static_cast<double>(backend_->committed()));
+    out.set("sim.committed", static_cast<double>(committed));
 }
 
 SimResults
 Simulator::finalize(const StatSet &delta, Cycle cycles_delta,
-                    std::uint64_t insts_delta) const
+                    std::uint64_t insts_delta, const Histogram &occ,
+                    const Histogram &pft,
+                    const std::string &workload_label) const
 {
     SimResults r;
-    r.workload = cfg.workload;
+    r.workload = workload_label;
     r.scheme = schemeName(cfg.scheme);
     r.cycles = cycles_delta;
     r.instructions = insts_delta;
@@ -303,12 +418,19 @@ Simulator::finalize(const StatSet &delta, Cycle cycles_delta,
         delta.value("mem.inflight_merges");
     r.mpki = kinsts > 0.0 ? true_misses / kinsts : 0.0;
 
+    // Per-core rows carry no shared-bus counters; their utilization is
+    // this core's share of the bus (the mem.*bus_busy_cycles tagged
+    // counters) over the core's own window.
+    double l2bus_busy = delta.has("l2bus.bus.busy_cycles")
+        ? delta.value("l2bus.bus.busy_cycles")
+        : delta.value("mem.l2bus_busy_cycles");
+    double membus_busy = delta.has("membus.bus.busy_cycles")
+        ? delta.value("membus.bus.busy_cycles")
+        : delta.value("mem.membus_busy_cycles");
     r.l2BusUtil = cycles_delta == 0 ? 0.0
-        : delta.value("l2bus.bus.busy_cycles") /
-          static_cast<double>(cycles_delta);
+        : l2bus_busy / static_cast<double>(cycles_delta);
     r.memBusUtil = cycles_delta == 0 ? 0.0
-        : delta.value("membus.bus.busy_cycles") /
-          static_cast<double>(cycles_delta);
+        : membus_busy / static_cast<double>(cycles_delta);
 
     double issued = delta.value("mem.prefetches_issued");
     double useful = delta.value("pfbuf.consumed") +
@@ -324,12 +446,12 @@ Simulator::finalize(const StatSet &delta, Cycle cycles_delta,
         r.prefetchLate = delta.value("pfattr.late") / issued;
         r.prefetchPollution = delta.value("pfattr.pollution") / issued;
     }
-    r.pfTimeliness = mem_->prefetchAttribution().timelinessHist();
+    r.pfTimeliness = pft;
 
     r.condMispredictPerKilo = kinsts > 0.0
         ? delta.value("bpu.diverge_cond") / kinsts : 0.0;
 
-    r.ftqOccupancy = ftq_->occupancyHist();
+    r.ftqOccupancy = occ;
     r.stats = delta;
     return r;
 }
@@ -383,34 +505,101 @@ Simulator::run()
         }
     };
 
-    // Warmup window.
-    while (backend_->committed() < cfg.warmupInsts) {
+    // Shared-component snapshots bracket the machine-wide measurement
+    // window: [last core's warmup crossing, last core's finish].
+    std::size_t cores_unwarmed = cores_.size();
+    std::size_t cores_running = cores_.size();
+    Cycle last_warmup_cycle = 0;
+    Cycle last_end_cycle = 0;
+    StatSet shared_at_warmup;
+    StatSet shared_at_end;
+
+    // Per-core warmup/finish crossings are checked after every step —
+    // and once up front so a zero-length warmup snapshots at cycle 0
+    // exactly as the classic two-loop structure did.
+    auto check_crossings = [&] {
+        for (const auto &cp : cores_) {
+            Core &c = *cp;
+            if (!c.warmed &&
+                c.backend->committed() >= cfg.warmupInsts) {
+                c.warmed = true;
+                c.warmupCycle = curCycle;
+                c.warmupInsts = c.backend->committed();
+                collectCore(c, c.atWarmup);
+                c.ftq->resetOccupancy();
+                // The timeliness histogram restarts with the
+                // measurement window, matching the counter deltas it
+                // sits beside.
+                c.mem->prefetchAttribution().resetHist();
+                if (--cores_unwarmed == 0) {
+                    shared_->collectStats(shared_at_warmup);
+                    last_warmup_cycle = curCycle;
+                    if (telem_ != nullptr)
+                        telem_->rebaselineOccupancy();
+                }
+            }
+            if (!c.finished &&
+                c.backend->committed() >= total_insts) {
+                c.finished = true;
+                c.endCycle = curCycle;
+                c.endInsts = c.backend->committed();
+                collectCore(c, c.atEnd);
+                c.occAtEnd = c.ftq->occupancyHist();
+                c.pftAtEnd =
+                    c.mem->prefetchAttribution().timelinessHist();
+                if (--cores_running == 0) {
+                    shared_->collectStats(shared_at_end);
+                    last_end_cycle = curCycle;
+                }
+            }
+        }
+    };
+
+    check_crossings();
+    while (cores_running > 0) {
+        const char *phase =
+            cores_unwarmed > 0 ? "warmup" : "measurement";
         step();
-        watchdog("warmup");
+        check_crossings();
+        watchdog(phase);
     }
 
-    StatSet at_warmup;
-    collectAll(at_warmup);
-    Cycle warmup_cycles = curCycle;
-    std::uint64_t warmup_insts = backend_->committed();
-    ftq_->resetOccupancy();
-    // The timeliness histogram restarts with the measurement window,
-    // matching the counter deltas it sits beside.
-    mem_->prefetchAttribution().resetHist();
-    if (telem_ != nullptr)
-        telem_->rebaselineOccupancy();
-
-    // Measurement window.
-    while (backend_->committed() < total_insts) {
-        step();
-        watchdog("measurement");
+    // Aggregate row: every core's own-window delta summed, plus the
+    // shared components' delta over the machine window. Per-core stats
+    // therefore sum exactly to the aggregate values.
+    StatSet agg = StatSet::subtract(shared_at_end, shared_at_warmup);
+    std::uint64_t agg_insts = 0;
+    std::vector<const Histogram *> occs;
+    std::vector<const Histogram *> pfts;
+    for (const auto &cp : cores_) {
+        Core &c = *cp;
+        agg.merge(StatSet::subtract(c.atEnd, c.atWarmup));
+        agg_insts += c.endInsts - c.warmupInsts;
+        occs.push_back(&c.occAtEnd);
+        pfts.push_back(&c.pftAtEnd);
     }
+    Cycle agg_cycles = last_end_cycle - last_warmup_cycle;
+    agg.set("sim.cycles", static_cast<double>(agg_cycles));
+    agg.set("sim.committed", static_cast<double>(agg_insts));
 
-    StatSet at_end;
-    collectAll(at_end);
-    StatSet delta = StatSet::subtract(at_end, at_warmup);
-    SimResults r = finalize(delta, curCycle - warmup_cycles,
-                            backend_->committed() - warmup_insts);
+    SimResults r = finalize(agg, agg_cycles, agg_insts,
+                            sumHistograms(occs), sumHistograms(pfts),
+                            cfg.workload);
+
+    // Per-core rows only on a multi-core machine: a single-core
+    // result stays byte-identical to the pre-multicore format.
+    if (cores_.size() > 1) {
+        for (const auto &cp : cores_) {
+            Core &c = *cp;
+            StatSet d = StatSet::subtract(c.atEnd, c.atWarmup);
+            Cycle cyc = c.endCycle - c.warmupCycle;
+            std::uint64_t insts = c.endInsts - c.warmupInsts;
+            d.set("sim.cycles", static_cast<double>(cyc));
+            d.set("sim.committed", static_cast<double>(insts));
+            r.perCore.push_back(finalize(d, cyc, insts, c.occAtEnd,
+                                         c.pftAtEnd, c.workload));
+        }
+    }
 
     std::chrono::duration<double> host_elapsed =
         std::chrono::steady_clock::now() - host_start;

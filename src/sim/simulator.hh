@@ -101,6 +101,18 @@ struct SimResults
 
     /** Raw measurement-window counter deltas from every component. */
     StatSet stats;
+
+    /**
+     * Per-core rows on a multi-core machine (docs/MULTICORE.md):
+     * one entry per core, each measured over that core's own
+     * [warmup-crossing, finish] window with core-private stats only
+     * (plus its mem.l2bus_* and mem.membus_* bus-share counters).
+     * Every core-private stat sums across these rows to the aggregate
+     * row's value. EMPTY on a single-core machine, so single-core
+     * serializeResults() output is byte-identical to the
+     * pre-multicore format; per-core rows never nest further.
+     */
+    std::vector<SimResults> perCore;
 };
 
 /** ipc_b / ipc_a - 1: fractional speedup of b over a. */
@@ -109,26 +121,89 @@ double speedupOver(const SimResults &baseline, const SimResults &other);
 class Simulator
 {
   public:
+    /**
+     * One core's private component graph: instruction source, BPU,
+     * FTQ, MMU/ITLB, fetch engine, backend, prefetchers, and the
+     * private side of the memory hierarchy (L1-I/MSHRs/buffers) bound
+     * to the machine's SharedMem. Plus the measurement bookkeeping
+     * run() keeps per core: warmup/finish crossing snapshots.
+     */
+    struct Core
+    {
+        unsigned id = 0;
+        /** This core's workload label (cfg.workload, or the
+         *  coreWorkloads entry on a heterogeneous mix). */
+        std::string workload;
+
+        /** Synthetic workloads only; null when replaying a trace. */
+        std::unique_ptr<Program> prog;
+        std::unique_ptr<CodeImage> image;
+        std::unique_ptr<TraceSource> exec;
+        std::unique_ptr<TraceWindow> trace;
+        std::unique_ptr<Bpu> bpu;
+        std::unique_ptr<Ftq> ftq;
+        std::unique_ptr<Mmu> mmu;
+        std::unique_ptr<TlbPrefetcher> tlbPf;
+        std::unique_ptr<MemHierarchy> mem;
+        std::unique_ptr<Backend> backend;
+        std::unique_ptr<FetchEngine> fetch;
+        std::vector<std::unique_ptr<Prefetcher>> prefetchers;
+
+        /** Measurement-window bookkeeping (maintained by run()).
+         *  A finished core keeps ticking — and contending for the
+         *  shared L2/buses — until every core has finished; only its
+         *  own counting stops at the crossing. */
+        bool warmed = false;
+        bool finished = false;
+        Cycle warmupCycle = 0;
+        Cycle endCycle = 0;
+        std::uint64_t warmupInsts = 0;
+        std::uint64_t endInsts = 0;
+        StatSet atWarmup;
+        StatSet atEnd;
+        Histogram occAtEnd{0};
+        Histogram pftAtEnd{0};
+    };
+
     explicit Simulator(const SimConfig &config);
     ~Simulator();
 
     /** Run warmup + measurement; returns measurement-window results. */
     SimResults run();
 
-    /** Access for white-box integration tests. program()/codeImage()
-     *  are only valid for synthetic workloads (tracePath empty). */
-    Bpu &bpu() { return *bpu_; }
-    Ftq &ftq() { return *ftq_; }
-    MemHierarchy &mem() { return *mem_; }
-    Backend &backend() { return *backend_; }
-    Mmu &mmu() { return *mmu_; }
+    std::size_t numCores() const { return cores_.size(); }
+
+    /** Core @p i's component graph; fatal on out-of-range. */
+    Core &core(std::size_t i = 0);
+    const Core &core(std::size_t i = 0) const;
+
+    /** Access for white-box integration tests, routed through
+     *  core(i) (default: core 0, so single-core tests read exactly
+     *  the machine they built). program()/codeImage() are only valid
+     *  for synthetic workloads (tracePath empty). */
+    Bpu &bpu(std::size_t i = 0) { return *core(i).bpu; }
+    Ftq &ftq(std::size_t i = 0) { return *core(i).ftq; }
+    MemHierarchy &mem(std::size_t i = 0) { return *core(i).mem; }
+    Backend &backend(std::size_t i = 0) { return *core(i).backend; }
+    Mmu &mmu(std::size_t i = 0) { return *core(i).mmu; }
+    /** The shared L2/bus/DRAM every core's hierarchy sits on. */
+    SharedMem &sharedMem() { return *shared_; }
     /** nullptr unless vm.tlbPrefetch is enabled. */
-    TlbPrefetcher *tlbPrefetcher() { return tlbPf_.get(); }
-    FetchEngine &fetchEngine() { return *fetch_; }
-    std::size_t numPrefetchers() const { return prefetchers.size(); }
-    Prefetcher &prefetcher(std::size_t i) { return *prefetchers[i]; }
-    const Program &program() const { return *prog; }
-    const CodeImage &codeImage() const { return *image; }
+    TlbPrefetcher *tlbPrefetcher(std::size_t i = 0)
+    {
+        return core(i).tlbPf.get();
+    }
+    FetchEngine &fetchEngine(std::size_t i = 0) { return *core(i).fetch; }
+    std::size_t numPrefetchers() const
+    {
+        return core().prefetchers.size();
+    }
+    Prefetcher &prefetcher(std::size_t i)
+    {
+        return *core().prefetchers[i];
+    }
+    const Program &program() const { return *core().prog; }
+    const CodeImage &codeImage() const { return *core().image; }
     Cycle now() const { return curCycle; }
 
     /** Cycles fast-forwarded by the idle-skip path so far. */
@@ -148,37 +223,38 @@ class Simulator
 
   private:
     /**
-     * The event-driven fast path: when every component is quiescent
-     * and the FTQ cannot accept a prediction, jump curCycle to just
-     * before the minimum next-event cycle, bulk-charging the per-cycle
-     * counters and the occupancy histogram for the skipped range.
+     * The event-driven fast path: when every core's components are
+     * quiescent and no FTQ can accept a prediction, jump curCycle to
+     * just before the minimum next-event cycle across the whole
+     * machine, bulk-charging the per-cycle counters and the occupancy
+     * histograms for the skipped range. The machine is quiescent only
+     * when EVERY core is.
      */
     void skipIdleCycles();
+    /** Build core @p id's component graph onto the shared memory. */
+    void buildCore(Core &c, unsigned id);
+    /** One core's slice of step(): ticks, redirect, predict, push. */
+    void stepCore(Core &c);
+    /** Core-private stats only (no shared L2/bus/DRAM, no sim.*). */
+    void collectCore(const Core &c, StatSet &out) const;
     void collectAll(StatSet &out) const;
     SimResults finalize(const StatSet &delta, Cycle cycles_delta,
-                        std::uint64_t insts_delta) const;
+                        std::uint64_t insts_delta,
+                        const Histogram &occ, const Histogram &pft,
+                        const std::string &workload_label) const;
     /** Snapshot all stats and emit one interval sample row. */
     void recordSample();
 
     SimConfig cfg;
-    /** Synthetic workloads only; null when replaying a trace file. */
-    std::unique_ptr<Program> prog;
-    std::unique_ptr<CodeImage> image;
-    /** The instruction stream: a SyntheticExecutor, or a trace reader
-     *  when cfg.tracePath is set (see trace/champsim.hh). */
-    std::unique_ptr<TraceSource> exec;
-    std::unique_ptr<TraceWindow> trace;
-    std::unique_ptr<Bpu> bpu_;
-    std::unique_ptr<Ftq> ftq_;
-    std::unique_ptr<Mmu> mmu_;
-    std::unique_ptr<TlbPrefetcher> tlbPf_;
-    std::unique_ptr<MemHierarchy> mem_;
-    std::unique_ptr<Backend> backend_;
-    std::unique_ptr<FetchEngine> fetch_;
-    std::vector<std::unique_ptr<Prefetcher>> prefetchers;
+    /** The L2/buses/DRAM all cores contend for. */
+    std::unique_ptr<SharedMem> shared_;
+    /** The per-core component graphs (unique_ptr: stable addresses
+     *  for the cross-component references inside each graph). */
+    std::vector<std::unique_ptr<Core>> cores_;
 
     /** Telemetry (null when observability is fully off); tracer_ and
-     *  sampler_ cache the telemetry's pillars for the hot path. */
+     *  sampler_ cache the telemetry's pillars for the hot path.
+     *  Tracer lanes attach to core 0 only (see docs/MULTICORE.md). */
     std::unique_ptr<Telemetry> telem_;
     Tracer *tracer_ = nullptr;
     IntervalSampler *sampler_ = nullptr;

@@ -59,6 +59,17 @@ renderGrid()
                   /*itlb_entries=*/16);
     out += "==== gcc / fdp-remove / vm-wait ====\n";
     out += serializeResults(simulate(vm));
+
+    // One multi-core point pins the shared-L2 machine: the per-core
+    // request tagging, the rotating bus arbiter, the per-core
+    // measurement windows, and the per_core serialization block.
+    SimConfig mc = makeBaselineConfig("gcc", PrefetchScheme::FdpRemove);
+    mc.warmupInsts = 10 * 1000;
+    mc.measureInsts = 40 * 1000;
+    applyMultiCore(mc, 2);
+    mc.mem.l2.sizeBytes = 256 * 1024;
+    out += "==== gcc / fdp-remove / 2-core shared-l2 ====\n";
+    out += serializeResults(simulate(mc));
     return out;
 }
 

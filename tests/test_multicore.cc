@@ -1,0 +1,238 @@
+/**
+ * Multi-core machine tests (docs/MULTICORE.md): N cores sharing one
+ * L2/bus/DRAM behind per-core request tagging and round-robin bus
+ * arbitration.
+ *
+ * The contracts pinned here:
+ *  - numCores=1 is THE single-core machine: serializeResults() output
+ *    is byte-identical to a config that never mentions numCores, and
+ *    the perCore row vector stays empty.
+ *  - Multi-core runs are deterministic: repeat runs and --jobs-style
+ *    concurrent runs produce byte-identical serializations.
+ *  - Every core-private stat sums across the perCore rows to the
+ *    aggregate row's value; aggregate instructions are the per-core
+ *    sum.
+ *  - Shared-L2 contention is real: co-running cores see the shared
+ *    bus busy on each other's transfers.
+ */
+
+#include <future>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "sim/presets.hh"
+#include "sim/report.hh"
+#include "sim/runner.hh"
+#include "sim/simulator.hh"
+
+using namespace fdip;
+
+namespace
+{
+
+SimConfig
+smallConfig(const std::string &wl, PrefetchScheme scheme)
+{
+    SimConfig cfg = makeBaselineConfig(wl, scheme);
+    cfg.warmupInsts = 5 * 1000;
+    cfg.measureInsts = 20 * 1000;
+    return cfg;
+}
+
+/** Core-private stat keys in the aggregate row that must equal the
+ *  sum over perCore rows (shared l2./l2bus./membus./dram.* keys and
+ *  the machine-window sim.cycles are excluded by construction). */
+bool
+isCorePrivateKey(const std::string &key)
+{
+    for (const char *shared : {"l2.", "l2bus.", "membus.", "dram."}) {
+        if (key.rfind(shared, 0) == 0)
+            return false;
+    }
+    return key != "sim.cycles";
+}
+
+} // namespace
+
+TEST(MultiCore, SingleCoreConfigIsByteIdenticalToClassicMachine)
+{
+    // applyMultiCore(cfg, 1) must be a no-op on the simulated numbers:
+    // same fingerprint axis value as the default, identity request
+    // tags, no share counters, no perCore rows.
+    SimConfig classic = smallConfig("li", PrefetchScheme::FdpRemove);
+    SimConfig one = smallConfig("li", PrefetchScheme::FdpRemove);
+    applyMultiCore(one, 1);
+
+    SimResults a = simulate(classic);
+    SimResults b = simulate(one);
+    EXPECT_TRUE(a.perCore.empty());
+    EXPECT_TRUE(b.perCore.empty());
+    EXPECT_EQ(serializeResults(a), serializeResults(b));
+    // No bus-share counters may leak into single-core stat output.
+    EXPECT_FALSE(a.stats.has("mem.l2bus_busy_cycles"));
+    EXPECT_FALSE(a.stats.has("mem.membus_busy_cycles"));
+}
+
+TEST(MultiCore, TwoCoreRunIsDeterministicAcrossRepeatsAndThreads)
+{
+    SimConfig cfg = smallConfig("gcc", PrefetchScheme::FdpRemove);
+    applyMultiCore(cfg, 2);
+
+    std::string first = serializeResults(simulate(cfg));
+    ASSERT_FALSE(first.empty());
+
+    // Sequential repeat.
+    EXPECT_EQ(first, serializeResults(simulate(cfg)));
+
+    // Concurrent repeats, as a --jobs N Runner sweep would issue them.
+    std::vector<std::future<std::string>> jobs;
+    for (int i = 0; i < 4; ++i) {
+        jobs.push_back(std::async(std::launch::async, [&cfg] {
+            return serializeResults(simulate(cfg));
+        }));
+    }
+    for (auto &j : jobs)
+        EXPECT_EQ(first, j.get());
+}
+
+TEST(MultiCore, PerCoreRowsSumToAggregate)
+{
+    SimConfig cfg = smallConfig("groff", PrefetchScheme::FdpRemove);
+    applyMultiCore(cfg, 2);
+    SimResults r = simulate(cfg);
+
+    ASSERT_EQ(r.perCore.size(), 2u);
+    for (const SimResults &c : r.perCore)
+        EXPECT_TRUE(c.perCore.empty()) << "per-core rows must not nest";
+
+    // Aggregate instructions = sum of per-core instructions.
+    std::uint64_t insts = 0;
+    for (const SimResults &c : r.perCore)
+        insts += c.instructions;
+    EXPECT_EQ(r.instructions, insts);
+
+    // Every core-private counter sums exactly (deltas are integral
+    // counter values, so == is the right comparison).
+    for (const auto &[key, val] : r.stats.entries()) {
+        if (!isCorePrivateKey(key))
+            continue;
+        double sum = 0.0;
+        for (const SimResults &c : r.perCore)
+            sum += c.stats.value(key);
+        EXPECT_EQ(val, sum) << "aggregate stat " << key
+                            << " != sum of per-core rows";
+    }
+}
+
+TEST(MultiCore, PerCoreRowsCarryWorkloadLabelsAndShareCounters)
+{
+    SimConfig cfg = smallConfig("li", PrefetchScheme::None);
+    applyMultiCore(cfg, 2, {"li", "gcc"});
+    SimResults r = simulate(cfg);
+
+    ASSERT_EQ(r.perCore.size(), 2u);
+    EXPECT_EQ(r.perCore[0].workload, "li");
+    EXPECT_EQ(r.perCore[1].workload, "gcc");
+    EXPECT_NE(serializeResults(r.perCore[0]),
+              serializeResults(r.perCore[1]))
+        << "heterogeneous cores produced identical rows";
+
+    // On a multi-core machine each core attributes its own share of
+    // the shared-bus occupancy, and the shares sum to the bus total.
+    double share = 0.0;
+    for (const SimResults &c : r.perCore) {
+        EXPECT_TRUE(c.stats.has("mem.membus_busy_cycles"));
+        share += c.stats.value("mem.membus_busy_cycles");
+    }
+    EXPECT_GT(share, 0.0);
+    EXPECT_EQ(share, r.stats.value("mem.membus_busy_cycles"));
+}
+
+TEST(MultiCore, SharedL2ContentionMovesPerformance)
+{
+    // The same workload on the same machine must get slower (never
+    // faster) when a second core contends for the shared L2/buses —
+    // and with a deliberately tiny shared L2 the effect must be
+    // visible in core 0's own IPC.
+    SimConfig solo = smallConfig("gcc", PrefetchScheme::FdpRemove);
+    solo.mem.l2.sizeBytes = 64 * 1024;
+    SimResults alone = simulate(solo);
+
+    SimConfig duo = solo;
+    applyMultiCore(duo, 2);
+    SimResults shared = simulate(duo);
+
+    ASSERT_EQ(shared.perCore.size(), 2u);
+    EXPECT_LE(shared.perCore[0].ipc, alone.ipc)
+        << "adding a contending core made core 0 faster";
+    EXPECT_GT(shared.perCore[0].cycles, 0u);
+    EXPECT_GT(shared.perCore[1].cycles, 0u);
+}
+
+TEST(MultiCore, SerializationCoversPerCoreRows)
+{
+    SimConfig cfg = smallConfig("li", PrefetchScheme::None);
+    applyMultiCore(cfg, 2);
+    SimResults r = simulate(cfg);
+
+    std::string s = serializeResults(r);
+    EXPECT_NE(s.find("per_core 2"), std::string::npos) << s;
+    EXPECT_NE(s.find("core 0"), std::string::npos);
+    EXPECT_NE(s.find("core 1"), std::string::npos);
+    EXPECT_NE(s.find("core_end"), std::string::npos);
+
+    // Single-core serializations must not mention the block at all.
+    SimResults solo = simulate(smallConfig("li", PrefetchScheme::None));
+    EXPECT_EQ(serializeResults(solo).find("per_core"),
+              std::string::npos);
+}
+
+TEST(MultiCore, ConfigValidationRejectsBadCoreCounts)
+{
+    setFatalMode(FatalMode::Throw);
+    SimConfig cfg = smallConfig("li", PrefetchScheme::None);
+    cfg.numCores = 0;
+    EXPECT_THROW(cfg.validate(), SimError);
+
+    cfg.numCores = 2;
+    cfg.coreWorkloads = {"li"}; // one label for two cores
+    EXPECT_THROW(cfg.validate(), SimError);
+
+    cfg.coreWorkloads = {"li", "gcc"};
+    EXPECT_NO_THROW(cfg.validate());
+    setFatalMode(FatalMode::Abort);
+}
+
+TEST(MultiCore, FingerprintCoversCoreAxes)
+{
+    SimConfig a = smallConfig("li", PrefetchScheme::None);
+    SimConfig b = a;
+    applyMultiCore(b, 2);
+    EXPECT_NE(a.fingerprint(), b.fingerprint());
+
+    SimConfig c = a;
+    applyMultiCore(c, 2, {"li", "gcc"});
+    EXPECT_NE(b.fingerprint(), c.fingerprint());
+}
+
+TEST(MultiCore, AccessorsRouteThroughCores)
+{
+    SimConfig cfg = smallConfig("li", PrefetchScheme::FdpRemove);
+    applyMultiCore(cfg, 2);
+    Simulator sim(cfg);
+
+    ASSERT_EQ(sim.numCores(), 2u);
+    // Distinct per-core components, one shared memory system.
+    EXPECT_NE(&sim.mem(0), &sim.mem(1));
+    EXPECT_NE(&sim.ftq(0), &sim.ftq(1));
+    EXPECT_EQ(&sim.mem(0).l2(), &sim.mem(1).l2());
+    EXPECT_EQ(&sim.mem(0).l2(), &sim.sharedMem().l2);
+    EXPECT_EQ(sim.mem(0).coreId(), 0u);
+    EXPECT_EQ(sim.mem(1).coreId(), 1u);
+    // The default-argument accessors are core 0.
+    EXPECT_EQ(&sim.mem(), &sim.mem(0));
+    EXPECT_EQ(&sim.bpu(), &sim.bpu(0));
+}

@@ -333,6 +333,110 @@ TEST(NextEvent, WaitPolicyHeadOfLineReportsWalkCompletion)
     EXPECT_GT(ev, now);
 }
 
+TEST(NextEvent, SharedMemIdleIsNeverAndBusyReportsBusRelease)
+{
+    // The shared L2/buses/DRAM block is passive when no transfer is
+    // scheduled; a transfer makes its release the next event.
+    MemConfig mcfg = smallMemCfg();
+    SharedMem shared(mcfg);
+    EXPECT_EQ(shared.nextEventCycle(1), kNever);
+
+    Cycle done = shared.memBus.transfer(5, mcfg.l2.blockBytes);
+    ASSERT_GT(done, 5u);
+    EXPECT_EQ(shared.nextEventCycle(5), shared.memBus.freeAtCycle());
+    EXPECT_GT(shared.nextEventCycle(5), 5u);
+    // Probed at/after the release, the event has passed: idle again.
+    EXPECT_EQ(shared.nextEventCycle(shared.memBus.freeAtCycle()),
+              kNever);
+}
+
+TEST(NextEvent, MultiCoreHierarchiesShareQuiescence)
+{
+    // Two per-core hierarchies on one SharedMem. Core 1's fill is
+    // core 1's event; core 0 (nothing in flight) may conservatively
+    // report the shared-bus release but must never report a cycle at
+    // or before now — and both go quiescent once the fill lands.
+    MemConfig mcfg = smallMemCfg();
+    SharedMem shared(mcfg);
+    MemHierarchy c0(mcfg, shared, /*core_id=*/0, /*num_cores=*/2);
+    MemHierarchy c1(mcfg, shared, /*core_id=*/1, /*num_cores=*/2);
+
+    Cycle now = 1;
+    c0.tick(now);
+    c1.tick(now);
+    EXPECT_EQ(c0.nextEventCycle(now), kNever);
+    EXPECT_EQ(c1.nextEventCycle(now), kNever);
+
+    ASSERT_TRUE(c1.reserveTagPort());
+    FetchAccess acc = c1.demandFetch(0x1000, now);
+    ASSERT_FALSE(acc.hitL1);
+    ASSERT_NE(acc.readyAt, neverCycle);
+    EXPECT_GT(c1.nextEventCycle(now), now);
+    EXPECT_LE(c1.nextEventCycle(now), acc.readyAt);
+    EXPECT_GT(c0.nextEventCycle(now), now);
+
+    c0.tick(acc.readyAt);
+    c1.tick(acc.readyAt);
+    EXPECT_EQ(c1.nextEventCycle(acc.readyAt), kNever);
+    EXPECT_EQ(c0.nextEventCycle(acc.readyAt), kNever);
+}
+
+TEST(NextEvent, MultiCoreRequestsAreDistinctLinesInTheSharedL2)
+{
+    // Private address spaces: the same block number fetched by two
+    // cores must MISS separately in the shared L2 (per-core request
+    // tagging), not constructively share a line.
+    MemConfig mcfg = smallMemCfg();
+    SharedMem shared(mcfg);
+    MemHierarchy c0(mcfg, shared, 0, 2);
+    MemHierarchy c1(mcfg, shared, 1, 2);
+
+    Cycle now = 1;
+    c0.tick(now);
+    c1.tick(now);
+    ASSERT_TRUE(c0.reserveTagPort());
+    FetchAccess a0 = c0.demandFetch(0x1000, now);
+    ASSERT_FALSE(a0.hitL1);
+
+    // Land core 0's fill (DRAM -> L2 -> L1), then fetch the same
+    // block number on core 1: its tagged address is a different L2
+    // line, so it must go to DRAM, not hit core 0's line.
+    now = a0.readyAt;
+    c0.tick(now);
+    c1.tick(now);
+    ASSERT_TRUE(c1.reserveTagPort());
+    FetchAccess a1 = c1.demandFetch(0x1000, now);
+    ASSERT_FALSE(a1.hitL1);
+    EXPECT_GE(a1.readyAt - now, mcfg.dramLatency)
+        << "core 1 constructively hit core 0's L2 line";
+}
+
+TEST(NextEvent, MultiCoreWholeMachinePropertyNeverAtOrBeforeNow)
+{
+    // The aggregated protocol: on a ticked 2-core machine every
+    // component of EVERY core honours the strictly-future contract,
+    // and the shared memory block does too.
+    SimConfig cfg = makeBaselineConfig("li", PrefetchScheme::FdpRemove);
+    applyMultiCore(cfg, 2);
+    cfg.mem.l2.sizeBytes = 128 * 1024;
+    cfg.forceTick = true;
+    Simulator sim(cfg);
+    for (int i = 0; i < 2000; ++i) {
+        sim.step();
+        Cycle now = sim.now();
+        EXPECT_GT(sim.sharedMem().nextEventCycle(now), now);
+        for (std::size_t c = 0; c < sim.numCores(); ++c) {
+            EXPECT_GT(sim.mem(c).nextEventCycle(now), now);
+            EXPECT_GT(sim.backend(c).nextEventCycle(now), now);
+            EXPECT_GT(sim.fetchEngine(c).nextEventCycle(now), now);
+            EXPECT_GT(sim.ftq(c).nextEventCycle(now), now);
+            EXPECT_GT(sim.bpu(c).nextEventCycle(now), now);
+            for (const auto &pf : sim.core(c).prefetchers)
+                EXPECT_GT(pf->nextEventCycle(now), now);
+        }
+    }
+}
+
 TEST(NextEvent, WholeMachinePropertyNeverAtOrBeforeNow)
 {
     // Step a few real machines (forced per-cycle ticking so the walk

@@ -221,11 +221,12 @@ TEST(ResultCache, StaleFingerprintEntryRejectedWithWarning)
 
 TEST(ResultCache, OldFormatVersionEntriesRejectedWithWarning)
 {
-    // The robustness work added the build-identity header line and
-    // bumped the format to v4; any entry left on disk by an older
-    // build must be rejected as stale, warned about, and
-    // re-simulated.
-    ASSERT_EQ(ResultCache::kFormatVersion, 4u);
+    // The multi-core work added the per_core row block and bumped the
+    // format to v5; any entry left on disk by an older build must be
+    // rejected as stale, warned about, and re-simulated. This pin is
+    // deliberate: extending the on-disk schema without bumping the
+    // version would let old entries half-decode.
+    ASSERT_EQ(ResultCache::kFormatVersion, 5u);
 
     std::string dir = freshCacheDir("oldversion");
     ResultCache cache(dir);
@@ -251,7 +252,7 @@ TEST(ResultCache, OldFormatVersionEntriesRejectedWithWarning)
                              cfg.measureInsts);
     std::string err = ::testing::internal::GetCapturedStderr();
     EXPECT_FALSE(loaded.has_value());
-    EXPECT_NE(err.find("format version 2, want 4"), std::string::npos)
+    EXPECT_NE(err.find("format version 2, want 5"), std::string::npos)
         << err;
 }
 

@@ -116,6 +116,25 @@ matrixConfig(int i)
     if (schemeIsFdp(scheme))
         cfg.combineNlp = (i % 4) == 0;
 
+    // Multi-core axis: half the matrix scales the machine out to 2 or
+    // 4 cores sharing the L2/buses/DRAM, so skip parity also covers
+    // the aggregated quiescence protocol, the rotating bus-arbiter
+    // order, and the per-core measurement windows (a quarter of these
+    // run a heterogeneous two-workload mix). Shrink the shared L2 on
+    // those points so the cores genuinely contend.
+    static const unsigned kCoreCounts[] = {1u, 2u, 1u, 4u};
+    unsigned cores = kCoreCounts[i % 4];
+    if (cores > 1) {
+        std::vector<std::string> mix;
+        if (cores == 2 && i % 8 == 1) {
+            const std::string &other =
+                workloads[(i + 1) % workloads.size()];
+            mix = {wl, other};
+        }
+        applyMultiCore(cfg, cores, mix);
+        cfg.mem.l2.sizeBytes = 128 * 1024;
+    }
+
     // Three quarters of the matrix runs translated fetch, cycling
     // through all three prefetch-translation policies, with walk
     // latencies long enough that Wait/Fill runs are page-walk
@@ -158,6 +177,7 @@ TEST(TickSkip, DifferentialParityAcrossRandomizedMatrix)
             << schemeName(fast.scheme) << ", vm="
             << (fast.vm.enable ? tlbPolicyName(fast.vm.prefetchPolicy)
                                : "off")
+            << ", cores=" << fast.numCores
             << "): " << firstDiff(sa, sb);
 
         EXPECT_EQ(b.skippedCycles, 0u) << "forceTick run skipped";
@@ -165,8 +185,9 @@ TEST(TickSkip, DifferentialParityAcrossRandomizedMatrix)
     }
     // The matrix must actually exercise the fast path, or the parity
     // assertions above prove nothing.
-    if (!envNoSkip())
+    if (!envNoSkip()) {
         EXPECT_GT(total_skipped, 0u);
+    }
 }
 
 TEST(TickSkip, MatrixCoversAllSchemesAndPolicies)
@@ -174,9 +195,15 @@ TEST(TickSkip, MatrixCoversAllSchemesAndPolicies)
     std::vector<bool> scheme_seen(9, false);
     std::vector<bool> policy_seen(3, false);
     bool l2_seen = false, bounded_seen = false, tlbpf_seen = false;
+    bool single_seen = false, dual_seen = false, quad_seen = false;
+    bool hetero_seen = false;
     for (int i = 0; i < 20; ++i) {
         SimConfig cfg = matrixConfig(i);
         scheme_seen[static_cast<int>(cfg.scheme)] = true;
+        single_seen |= cfg.numCores == 1;
+        dual_seen |= cfg.numCores == 2;
+        quad_seen |= cfg.numCores == 4;
+        hetero_seen |= !cfg.coreWorkloads.empty();
         if (cfg.vm.enable) {
             policy_seen[static_cast<int>(cfg.vm.prefetchPolicy)] = true;
             l2_seen |= cfg.vm.l2TlbEntries > 0;
@@ -184,6 +211,10 @@ TEST(TickSkip, MatrixCoversAllSchemesAndPolicies)
             tlbpf_seen |= cfg.vm.tlbPrefetch;
         }
     }
+    EXPECT_TRUE(single_seen && dual_seen && quad_seen)
+        << "the numCores axis must cover 1, 2, and 4 cores";
+    EXPECT_TRUE(hetero_seen)
+        << "no config ran a heterogeneous per-core workload mix";
     for (std::size_t s = 0; s < scheme_seen.size(); ++s)
         EXPECT_TRUE(scheme_seen[s]) << "scheme " << s << " never run";
     for (std::size_t p = 0; p < policy_seen.size(); ++p)
