@@ -25,12 +25,10 @@ main(int argc, char **argv)
                   "L2-bus util", "pf accuracy", "pf coverage"});
 
     const SimResults &base = runner.run(workload, PrefetchScheme::None);
-    for (auto scheme : {PrefetchScheme::None, PrefetchScheme::Nlp,
-                        PrefetchScheme::StreamBuffer,
-                        PrefetchScheme::FdpNone,
-                        PrefetchScheme::FdpEnqueue,
-                        PrefetchScheme::FdpRemove,
-                        PrefetchScheme::FdpIdeal}) {
+    // Every registered scheme, the competitor zoo included (the
+    // FTB-prefill shadow-btb scheme issues no memory requests, so its
+    // accuracy/coverage columns legitimately read 0%).
+    for (auto scheme : allPrefetchSchemes()) {
         const SimResults &r = runner.run(workload, scheme);
         t.addRow({schemeName(scheme),
                   AsciiTable::num(r.ipc, 3),

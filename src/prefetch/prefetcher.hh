@@ -4,6 +4,10 @@
  * notifies prefetchers of demand accesses; the simulator ticks them
  * once per cycle (after demand fetch, so prefetchers only ever see
  * leftover tag ports and idle buses).
+ *
+ * The scheme catalog lives in docs/PREFETCHERS.md; every
+ * implementation registered in allPrefetchSchemes() is held to the
+ * shared contract suite in tests/test_scheme_conformance.cc.
  */
 
 #ifndef FDIP_PREFETCH_PREFETCHER_HH

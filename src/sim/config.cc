@@ -62,8 +62,29 @@ schemeName(PrefetchScheme scheme)
       case PrefetchScheme::FdpRemove: return "fdp-remove";
       case PrefetchScheme::FdpIdeal: return "fdp-ideal";
       case PrefetchScheme::Oracle: return "oracle";
+      case PrefetchScheme::Mana: return "mana";
+      case PrefetchScheme::ShadowBtb: return "shadow-btb";
     }
     return "?";
+}
+
+const std::vector<PrefetchScheme> &
+allPrefetchSchemes()
+{
+    static const std::vector<PrefetchScheme> all = {
+        PrefetchScheme::None,
+        PrefetchScheme::Nlp,
+        PrefetchScheme::StreamBuffer,
+        PrefetchScheme::FdpNone,
+        PrefetchScheme::FdpEnqueue,
+        PrefetchScheme::FdpEnqueueAggressive,
+        PrefetchScheme::FdpRemove,
+        PrefetchScheme::FdpIdeal,
+        PrefetchScheme::Oracle,
+        PrefetchScheme::Mana,
+        PrefetchScheme::ShadowBtb,
+    };
+    return all;
 }
 
 bool
@@ -169,6 +190,17 @@ SimConfig::fingerprint() const
     f.u64(oracle.scanWidth);
     f.u64(oracle.issueWidth);
     f.u64(oracle.recentFilterEntries);
+    f.u64(mana.regionBlocks);
+    f.u64(mana.tableSets);
+    f.u64(mana.tableWays);
+    f.u64(mana.queueEntries);
+    f.u64(mana.chainLength);
+    f.b(mana.fillIntoL1);
+    f.u64(mana.vaBits);
+    f.u64(shadow.scanWidth);
+    f.u64(shadow.queueEntries);
+    f.u64(shadow.recentFilterEntries);
+    f.u64(shadow.bogusNoiseDenom);
     f.b(combineNlp);
 
     f.b(usePartitionedBtb);
@@ -203,6 +235,21 @@ SimConfig::validate() const
     fatal_if(usePartitionedBtb && bpu.blockBased,
              "partitioned BTB requires the conventional (non-FTB) "
              "front-end");
+    fatal_if(mana.regionBlocks == 0 || mana.regionBlocks > 64 ||
+                 !isPowerOf2(mana.regionBlocks),
+             "MANA region size must be a power-of-two block count "
+             "<= 64");
+    fatal_if(!isPowerOf2(mana.tableSets),
+             "MANA table set count must be a power of two");
+    fatal_if(mana.tableWays == 0, "MANA table needs at least one way");
+    fatal_if(mana.queueEntries == 0,
+             "MANA replay queue needs at least one entry");
+    fatal_if(mana.chainLength == 0,
+             "MANA chain length must be at least 1");
+    fatal_if(shadow.scanWidth == 0,
+             "shadow-btb scan width must be nonzero");
+    fatal_if(shadow.queueEntries == 0,
+             "shadow-btb scan queue needs at least one entry");
     // VM knobs are checked even with vm.enable off: the simulator
     // builds the MMU (page table + ITLB) unconditionally.
     fatal_if(!isPowerOf2(vm.pageBytes),

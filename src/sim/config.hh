@@ -18,15 +18,18 @@
 #include "mem/hierarchy.hh"
 #include "obs/telemetry.hh"
 #include "prefetch/fdp.hh"
+#include "prefetch/mana.hh"
 #include "prefetch/nlp.hh"
 #include "prefetch/oracle.hh"
+#include "prefetch/shadow_btb.hh"
 #include "prefetch/stream_buffer.hh"
 #include "vm/mmu.hh"
 
 namespace fdip
 {
 
-/** The prefetching schemes the MICRO-32 evaluation compares. */
+/** The prefetching schemes the MICRO-32 evaluation compares, plus the
+ *  competitor zoo (docs/PREFETCHERS.md). */
 enum class PrefetchScheme
 {
     None,         ///< no-prefetch baseline
@@ -38,10 +41,20 @@ enum class PrefetchScheme
     FdpRemove,    ///< fetch-directed, remove cache-probe filtering
     FdpIdeal,     ///< fetch-directed, ideal cache-probe filtering
     Oracle,       ///< perfect-address prefetcher (upper bound)
+    Mana,         ///< MANA-style record/replay of region footprints
+    ShadowBtb,    ///< shadow-branch decode pre-filling the BTB/FTB
 };
 
 const char *schemeName(PrefetchScheme scheme);
 bool schemeIsFdp(PrefetchScheme scheme);
+
+/**
+ * Every registered scheme, in enum order. This is the registry the
+ * conformance battery (tests/test_scheme_conformance.cc) and the
+ * tick-skip differential matrix iterate; a scheme missing from it
+ * escapes both, so additions here are mandatory, not optional.
+ */
+const std::vector<PrefetchScheme> &allPrefetchSchemes();
 
 struct SimConfig
 {
@@ -102,6 +115,8 @@ struct SimConfig
     NlpPrefetcher::Config nlp;
     StreamBufferPrefetcher::Config sb;
     OraclePrefetcher::Config oracle;
+    ManaPrefetcher::Config mana;
+    ShadowBtbPrefetcher::Config shadow;
     /** Run NLP alongside FDP (combined scheme). */
     bool combineNlp = false;
 

@@ -179,6 +179,18 @@ Simulator::buildCore(Core &c, unsigned id)
         c.prefetchers.push_back(std::make_unique<OraclePrefetcher>(
             *c.trace, *c.bpu, *c.mem, cfg.oracle));
         break;
+      case PrefetchScheme::Mana:
+        c.prefetchers.push_back(
+            std::make_unique<ManaPrefetcher>(*c.mem, cfg.mana));
+        break;
+      case PrefetchScheme::ShadowBtb:
+        // Pre-fills whichever target buffer the front-end runs on
+        // (FTB for the block-based default, BTB/partitioned otherwise);
+        // trace replay has no code image, so the decoder idles.
+        c.prefetchers.push_back(std::make_unique<ShadowBtbPrefetcher>(
+            c.bpu->ftb(), c.bpu->btb(), *c.mem, c.image.get(),
+            cfg.shadow));
+        break;
       case PrefetchScheme::FdpNone:
       case PrefetchScheme::FdpEnqueue:
       case PrefetchScheme::FdpEnqueueAggressive:

@@ -70,6 +70,18 @@ renderGrid()
     mc.mem.l2.sizeBytes = 256 * 1024;
     out += "==== gcc / fdp-remove / 2-core shared-l2 ====\n";
     out += serializeResults(simulate(mc));
+
+    // Competitor-zoo schemes (appended: the sections above must stay
+    // byte-identical across the regen that introduced these).
+    for (PrefetchScheme scheme : {PrefetchScheme::Mana,
+                                  PrefetchScheme::ShadowBtb}) {
+        SimConfig cfg = makeBaselineConfig("gcc", scheme);
+        cfg.warmupInsts = 10 * 1000;
+        cfg.measureInsts = 40 * 1000;
+        out += "==== gcc / " + std::string(schemeName(scheme)) +
+            " ====\n";
+        out += serializeResults(simulate(cfg));
+    }
     return out;
 }
 

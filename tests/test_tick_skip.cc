@@ -76,17 +76,10 @@ pick(std::mt19937 &rng, std::initializer_list<T> options)
 SimConfig
 matrixConfig(int i)
 {
-    static const std::vector<PrefetchScheme> schemes = {
-        PrefetchScheme::None,
-        PrefetchScheme::Nlp,
-        PrefetchScheme::StreamBuffer,
-        PrefetchScheme::FdpNone,
-        PrefetchScheme::FdpEnqueue,
-        PrefetchScheme::FdpEnqueueAggressive,
-        PrefetchScheme::FdpRemove,
-        PrefetchScheme::FdpIdeal,
-        PrefetchScheme::Oracle,
-    };
+    // Derived from the scheme registry, NOT hardcoded: a newly added
+    // scheme lands in the differential matrix automatically instead of
+    // silently dodging it.
+    const std::vector<PrefetchScheme> &schemes = allPrefetchSchemes();
     static const std::vector<TlbPrefetchPolicy> policies = {
         TlbPrefetchPolicy::Drop,
         TlbPrefetchPolicy::Wait,
@@ -192,7 +185,7 @@ TEST(TickSkip, DifferentialParityAcrossRandomizedMatrix)
 
 TEST(TickSkip, MatrixCoversAllSchemesAndPolicies)
 {
-    std::vector<bool> scheme_seen(9, false);
+    std::vector<bool> scheme_seen(allPrefetchSchemes().size(), false);
     std::vector<bool> policy_seen(3, false);
     bool l2_seen = false, bounded_seen = false, tlbpf_seen = false;
     bool single_seen = false, dual_seen = false, quad_seen = false;
@@ -215,8 +208,12 @@ TEST(TickSkip, MatrixCoversAllSchemesAndPolicies)
         << "the numCores axis must cover 1, 2, and 4 cores";
     EXPECT_TRUE(hetero_seen)
         << "no config ran a heterogeneous per-core workload mix";
-    for (std::size_t s = 0; s < scheme_seen.size(); ++s)
-        EXPECT_TRUE(scheme_seen[s]) << "scheme " << s << " never run";
+    for (std::size_t s = 0; s < scheme_seen.size(); ++s) {
+        EXPECT_TRUE(scheme_seen[s])
+            << "scheme " << schemeName(allPrefetchSchemes()[s])
+            << " never run — raise kConfigs if the registry outgrew "
+            << "the matrix";
+    }
     for (std::size_t p = 0; p < policy_seen.size(); ++p)
         EXPECT_TRUE(policy_seen[p]) << "policy " << p << " never run";
     EXPECT_TRUE(l2_seen) << "no config exercised the L2 TLB";
